@@ -1,0 +1,53 @@
+"""Ablation: meta-tag geometry (ways) and hit-path width (#wlen).
+
+Two of the generator's Figure-13 parameters the main figures hold
+fixed:
+
+* associativity — GraphPulse runs direct-mapped ("a direct-mapped cache
+  suffices", §7.1) while Widx uses 8 ways; this ablation measures what
+  associativity buys the conflict-prone hash workload;
+* #wlen — words supplied per hit, which sets the data-return
+  serialization for SpArch's multi-sector rows.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import table3_config
+from repro.dsa import SpGEMMXCacheModel, WidxXCacheModel
+from repro.workloads import dense_spgemm_input, make_widx_workload
+
+
+def _sweep():
+    out = {}
+    workload = make_widx_workload(num_keys=4096, num_probes=8192,
+                                  num_buckets=2048, skew=1.3,
+                                  hash_cycles=20, seed=31)
+    base = table3_config("widx", scale=0.0625)
+    for ways in (1, 2, 8):
+        sets = base.sets * base.ways // ways
+        cfg = replace(base, ways=ways, sets=sets)
+        result = WidxXCacheModel(workload, config=cfg).run()
+        assert result.checks_passed
+        out[f"widx ways={ways}"] = (result.cycles, result.hit_rate)
+
+    a, b = dense_spgemm_input(n=384, nnz_per_row=10, seed=37)
+    scfg = table3_config("sparch", scale=0.25)
+    for wlen in (1, 4, 8):
+        cfg = replace(scfg, wlen=wlen)
+        result = SpGEMMXCacheModel(a, b, "outer", config=cfg).run()
+        assert result.checks_passed
+        out[f"sparch wlen={wlen}"] = (result.cycles, result.hit_rate)
+    return out
+
+
+def test_ablation_geometry(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\ngeometry ablation:")
+    for label, (cycles, hit) in rows.items():
+        print(f"  {label:<18} {cycles:>9} cycles, hit {hit:.2f}")
+    # associativity must help the hash workload's conflict misses
+    assert rows["widx ways=8"][1] >= rows["widx ways=1"][1]
+    # wider hit return must not slow SpArch's multi-sector rows
+    assert rows["sparch wlen=8"][0] <= rows["sparch wlen=1"][0] * 1.02

@@ -1,0 +1,125 @@
+"""Ablation: hierarchy composition (§6 — MX and MXA, which the paper
+describes but does not evaluate).
+
+* **flat** — one X-Cache straight over DRAM (the Figure-14 setup);
+* **MX**   — a small walker-less L1 X-Cache in front of it: hot meta-tags
+  are served upstream at 1-cycle latency, filtering the last level;
+* **MXA**  — the X-Cache's walker fills through an address cache instead
+  of raw DRAM: re-walks after meta-tag evictions hit cached lines.
+
+Driven by a hot-key Widx probe trace where both effects can show up.
+"""
+
+import pytest
+
+from repro.core import CacheBackedMemory, MetaL1, XCacheConfig
+from repro.core.controller import Controller
+from repro.data import HashIndex
+from repro.dsa.walkers import build_hash_walker
+from repro.mem import AddressCache, CacheConfig, DRAMModel, MemoryImage
+from repro.sim import Simulator
+from repro.workloads import make_widx_workload
+
+_CFG = dict(ways=2, sets=32, data_sectors=128, num_active=8,
+            xregs_per_walker=16)
+
+
+def _workload():
+    return make_widx_workload(num_keys=1024, num_probes=4096,
+                              num_buckets=512, skew=1.3, hash_cycles=20,
+                              seed=47)
+
+
+def _drive_flat_or_mxa(use_addr_level: bool):
+    workload = _workload()
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    backing = dram
+    addr_cache = None
+    if use_addr_level:
+        addr_cache = AddressCache(sim, dram, CacheConfig(ways=8, sets=64))
+        backing = CacheBackedMemory(addr_cache, image)
+    controller = Controller(sim, XCacheConfig(**_CFG),
+                            build_hash_walker(workload.num_buckets, 20),
+                            backing)
+    index = HashIndex.build(image, workload.pairs, workload.num_buckets)
+    expected = {k: index.probe(k) for k in set(workload.probes)}
+    state = {"next": 0, "bad": 0, "last": 0}
+
+    def issue():
+        if state["next"] < len(workload.probes):
+            key = workload.probes[state["next"]]
+            state["next"] += 1
+            controller.meta_load((key,),
+                                 walk_fields={"table": index.table_addr})
+
+    def on_resp(resp):
+        key = resp.request.tag[0]
+        got = (int.from_bytes(resp.data[:8], "little")
+               if resp.found and resp.data else None)
+        if got != expected[key]:
+            state["bad"] += 1
+        state["last"] = resp.completed_at
+        issue()
+
+    controller.set_response_handler(on_resp)
+    for _ in range(16):
+        issue()
+    sim.run()
+    assert state["bad"] == 0
+    return state["last"], dram.stats.get("reads")
+
+
+def _drive_mx():
+    workload = _workload()
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    last_level = Controller(sim, XCacheConfig(**_CFG),
+                            build_hash_walker(workload.num_buckets, 20),
+                            dram)
+    l1 = MetaL1(sim, last_level, entries=64)
+    index = HashIndex.build(image, workload.pairs, workload.num_buckets)
+    expected = {k: index.probe(k) for k in set(workload.probes)}
+    state = {"next": 0, "bad": 0, "last": 0}
+
+    def issue():
+        if state["next"] >= len(workload.probes):
+            return
+        key = workload.probes[state["next"]]
+        state["next"] += 1
+
+        def on_resp(resp, key=key):
+            got = (int.from_bytes(resp.data[:8], "little")
+                   if resp.found and resp.data else None)
+            if got != expected[key]:
+                state["bad"] += 1
+            state["last"] = sim.now
+            issue()
+
+        l1.meta_load((key,), on_resp,
+                     walk_fields={"table": index.table_addr})
+
+    for _ in range(16):
+        issue()
+    sim.run()
+    assert state["bad"] == 0
+    return state["last"], dram.stats.get("reads"), l1.hit_rate()
+
+
+def test_ablation_hierarchy(benchmark):
+    def sweep():
+        flat = _drive_flat_or_mxa(use_addr_level=False)
+        mxa = _drive_flat_or_mxa(use_addr_level=True)
+        mx = _drive_mx()
+        return flat, mxa, mx
+
+    (flat, mxa, mx) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nhierarchy ablation (hot-key Widx trace):")
+    print(f"  flat : {flat[0]:>8} cycles, DRAM {flat[1]}")
+    print(f"  MXA  : {mxa[0]:>8} cycles, DRAM {mxa[1]} "
+          f"(address level soaks re-walks)")
+    print(f"  MX   : {mx[0]:>8} cycles, DRAM {mx[1]}, L1 hit {mx[2]:.2f}")
+    assert mxa[1] <= flat[1]     # the address level absorbs DRAM traffic
+    assert mx[2] > 0.3           # hot keys concentrate in the tiny L1

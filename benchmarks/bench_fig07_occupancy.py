@@ -1,0 +1,9 @@
+"""Figure 7: controller occupancy, coroutines vs threads.
+
+The same walk set executed as coroutines (X-registers only, yield
+on long-latency events) and as coarse-grained blocking threads.
+"""
+
+
+def test_fig07(run_report):
+    run_report("fig07")

@@ -1,0 +1,9 @@
+"""Figure 14: runtime vs baseline DSAs and address caches.
+
+The headline result: ~1.7x geomean over equally-sized address
+caches, competitive with hardwired DSAs, across all five DSAs.
+"""
+
+
+def test_fig14(run_report):
+    run_report("fig14")

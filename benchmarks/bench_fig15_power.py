@@ -1,0 +1,9 @@
+"""Figure 15: total power, X-Cache vs address-based cache.
+
+Address caches burn 26-79% more power: they walk (and move whole
+lines) even when the data is resident.
+"""
+
+
+def test_fig15(run_report):
+    run_report("fig15")

@@ -1,0 +1,8 @@
+"""Figure 17: runtime vs Widx over the on-chip fraction sweep.
+
+The meta-tag advantage grows with hit rate (TPC-H-22).
+"""
+
+
+def test_fig17(run_report):
+    run_report("fig17")

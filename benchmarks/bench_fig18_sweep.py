@@ -1,0 +1,9 @@
+"""Figure 18: sweeping #Active and #Exe.
+
+GraphPulse (controller-bound) gains up to ~2x; Widx (DRAM-bound)
+gains at most ~10%.
+"""
+
+
+def test_fig18(run_report):
+    run_report("fig18")

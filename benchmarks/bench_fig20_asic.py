@@ -1,0 +1,8 @@
+"""Figure 20: ASIC synthesis at 45nm.
+
+Controller: 0.11 mm^2 / 65K cells at the reference configuration.
+"""
+
+
+def test_fig20(run_report):
+    run_report("fig20")

@@ -1,0 +1,8 @@
+"""Table 1: X-Cache vs state-of-the-art storage idioms.
+
+Qualitative taxonomy regenerated from structured idiom descriptors.
+"""
+
+
+def test_tab01(run_report):
+    run_report("tab01")

@@ -1,0 +1,8 @@
+"""Table 2: X-Cache features benefiting each DSA.
+
+Cross-checked against the live Table-3 configurations and walkers.
+"""
+
+
+def test_tab02(run_report):
+    run_report("tab02")

@@ -1,0 +1,8 @@
+"""Table 3: design parameters per DSA.
+
+The Table-3 presets, checked verbatim against the paper.
+"""
+
+
+def test_tab03(run_report):
+    run_report("tab03")

@@ -1,0 +1,8 @@
+"""Table 4: energy parameters.
+
+The per-event energy constants the power model is seeded with.
+"""
+
+
+def test_tab04(run_report):
+    run_report("tab04")

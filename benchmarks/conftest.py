@@ -1,0 +1,33 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures at the ``full`` profile, prints the report (the figure's rows +
+paper-vs-measured checks), benchmarks the wall time of the regeneration,
+and asserts every expectation holds.
+
+Figures 14/15/16 share one memoized suite run, so the first of them
+pays the simulation cost and the others reuse it (as in the paper,
+where one set of runs feeds several figures).
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+PROFILE = "full"
+
+
+@pytest.fixture
+def run_report(benchmark):
+    """Benchmark one experiment driver and verify its expectations."""
+
+    def runner(exp_id: str):
+        report = benchmark.pedantic(
+            lambda: run_experiment(exp_id, PROFILE), rounds=1, iterations=1
+        )
+        print()
+        print(report.render())
+        assert report.all_ok, f"paper expectations missed:\n{report.render()}"
+        return report
+
+    return runner

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Hash-join acceleration (Widx) with a key-tagged X-Cache.
+
+Reproduces the paper's motivating database scenario end-to-end:
+
+1. build a chained hash index (key → RID) in simulated DRAM;
+2. probe it with a Zipfian TPC-H-like trace three ways —
+   X-Cache (meta-tag = key), the original Widx (always hash + walk
+   through an address cache), and an equally-sized address cache with
+   an ideal walker;
+3. report runtime, hit rates, DRAM traffic, and energy.
+
+Run:  python examples/database_widx.py
+"""
+
+from repro.core.config import table3_config
+from repro.dsa import (
+    HASH_CYCLES_STRING,
+    WidxAddressModel,
+    WidxBaselineModel,
+    WidxXCacheModel,
+)
+from repro.workloads import make_widx_workload
+
+
+def main():
+    print("building a 4096-key hash index; probing with a skewed "
+          "8192-probe trace")
+    print("(string keys: hashing costs %d cycles)\n" % HASH_CYCLES_STRING)
+    workload = make_widx_workload(
+        num_keys=4096,
+        num_probes=8192,
+        num_buckets=2048,            # load factor 2: chains to walk
+        skew=1.3,                    # hot join keys
+        hash_cycles=HASH_CYCLES_STRING,
+        seed=42,
+    )
+    config = table3_config("widx", scale=0.0625)
+    print(f"X-Cache geometry: {config.ways} ways x {config.sets} sets, "
+          f"#Active={config.num_active}, #Exe={config.num_exe}\n")
+
+    results = [
+        WidxXCacheModel(workload, config=config).run(),
+        WidxBaselineModel(workload, num_walkers=8).run(),
+        WidxAddressModel(workload, xcache_config=config).run(),
+    ]
+
+    print(f"{'variant':<10} {'cycles':>9} {'hit rate':>9} {'DRAM':>7} "
+          f"{'power mW':>9} {'validated':>10}")
+    for r in results:
+        power = r.energy.power_mw() if r.energy else 0.0
+        print(f"{r.variant:<10} {r.cycles:>9} {r.hit_rate:>9.2f} "
+              f"{r.dram_accesses:>7} {power:>9.2f} {str(r.checks_passed):>10}")
+
+    x, base, addr = results
+    print(f"\nX-Cache vs original Widx : {x.speedup_over(base):.2f}x "
+          "(paper: 1.54x, higher on string-keyed queries)")
+    print(f"X-Cache vs address cache : {x.speedup_over(addr):.2f}x "
+          "(paper: 1.7x average)")
+    print("\nwhy: on a meta-tag hit the key IS the tag — no hashing, no "
+          "bucket walk,\njust a 3-cycle load-to-use. The address-tagged "
+          "designs re-walk every probe.")
+
+
+if __name__ == "__main__":
+    main()

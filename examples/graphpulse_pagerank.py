@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Event-driven PageRank with an X-Cache event queue (GraphPulse).
+
+The event queue of GraphPulse becomes an X-Cache whose meta-tag is the
+vertex id: a store-miss allocates an entry and deposits the event
+payload (no DRAM walk at all), store-hits *coalesce* payloads with the
+hit-port adder, and processing elements pop events with take-loads.
+
+We run delta-PageRank on a synthetic power-law graph to convergence and
+validate against the functional reference.
+
+Run:  python examples/graphpulse_pagerank.py
+"""
+
+from repro.data import pagerank_event_driven
+from repro.dsa import GraphPulseAddressModel, GraphPulseXCacheModel
+from repro.workloads import p2p_gnutella08
+
+
+def main():
+    graph = p2p_gnutella08(scale=0.1, seed=8)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges "
+          "(p2p-Gnutella08 stand-in)\n")
+
+    model = GraphPulseXCacheModel(graph, num_pes=8, epsilon=1e-7)
+    result = model.run()
+
+    print(f"X-Cache event queue: converged in {result.cycles} cycles")
+    print(f"  events processed : {int(result.extras['events_processed'])}")
+    print(f"  coalescing merges: {int(result.extras['merge_ops'])} "
+          "(events absorbed on the hit port)")
+    print(f"  rank mass        : {result.extras['rank_sum']:.6f} (should be ~1)")
+    print(f"  event-store DRAM fills: "
+          f"{model.system.controller.stats.get('dram_fills')} "
+          "(the queue never walks)")
+
+    ref, _ = pagerank_event_driven(graph, epsilon=1e-9)
+    l1 = sum(abs(a - b) for a, b in zip(model.rank, ref))
+    print(f"  L1 error vs reference: {l1:.2e}")
+
+    top = sorted(range(graph.num_vertices), key=lambda v: -model.rank[v])[:5]
+    print("\n  top-5 vertices by rank:")
+    for v in top:
+        print(f"    v{v:<6} rank {model.rank[v]:.5f} "
+              f"(in-hub degree {graph.out_degree(v)} out)")
+
+    addr = GraphPulseAddressModel(graph, num_pes=8, epsilon=1e-7).run()
+    print(f"\naddress-cache comparator: {addr.cycles} cycles "
+          f"({addr.cycles / result.cycles:.2f}x slower) — every event "
+          "insert is a\nread-modify-write through the cache instead of a "
+          "single coalescing store.")
+    assert result.checks_passed and addr.checks_passed
+
+
+if __name__ == "__main__":
+    main()

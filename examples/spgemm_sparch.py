@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Sparse GEMM two ways on ONE X-Cache program (SpArch and Gamma).
+
+The paper's portability claim in action: SpArch (outer-product) and
+Gamma (Gustavson) share the identical row-walker microcode — only the
+datapath's access *order* differs. We run both on the same A×B, verify
+the products against the functional reference, and show the reuse
+pattern each algorithm induces in the cache.
+
+Run:  python examples/spgemm_sparch.py
+"""
+
+from repro.core.config import table3_config
+from repro.data import spgemm_gustavson
+from repro.dsa import GammaXCacheModel, SpArchXCacheModel
+from repro.workloads import dense_spgemm_input
+
+
+def main():
+    a, b = dense_spgemm_input(n=256, nnz_per_row=8, seed=7)
+    print(f"A: {a.rows}x{a.cols} with {a.nnz} nonzeros; "
+          f"B: {b.rows}x{b.cols} with {b.nnz} nonzeros")
+    reference = spgemm_gustavson(a, b)
+    print(f"C = A x B has {reference.nnz} nonzeros (functional reference)\n")
+
+    sparch = SpArchXCacheModel(a, b, config=table3_config("sparch",
+                                                          scale=0.25))
+    gamma = GammaXCacheModel(a, b, config=table3_config("gamma",
+                                                        scale=0.25))
+
+    # literally the same compiled walker binary
+    s_rtns = [r.name for r in sparch.system.controller.program.ram.routines]
+    g_rtns = [r.name for r in gamma.system.controller.program.ram.routines]
+    assert s_rtns == g_rtns
+    print("shared walker routines:", ", ".join(s_rtns), "\n")
+
+    print(f"{'DSA':<8} {'order':<22} {'cycles':>8} {'hit rate':>9} "
+          f"{'DRAM':>6} {'correct':>8}")
+    for name, model, order in (
+        ("SpArch", sparch, "A columns (CSC)"),
+        ("Gamma", gamma, "A rows (Gustavson)"),
+    ):
+        result = model.run()
+        print(f"{name:<8} {order:<22} {result.cycles:>8} "
+              f"{result.hit_rate:>9.2f} {result.dram_accesses:>6} "
+              f"{str(result.checks_passed):>8}")
+
+    print("\nSpArch reuses row k across one A-column run; Gamma's reuse is "
+          "dynamic\n(whenever a later A-row references the same k) — same "
+          "cache, same microcode,\ndifferent locality. That is the paper's "
+          "'reprogram, don't redesign' result.")
+
+
+if __name__ == "__main__":
+    main()

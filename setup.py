@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The target environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

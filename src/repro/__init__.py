@@ -1,0 +1,34 @@
+"""X-Cache: a modular architecture for domain-specific caches.
+
+Functional/cycle-level reproduction of Sedaghati, Hakimi, Hojabr,
+Shriraman — ISCA 2022 (DOI 10.1145/3470496.3527380).
+
+Subpackages
+-----------
+``repro.sim``       discrete-event simulation kernel
+``repro.mem``       memory image, DRAM model, address-tagged cache
+``repro.data``      CSR/CSC matrices, hash index, graphs
+``repro.core``      meta-tags, X-Action microcode, coroutine controller
+``repro.dsa``       Widx, DASX, GraphPulse, SpArch, Gamma integrations
+``repro.workloads`` synthetic TPC-H traces, power-law graphs, matrices
+``repro.harness``   per-figure/table experiment drivers
+"""
+
+__version__ = "1.0.0"
+
+from .core import (
+    XCacheConfig,
+    XCacheSystem,
+    compile_walker,
+    op,
+    table3_config,
+)
+
+__all__ = [
+    "__version__",
+    "XCacheConfig",
+    "XCacheSystem",
+    "compile_walker",
+    "op",
+    "table3_config",
+]

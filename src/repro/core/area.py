@@ -1,0 +1,141 @@
+"""FPGA / ASIC synthesis model (Figures 19 and 20).
+
+The paper synthesizes the generated controller (no RAMs) at #Exe=4,
+#Active=8 on an Altera Cyclone IV GX (EP4CGX150DF31C8) and through
+OpenROAD at 45 nm. This module provides an *analytical* area model
+calibrated to those published results:
+
+* FPGA @ reference config: 6985 logic elements (6 % of the part),
+  5766 combinational functions (5 %), 3457 registers (2 %).
+  Register breakdown: X-Reg 31 %, Others 24 %, Action-Exec 20 %,
+  Act.Meta 15 %, Rtn.Table 10 % (X-Reg uses the most registers).
+  Logic breakdown: Action-Exec 45 %, Others 20 %, X-Reg 20 %,
+  Act.Meta 11 %, Rtn.Table 4 % (Action-Exec dominates logic).
+* ASIC @45 nm: controller 0.11 mm² / 65 K cells; a 256 KB RAM costs
+  0.8 mm².
+
+Each component's cost scales with the configuration knob that drives it
+(#Active for X-Reg/Act.Meta, #Exe for Action-Exec, routine-table entries
+for Rtn.Table), so sweeping the generator parameters produces the same
+qualitative trends as re-synthesizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .config import XCacheConfig
+from .microcode import MicrocodeRAM
+from .walker import CompiledWalker
+
+__all__ = ["FPGA_REFERENCE", "ASIC_REFERENCE", "SynthesisModel", "AreaReport"]
+
+# Published reference numbers (#Exe=4, #Active=8, Widx-class walker).
+FPGA_REFERENCE = {
+    "part": "Altera Cyclone IV GX EP4CGX150DF31C8",
+    "part_logic_elements": 149_760,
+    "total_logic": 6_985,
+    "total_combinational": 5_766,
+    "total_registers": 3_457,
+    "register_shares": {
+        "xreg": 0.31, "others": 0.24, "action_exec": 0.20,
+        "act_meta": 0.15, "rtn_table": 0.10,
+    },
+    "logic_shares": {
+        "action_exec": 0.45, "others": 0.20, "xreg": 0.20,
+        "act_meta": 0.11, "rtn_table": 0.04,
+    },
+}
+
+ASIC_REFERENCE = {
+    "node_nm": 45,
+    "controller_mm2": 0.11,
+    "controller_cells": 65_000,
+    "ram_mm2_per_256kb": 0.8,
+}
+
+_REF_ACTIVE = 8
+_REF_EXE = 4
+_REF_RTN_ENTRIES = 24  # reference routine-table pointer slots
+
+
+@dataclass
+class AreaReport:
+    """Synthesis estimate for one configuration."""
+
+    registers: Dict[str, float]
+    logic: Dict[str, float]
+    total_registers: float
+    total_logic: float
+    fpga_utilization: float
+    asic_mm2: float
+    asic_cells: float
+    ram_mm2: float
+
+    def register_share(self, component: str) -> float:
+        return self.registers[component] / self.total_registers
+
+    def logic_share(self, component: str) -> float:
+        return self.logic[component] / self.total_logic
+
+    def dominant_register_component(self) -> str:
+        return max(self.registers, key=lambda k: self.registers[k])
+
+    def dominant_logic_component(self) -> str:
+        return max(self.logic, key=lambda k: self.logic[k])
+
+
+class SynthesisModel:
+    """Scales the published reference breakdown with the config."""
+
+    def __init__(self, fpga: Optional[dict] = None,
+                 asic: Optional[dict] = None) -> None:
+        self.fpga = fpga or FPGA_REFERENCE
+        self.asic = asic or ASIC_REFERENCE
+
+    def _scales(self, config: XCacheConfig,
+                program: Optional[CompiledWalker]) -> Dict[str, float]:
+        rtn_entries = (_REF_RTN_ENTRIES if program is None
+                       else max(1, program.table.num_entries))
+        return {
+            "xreg": (config.num_active * config.xregs_per_walker)
+                    / (_REF_ACTIVE * 8),
+            "act_meta": config.num_active / _REF_ACTIVE,
+            "action_exec": config.num_exe / _REF_EXE,
+            "rtn_table": rtn_entries / _REF_RTN_ENTRIES,
+            "others": 1.0,
+        }
+
+    def synthesize(self, config: XCacheConfig,
+                   program: Optional[CompiledWalker] = None) -> AreaReport:
+        """Estimate area for ``config`` (controller only, like Fig. 20)."""
+        scales = self._scales(config, program)
+        ref_regs = self.fpga["total_registers"]
+        ref_logic = self.fpga["total_logic"]
+        registers = {
+            comp: share * ref_regs * scales[comp]
+            for comp, share in self.fpga["register_shares"].items()
+        }
+        logic = {
+            comp: share * ref_logic * scales[comp]
+            for comp, share in self.fpga["logic_shares"].items()
+        }
+        total_regs = sum(registers.values())
+        total_logic = sum(logic.values())
+        logic_ratio = total_logic / ref_logic
+        return AreaReport(
+            registers=registers,
+            logic=logic,
+            total_registers=total_regs,
+            total_logic=total_logic,
+            fpga_utilization=total_logic / self.fpga["part_logic_elements"],
+            asic_mm2=self.asic["controller_mm2"] * logic_ratio,
+            asic_cells=self.asic["controller_cells"] * logic_ratio,
+            ram_mm2=self.ram_mm2(config),
+        )
+
+    def ram_mm2(self, config: XCacheConfig) -> float:
+        """Data + meta-tag RAM area (the paper: 256 KB → 0.8 mm²)."""
+        total_bytes = config.data_bytes + config.meta_bytes
+        return total_bytes / (256 * 1024) * self.asic["ram_mm2_per_256kb"]

@@ -1,0 +1,204 @@
+"""Energy/power model seeded with the paper's Table 4 constants.
+
+Table 4 ("Power usage per bit [pJ], timing: 1 GHz"):
+
+===========  =========
+Register     8.9e-03
+Add          2.1e-01
+Mul          12.6
+Bitwise op   1.8e-02
+Shift        4.1e-01
+===========  =========
+
+Memory (pJ): tag 2.7 / byte; L1 cache 44.8 / 32 bytes.
+
+Pricing rules (the calibration notes are in DESIGN.md §energy):
+
+* SRAM arrays are priced **per access** at the 44.8 pJ/32 B reference,
+  scaled by sqrt(capacity/32 KB) (CACTI's first-order wire-energy
+  growth), clamped to [0.5, 2.5].
+* Tag probes run in *serial mode* (the paper configures CACTI this way
+  "to ensure fair comparison"): only the selected way's tag drives the
+  comparators, so a probe toggles ~1/8 of the stored tag bytes.
+* The routine ROM is a small low-voltage array: the same 1/8 activity
+  factor applies to its 4-byte word fetches.
+* The AGEN datapath is address-width (32 bit), X-registers are 64 bit.
+
+Power is energy / runtime at 1 GHz (pJ per ns == mW).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, TYPE_CHECKING
+
+from .microcode import ACTION_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mem.addrcache import AddressCache
+    from .controller import Controller
+
+__all__ = ["EnergyParams", "EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (pJ). Defaults are the paper's Table 4."""
+
+    # per bit
+    register_bit: float = 8.9e-03
+    add_bit: float = 2.1e-01
+    mul_bit: float = 12.6
+    bitwise_bit: float = 1.8e-02
+    shift_bit: float = 4.1e-01
+    # memory
+    tag_byte: float = 2.7
+    l1_per_32b: float = 44.8
+    # datapath widths / activity factors (calibration, see module doc)
+    reg_bits: int = 64
+    agen_bits: int = 32
+    serial_tag_activity: float = 0.125
+    reference_sram_bytes: int = 32 * 1024
+
+    def sram_access_pj(self, capacity_bytes: int) -> float:
+        """Energy of one 32-byte array access, scaled by capacity."""
+        scale = math.sqrt(max(capacity_bytes, 1) / self.reference_sram_bytes)
+        return self.l1_per_32b * min(2.5, max(0.1, scale))
+
+    def tag_probe_pj(self, tag_bytes: int) -> float:
+        return self.tag_byte * tag_bytes * self.serial_tag_activity
+
+    def ucode_fetch_pj(self, ram_bytes: int = 512) -> float:
+        """One 4-byte microcode word from the (tiny) routine RAM."""
+        return self.sram_access_pj(ram_bytes) * (ACTION_BYTES / 32.0)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy by component (pJ) with convenience roll-ups."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+    runtime_cycles: int = 0
+
+    def add(self, name: str, pj: float) -> None:
+        self.components[name] = self.components.get(name, 0.0) + pj
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    def power_mw(self) -> float:
+        """Average power in mW at 1 GHz (1 cycle = 1 ns)."""
+        if self.runtime_cycles <= 0:
+            return 0.0
+        return self.total_pj / self.runtime_cycles  # pJ/ns == mW
+
+    def share(self, name: str) -> float:
+        total = self.total_pj
+        return self.components.get(name, 0.0) / total if total else 0.0
+
+    def group_share(self, *names: str) -> float:
+        total = self.total_pj
+        if not total:
+            return 0.0
+        return sum(self.components.get(n, 0.0) for n in names) / total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{k}={v:.1f}" for k, v in sorted(self.components.items()))
+        return f"EnergyBreakdown({parts}, total={self.total_pj:.1f}pJ)"
+
+
+class EnergyModel:
+    """Prices component event counts into an :class:`EnergyBreakdown`."""
+
+    def __init__(self, params: EnergyParams = EnergyParams()) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # X-Cache
+    # ------------------------------------------------------------------
+    def xcache_breakdown(self, controller: "Controller",
+                         runtime_cycles: int) -> EnergyBreakdown:
+        """Energy of one X-Cache instance over a finished run.
+
+        Components (mirroring Figure 16's RAM/controller split):
+
+        * ``data_ram``     — sectored data array accesses
+        * ``meta_tags``    — associative probes and updates
+        * ``routine_ram``  — microcode word fetches (the programmability
+                             cost: "less than 4.2 %")
+        * ``xregs``        — X-register file traffic
+        * ``agen_alu``     — walking/address-generation arithmetic
+        * ``controller_other`` — queue management, scheduling registers
+        """
+        p = self.params
+        cfg = controller.config
+        stats = controller.stats
+        out = EnergyBreakdown(runtime_cycles=runtime_cycles)
+
+        access_bytes = max(cfg.wlen * 8, cfg.sector_bytes)
+        dr = controller.dataram.stats
+        data_accesses = dr.get("read_accesses")
+        data_accesses += -(-dr.get("bytes_written") // access_bytes)
+        out.add("data_ram", data_accesses * p.sram_access_pj(cfg.data_bytes))
+
+        # One probe per serviced message plus allocator traffic.
+        probes = (stats.get("hits") + stats.get("store_hits")
+                  + stats.get("misses") + stats.get("miss_merges")
+                  + stats.get("nowalk_misses") + stats.get("takes"))
+        probes += (controller.metatags.stats.get("allocations")
+                   + controller.metatags.stats.get("deallocations"))
+        out.add("meta_tags", probes * p.tag_probe_pj(cfg.tag_bytes))
+
+        out.add("routine_ram",
+                stats.get("ucode_reads")
+                * p.ucode_fetch_pj(controller.program.ram.bytes))
+
+        xreg_ops = stats.get("xreg_reads") + stats.get("xreg_writes")
+        out.add("xregs", xreg_ops * p.reg_bits * p.register_bit)
+
+        alu = (stats.get("alu_add") * p.add_bit
+               + stats.get("alu_bitwise") * p.bitwise_bit
+               + stats.get("alu_shift") * p.shift_bit) * p.agen_bits
+        # The hash unit iterates an XOR/rotate network (rotations are
+        # wiring): one bitwise stage per hash cycle.
+        alu += stats.get("hash_cycles") * p.bitwise_bit * p.agen_bits
+        out.add("agen_alu", alu)
+
+        queue_ops = stats.get("act_queue") + stats.get("meta_loads") \
+            + stats.get("meta_stores")
+        sched_ops = stats.get("routines_dispatched") + stats.get("branches")
+        out.add("controller_other",
+                (queue_ops + sched_ops) * p.reg_bits * p.register_bit * 2)
+        return out
+
+    # ------------------------------------------------------------------
+    # address-tagged comparator
+    # ------------------------------------------------------------------
+    def address_cache_breakdown(self, cache: "AddressCache",
+                                runtime_cycles: int,
+                                agen_ops: int = 0,
+                                hash_ops: int = 0,
+                                hash_cycles: int = 60) -> EnergyBreakdown:
+        """Energy of the address-based cache + its (ideal) walker's AGEN.
+
+        Every access moves a whole line through the array (the paper's
+        "L1 Cache 44.8 pJ / 32 bytes" in serial mode — X-Cache's sectored
+        data RAM instead moves only the bytes it needs) plus an
+        address-tag probe; fills/writebacks pay another line. The
+        walker's address arithmetic and hashing are priced even though
+        its *time* is free.
+        """
+        p = self.params
+        out = EnergyBreakdown(runtime_cycles=runtime_cycles)
+        accesses = cache.stats.get("accesses")
+        line = cache.config.block_bytes
+        fills = cache.stats.get("fills") + cache.stats.get("writebacks")
+        capacity = cache.config.capacity_bytes
+        access_pj = p.sram_access_pj(capacity) * (line / 32.0)
+        out.add("data_ram", (accesses + fills) * access_pj)
+        out.add("addr_tags", (accesses + fills) * p.tag_probe_pj(6))
+        out.add("agen_alu", agen_ops * p.add_bit * p.agen_bits
+                + hash_ops * hash_cycles * p.bitwise_bit * p.agen_bits)
+        return out

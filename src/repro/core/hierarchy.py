@@ -1,0 +1,223 @@
+"""X-Cache hierarchies (§6): MX, MXA, and MXS composition.
+
+* **MX** — multi-level X-Cache. The upstream L1 holds no walker: "it
+  requests a meta-tag at a time from the downstream X-Cache. Only the
+  last-level X-Cache includes a walker and address-translation."
+  Implemented by :class:`MetaL1`.
+* **MXA** — X-Cache over an address-based cache. The X-Cache walks and
+  generates addresses at the boundary; the address cache sees a stream
+  of line requests. Implemented by :class:`CacheBackedMemory`, an
+  adapter that gives an :class:`~repro.mem.addrcache.AddressCache` the
+  DRAM-port interface the controller expects. The two levels are
+  non-inclusive (different namespaces).
+* **MXS** — X-Cache plus streaming. Dense, affine structures bypass the
+  X-Cache through :class:`StreamBuffer`, a decoupled sequential
+  prefetcher (how SpArch streams matrix A while X-Cache holds B's rows).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..mem.addrcache import AddressCache
+from ..mem.dram import MemRequest, MemResponse
+from ..mem.layout import MemoryImage
+from ..sim import Component, Simulator
+from .controller import Controller, MetaResponse
+
+__all__ = ["CacheBackedMemory", "MetaL1", "StreamBuffer"]
+
+Tag = Tuple[int, ...]
+
+
+class CacheBackedMemory:
+    """Adapter: the controller's DRAM port, served by an address cache.
+
+    The controller issues block requests exactly as it would to DRAM;
+    this adapter satisfies them from the address cache (which misses to
+    real DRAM) and fetches the functional bytes from the shared image.
+    """
+
+    def __init__(self, cache: AddressCache, image: MemoryImage) -> None:
+        self.cache = cache
+        self.image = image
+
+    def request(self, req: MemRequest,
+                callback: Callable[[MemResponse], None]) -> None:
+        block = req.addr & ~(self.cache.config.block_bytes - 1)
+
+        def on_done(latency: int) -> None:
+            if req.is_write:
+                if req.data is not None:
+                    self.image.write_block(block, req.data)
+                callback(MemResponse(addr=block, data=b"", tag=req.tag,
+                                     latency=latency))
+            else:
+                data = self.image.read_block(
+                    block, self.cache.config.block_bytes
+                )
+                callback(MemResponse(addr=block, data=data, tag=req.tag,
+                                     latency=latency))
+
+        self.cache.access(block, req.is_write, on_done)
+
+
+class MetaL1(Component):
+    """Walker-less upstream X-Cache level (the MX hierarchy's L1).
+
+    Holds a small meta-tagged store; misses forward the meta request one
+    tag at a time to the downstream (last-level) X-Cache controller.
+    Metadata is a global namespace, so the same tag is used at every
+    level.
+    """
+
+    def __init__(self, sim: Simulator, downstream: Controller,
+                 entries: int = 64, hit_latency: int = 1,
+                 name: str = "xcache-l1") -> None:
+        super().__init__(sim, name)
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.downstream = downstream
+        self.entries = entries
+        self.hit_latency = hit_latency
+        self._store: "OrderedDict[Tag, bytes]" = OrderedDict()
+        self._pending: Dict[int, Callable[[MetaResponse], None]] = {}
+        self._waiting: Dict[Tag, list] = {}
+        downstream.set_response_handler(self._on_downstream)
+
+    def meta_load(self, tag: Tag,
+                  callback: Callable[[MetaResponse], None],
+                  walk_fields: Optional[Dict[str, int]] = None) -> None:
+        self.stats.inc("meta_loads")
+        cached = self._store.get(tag)
+        if cached is not None:
+            self._store.move_to_end(tag)
+            self.stats.inc("hits")
+            issued = self.sim.now
+            self.sim.call_after(
+                self.hit_latency,
+                lambda: callback(MetaResponse(
+                    request=None, status=1, data=cached,
+                    completed_at=issued + self.hit_latency)),
+            )
+            return
+        self.stats.inc("misses")
+        waiters = self._waiting.setdefault(tag, [])
+        waiters.append(callback)
+        if len(waiters) == 1:
+            msg = self.downstream.meta_load(tag, walk_fields=walk_fields)
+            self._pending[msg.uid] = tag
+
+    def _on_downstream(self, resp: MetaResponse) -> None:
+        tag = self._pending.pop(resp.request.uid, None)
+        if tag is None:
+            return
+        if resp.found:
+            self._install(tag, resp.data)
+        for callback in self._waiting.pop(tag, []):
+            callback(resp)
+
+    def _install(self, tag: Tag, data: bytes) -> None:
+        if tag in self._store:
+            self._store.move_to_end(tag)
+            self._store[tag] = data
+            return
+        while len(self._store) >= self.entries:
+            self._store.popitem(last=False)
+            self.stats.inc("evictions")
+        self._store[tag] = data
+        self.stats.inc("fills")
+
+    def hit_rate(self) -> float:
+        total = self.stats.get("hits") + self.stats.get("misses")
+        return self.stats.get("hits") / total if total else 0.0
+
+
+class StreamBuffer(Component):
+    """Decoupled sequential prefetcher over a dense array (MXS).
+
+    Reads must be issued in non-decreasing element order (a stream). The
+    buffer runs ``depth`` blocks ahead; in-window reads cost one cycle.
+    """
+
+    def __init__(self, sim: Simulator, dram, base_addr: int,
+                 element_bytes: int, num_elements: int,
+                 depth: int = 4, name: str = "stream") -> None:
+        super().__init__(sim, name)
+        if element_bytes <= 0 or num_elements < 0:
+            raise ValueError("bad stream geometry")
+        self.dram = dram
+        self.base_addr = base_addr
+        self.element_bytes = element_bytes
+        self.num_elements = num_elements
+        self.depth = depth
+        self.block_bytes = dram.config.block_bytes
+        self._ready_blocks: Dict[int, bytes] = {}
+        self._inflight: Dict[int, list] = {}
+        self._next_prefetch = base_addr & ~(self.block_bytes - 1)
+        self._end_addr = base_addr + element_bytes * num_elements
+        self._last_read = -1
+
+    def _prefetch(self) -> None:
+        while (len(self._ready_blocks) + len(self._inflight) < self.depth
+               and self._next_prefetch < self._end_addr):
+            block = self._next_prefetch
+            self._next_prefetch += self.block_bytes
+            self._inflight[block] = []
+            self.stats.inc("prefetches")
+
+            def on_fill(resp: MemResponse, block: int = block) -> None:
+                waiters = self._inflight.pop(block, [])
+                self._ready_blocks[block] = resp.data
+                for waiter in waiters:
+                    waiter()
+
+            self.dram.request(MemRequest(block), on_fill)
+
+    def read(self, index: int, callback: Callable[[bytes], None]) -> None:
+        """Fetch element ``index``; callback receives its bytes."""
+        if not 0 <= index < self.num_elements:
+            raise IndexError(f"stream index {index} outside "
+                             f"[0, {self.num_elements})")
+        if index < self._last_read:
+            raise ValueError(
+                f"stream read {index} after {self._last_read}: streams are "
+                "forward-only"
+            )
+        self._last_read = index
+        addr = self.base_addr + index * self.element_bytes
+        block = addr & ~(self.block_bytes - 1)
+        self.stats.inc("reads")
+        self._prefetch()
+
+        def deliver() -> None:
+            data = self._ready_blocks[block]
+            off = addr - block
+            # Retire blocks behind the stream head.
+            for b in [b for b in self._ready_blocks if b < block]:
+                del self._ready_blocks[b]
+            self._prefetch()
+            self.sim.call_after(1, lambda: callback(
+                data[off:off + self.element_bytes]))
+
+        if block in self._ready_blocks:
+            self.stats.inc("stream_hits")
+            deliver()
+        elif block in self._inflight:
+            self._inflight[block].append(deliver)
+        else:
+            # Read jumped past the prefetch window: fetch directly.
+            self.stats.inc("window_misses")
+            self._inflight[block] = [deliver]
+
+            def on_fill(resp: MemResponse, block: int = block) -> None:
+                waiters = self._inflight.pop(block, [])
+                self._ready_blocks[block] = resp.data
+                for waiter in waiters:
+                    waiter()
+
+            self.dram.request(MemRequest(block), on_fill)
+            if self._next_prefetch <= block:
+                self._next_prefetch = block + self.block_bytes

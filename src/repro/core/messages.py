@@ -1,0 +1,70 @@
+"""Messages exchanged over the X-Cache's latency-insensitive queues.
+
+Everything that enters or leaves the controller is a :class:`Message`:
+meta loads/stores from the DSA datapath (MetaIO), DRAM fill responses,
+internally raised walker events, and responses back to the datapath.
+The front-end's *trigger table* maps an arriving message to a protocol
+event name; the `[state, event]` pair then indexes the routine table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "Message",
+    "EV_META_LOAD",
+    "EV_META_STORE",
+    "EV_FILL",
+    "DEFAULT_STATE",
+    "VALID_STATE",
+]
+
+# Canonical protocol event names. Walker specs may add their own
+# (internal) events — e.g. Widx raises "Hashed" when its hash unit
+# completes.
+EV_META_LOAD = "MetaLoad"
+EV_META_STORE = "MetaStore"
+EV_FILL = "Fill"
+
+# Canonical meta-tag states. DEFAULT is "no entry / walk not started"
+# (the paper: "The default is the starting state for misses"); VALID
+# marks a completed refill servable by the hit port.
+DEFAULT_STATE = "Default"
+VALID_STATE = "Valid"
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A unit of traffic on an X-Cache queue.
+
+    ``tag``    — the meta-tag tuple this message concerns (may be None
+                 for broadcast/control traffic).
+    ``fields`` — named integer payload (addresses, keys, counters).
+    ``data``   — raw block payload (DRAM fills, datapath stores).
+    """
+
+    event: str
+    tag: Optional[Tuple[int, ...]] = None
+    fields: Dict[str, int] = field(default_factory=dict)
+    data: bytes = b""
+    issued_at: int = 0
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    def get(self, name: str) -> int:
+        """Read a named field (KeyError lists what exists, for debugging)."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KeyError(
+                f"message {self.event!r} has no field {name!r}; "
+                f"fields={sorted(self.fields)}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message({self.event}, tag={self.tag}, "
+                f"fields={self.fields}, data={len(self.data)}B)")

@@ -1,0 +1,197 @@
+"""The meta-tag array.
+
+The defining structure of X-Cache: a ways×sets associative array tagged
+by *DSA metadata* (hash keys, vertex ids, row indices) instead of block
+addresses. Each entry carries:
+
+* the meta-tag tuple,
+* the walker FSM state of the entry (``Default``/walker states/``Valid``),
+* the *active* bit — a walker is in flight for this tag (the paper's
+  active-meta-tag bitmap, which both merges duplicate misses and routes
+  DRAM responses back to the stalled walker),
+* the bound X-register context while active,
+* explicit start/end sector pointers into the decoupled data RAM
+  ("like decoupled sector-caches"),
+* waiters: datapath requests that arrived while the walk was in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.stats import StatGroup
+from .messages import DEFAULT_STATE, VALID_STATE, Message
+
+__all__ = ["MetaTagEntry", "MetaTagArray"]
+
+Tag = Tuple[int, ...]
+
+
+@dataclass
+class MetaTagEntry:
+    set_index: int
+    way: int
+    valid: bool = False
+    tag: Optional[Tag] = None
+    state: str = DEFAULT_STATE
+    active: bool = False
+    ctx_id: int = -1
+    sector_start: int = -1
+    sector_end: int = -1
+    last_used: int = 0
+    waiters: List[Message] = field(default_factory=list)
+
+    @property
+    def servable(self) -> bool:
+        """Hit-port servable: present, refill complete."""
+        return self.valid and self.state == VALID_STATE and not self.active
+
+    def reset(self) -> None:
+        self.valid = False
+        self.tag = None
+        self.state = DEFAULT_STATE
+        self.active = False
+        self.ctx_id = -1
+        self.sector_start = -1
+        self.sector_end = -1
+        self.waiters.clear()
+
+
+class MetaTagArray:
+    """Associative array over meta-tag tuples."""
+
+    def __init__(self, ways: int, sets: int, tag_fields: Tuple[str, ...]) -> None:
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        if sets & (sets - 1) or sets <= 0:
+            raise ValueError("sets must be a positive power of two")
+        self.ways = ways
+        self.sets = sets
+        self.tag_fields = tag_fields
+        self._array: List[List[MetaTagEntry]] = [
+            [MetaTagEntry(s, w) for w in range(ways)] for s in range(sets)
+        ]
+        self._index: Dict[Tag, MetaTagEntry] = {}
+        self.stats = StatGroup("meta-tags")
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def set_of(self, tag: Tag) -> int:
+        """Set index for a tag tuple.
+
+        The first field indexes directly (sequential ids spread across
+        sets, matching the generator's direct-mapped GraphPulse setup);
+        additional fields are folded in with odd multipliers.
+        """
+        index = tag[0]
+        for extra in tag[1:]:
+            index ^= (extra * 0x9E3779B97F4A7C15) >> 16
+        return index & (self.sets - 1)
+
+    def check_tag(self, tag: Tag) -> None:
+        if len(tag) != len(self.tag_fields):
+            raise ValueError(
+                f"tag {tag} has {len(tag)} fields; "
+                f"array is tagged by {self.tag_fields}"
+            )
+
+    # ------------------------------------------------------------------
+    # lookup / allocate / free
+    # ------------------------------------------------------------------
+    def lookup(self, tag: Tag) -> Optional[MetaTagEntry]:
+        """Associative search (no side effects beyond stats)."""
+        self.stats.inc("lookups")
+        entry = self._index.get(tag)
+        if entry is not None:
+            self.stats.inc("tag_hits")
+        return entry
+
+    def touch(self, entry: MetaTagEntry, now: int) -> None:
+        entry.last_used = now
+
+    def can_allocate(self, tag: Tag) -> bool:
+        """True when ALLOCM for ``tag`` would succeed (free/evictable way)."""
+        return self.claimable_ways(tag) > 0
+
+    def claimable_ways(self, tag: Tag) -> int:
+        """How many ways of the tag's set an ALLOCM could claim now."""
+        ways = self._array[self.set_of(tag)]
+        return sum(1 for e in ways if not e.valid or not e.active)
+
+    def allocate(self, tag: Tag, now: int) -> Optional[MetaTagEntry]:
+        """Claim an entry for ``tag`` (the ALLOCM action).
+
+        Prefers an invalid way; otherwise evicts the LRU *inactive*
+        entry. Returns None when every way in the set hosts an active
+        walker — the structural hazard the paper's scheduler avoids by
+        holding the triggering message.
+        """
+        self.check_tag(tag)
+        if tag in self._index:
+            raise ValueError(f"tag {tag} already present")
+        ways = self._array[self.set_of(tag)]
+        target = None
+        for entry in ways:
+            if not entry.valid:
+                target = entry
+                break
+        if target is None:
+            candidates = [e for e in ways if not e.active]
+            if not candidates:
+                self.stats.inc("alloc_conflicts")
+                return None
+            target = min(candidates, key=lambda e: e.last_used)
+            self._evict(target)
+        target.valid = True
+        target.tag = tag
+        target.state = DEFAULT_STATE
+        target.active = False
+        target.last_used = now
+        # Deliberately NOT clearing sector_start/end: a fresh way carries
+        # -1, an evicted victim carries its orphaned data-RAM range, which
+        # the claimant (ALLOCM / warm) must free before use.
+        self._index[tag] = target
+        self.stats.inc("allocations")
+        return target
+
+    def _evict(self, entry: MetaTagEntry) -> None:
+        assert entry.tag is not None
+        del self._index[entry.tag]
+        start, end = entry.sector_start, entry.sector_end
+        entry.reset()
+        # preserve the orphaned sector range for the claimant to free
+        entry.sector_start = start
+        entry.sector_end = end
+        self.stats.inc("evictions")
+
+    def deallocate(self, tag: Tag) -> MetaTagEntry:
+        """Free an entry (the DEALLOCM action); returns it for cleanup."""
+        entry = self._index.get(tag)
+        if entry is None:
+            raise KeyError(f"tag {tag} not present")
+        del self._index[tag]
+        released = MetaTagEntry(entry.set_index, entry.way)
+        released.sector_start = entry.sector_start
+        released.sector_end = entry.sector_end
+        entry.reset()
+        self.stats.inc("deallocations")
+        return released
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return len(self._index)
+
+    def active_walkers(self) -> int:
+        return sum(1 for e in self._index.values() if e.active)
+
+    def entries(self):
+        """Iterate live entries (drain/scan operations, testing)."""
+        return list(self._index.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"MetaTagArray({self.ways}x{self.sets}, "
+                f"live={self.occupancy()})")

@@ -1,0 +1,382 @@
+"""Walker specifications: the table-driven coroutine template.
+
+"We provide a table-driven template to help the programmer develop
+walkers. Each line in the coroutine description specifies a transition.
+It includes the current phase/state of the walker, the event that
+triggers the transition, the set of actions that need to be executed,
+and the next phase/state of the walker." (§4.2)
+
+A :class:`WalkerSpec` is exactly that table. :func:`compile_walker`
+turns it into the :class:`~repro.core.microcode.RoutineTable` +
+:class:`~repro.core.microcode.MicrocodeRAM` pair the controller runs.
+
+The module also provides the small assembler DSL (``op.add(...)``,
+``op.enq_dram(...)``) the DSA walker programs in :mod:`repro.dsa` are
+written in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .isa import IMM, MSG, Action, Opcode, Operand, R
+from .messages import DEFAULT_STATE, EV_FILL, EV_META_LOAD, EV_META_STORE, VALID_STATE
+from .microcode import MicrocodeError, MicrocodeRAM, Routine, RoutineTable
+
+__all__ = [
+    "Transition", "WalkerSpec", "CompiledWalker", "compile_walker",
+    "Label", "assemble", "op",
+]
+
+
+@dataclass(frozen=True)
+class Label:
+    """Assembler label pseudo-instruction (resolved by :func:`assemble`)."""
+
+    name: str
+
+
+def assemble(items: Sequence) -> Tuple[Action, ...]:
+    """Resolve :class:`Label` markers and string branch targets.
+
+    ``items`` mixes :class:`Action` and :class:`Label`; labels name the
+    position of the following action. Branch actions whose ``target`` is
+    a string are rewritten to the label's action index.
+    """
+    positions: Dict[str, int] = {}
+    index = 0
+    for item in items:
+        if isinstance(item, Label):
+            if item.name in positions:
+                raise MicrocodeError(f"duplicate label {item.name!r}")
+            positions[item.name] = index
+        else:
+            index += 1
+    out: List[Action] = []
+    for item in items:
+        if isinstance(item, Label):
+            continue
+        if isinstance(item.target, str):
+            if item.target not in positions:
+                raise MicrocodeError(
+                    f"branch to unknown label {item.target!r}; "
+                    f"labels={sorted(positions)}"
+                )
+            item = item.with_target(positions[item.target])
+        out.append(item)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One line of the coroutine table.
+
+    ``actions`` may contain :class:`Label` markers and string branch
+    targets; they are assembled at construction.
+    """
+
+    state: str
+    event: str
+    actions: Tuple[Action, ...]
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise MicrocodeError(
+                f"transition [{self.state}, {self.event}] has no actions"
+            )
+        object.__setattr__(self, "actions", assemble(self.actions))
+
+
+@dataclass(frozen=True)
+class WalkerSpec:
+    """A complete walker program for one DSA."""
+
+    name: str
+    transitions: Tuple[Transition, ...]
+    description: str = ""
+
+    def states(self) -> List[str]:
+        out: List[str] = []
+        for t in self.transitions:
+            if t.state not in out:
+                out.append(t.state)
+        return out
+
+    def events(self) -> List[str]:
+        out: List[str] = []
+        for t in self.transitions:
+            if t.event not in out:
+                out.append(t.event)
+        return out
+
+
+@dataclass(frozen=True)
+class CompiledWalker:
+    """Routine table + microcode RAM, ready to load into a controller."""
+
+    spec: WalkerSpec
+    table: RoutineTable
+    ram: MicrocodeRAM
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def compile_walker(spec: WalkerSpec) -> CompiledWalker:
+    """Compile the transition table into routines + dispatch table.
+
+    Each transition becomes one routine named ``state@event``; the
+    routine table gains a pointer at [state, event]. Validation (branch
+    bounds, guaranteed state updates) happens in the Routine/Table
+    constructors.
+    """
+    table = RoutineTable()
+    routines: List[Routine] = []
+    for t in spec.transitions:
+        routine = Routine(name=f"{t.state}@{t.event}", actions=tuple(t.actions))
+        table.install(t.state, t.event, routine)
+        routines.append(routine)
+    if not table.handles(DEFAULT_STATE, EV_META_LOAD) and \
+            not table.handles(DEFAULT_STATE, EV_META_STORE):
+        raise MicrocodeError(
+            f"walker {spec.name!r} handles no miss entry point "
+            f"([{DEFAULT_STATE}, {EV_META_LOAD}] or [, {EV_META_STORE}])"
+        )
+    return CompiledWalker(spec=spec, table=table, ram=MicrocodeRAM(routines))
+
+
+# ----------------------------------------------------------------------
+# assembler DSL
+# ----------------------------------------------------------------------
+
+class _OpFactory:
+    """Terse constructors for every action (``op.add(dst, a, b)``...).
+
+    Programs read close to the paper's action table::
+
+        op.allocM(),
+        op.shl(R(1), MSG("key"), IMM(3)),
+        op.enq_dram(addr=R(1)),
+        op.state("MetaWait"),
+    """
+
+    # -- AGEN ----------------------------------------------------------
+    @staticmethod
+    def add(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.ADD, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def and_(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.AND, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def or_(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.OR, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def xor(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.XOR, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def addi(dst: Operand, a: Operand, imm: int) -> Action:
+        return Action(Opcode.ADDI, dst=dst, a=a, b=IMM(imm))
+
+    @staticmethod
+    def inc(dst: Operand) -> Action:
+        return Action(Opcode.INC, dst=dst, a=dst)
+
+    @staticmethod
+    def dec(dst: Operand) -> Action:
+        return Action(Opcode.DEC, dst=dst, a=dst)
+
+    @staticmethod
+    def shl(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.SHL, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def shr(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.SHR, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def sra(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.SRA, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def srl(dst: Operand, a: Operand, b: Operand) -> Action:
+        return Action(Opcode.SRL, dst=dst, a=a, b=b)
+
+    @staticmethod
+    def not_(dst: Operand, a: Operand) -> Action:
+        return Action(Opcode.NOT, dst=dst, a=a)
+
+    @staticmethod
+    def mov(dst: Operand, a: Operand) -> Action:
+        """addi dst, a, 0 — the assembler's register move."""
+        return Action(Opcode.ADDI, dst=dst, a=a, b=IMM(0))
+
+    @staticmethod
+    def allocR() -> Action:
+        return Action(Opcode.ALLOCR)
+
+    # -- queues --------------------------------------------------------
+    @staticmethod
+    def enq_dram(addr: Operand, write: bool = False,
+                 size: Optional[Operand] = None) -> Action:
+        """Issue a DRAM block request for the block containing ``addr``.
+
+        The response returns as a Fill event for this walker's tag.
+        ``size`` (bytes) lets a single action request a multi-block
+        stream (the tiled-DMA style refill SpArch uses).
+        """
+        attrs = {"write": write}
+        return Action(Opcode.ENQ, queue="dram", a=addr, b=size,
+                      attrs=tuple(sorted(attrs.items())))
+
+    @staticmethod
+    def enq_self(event: str, delay: int = 1,
+                 hash_fields: Optional[Dict[str, Operand]] = None,
+                 **fields: Operand) -> Action:
+        """Raise an internal event for this walker after ``delay`` cycles.
+
+        Models a fixed-latency functional unit. ``hash_fields`` routes
+        operands through the hash unit (FNV-1a over the 64-bit value) —
+        Widx's bucket indexing: ``op.enq_self("Hashed", delay=60,
+        hash_fields={"h": R(0)})``.
+        """
+        attrs = {"event": event, "delay": delay,
+                 "fields": tuple(sorted(fields.items())),
+                 "hash_fields": tuple(sorted((hash_fields or {}).items()))}
+        return Action(Opcode.ENQ, queue="self", attrs=tuple(sorted(attrs.items())))
+
+    @staticmethod
+    def enq_resp(**fields: Operand) -> Action:
+        """Send a response message to the DSA datapath (MetaIO out)."""
+        attrs = {"fields": tuple(sorted(fields.items()))}
+        return Action(Opcode.ENQ, queue="resp", attrs=tuple(sorted(attrs.items())))
+
+    @staticmethod
+    def deq() -> Action:
+        return Action(Opcode.DEQ)
+
+    @staticmethod
+    def peek(dst: Operand, offset: Operand, width: int = 8) -> Action:
+        """Extract ``width`` bytes at ``offset`` of the triggering
+        message's data block into ``dst`` (§4.2: "the walker peeks and
+        extracts the block's key")."""
+        return Action(Opcode.PEEK, dst=dst, a=offset,
+                      attrs=(("width", width),))
+
+    @staticmethod
+    def read_data(dst: Operand, sector: Operand, width: int = 8) -> Action:
+        """Read ``width`` bytes from the head of data-RAM ``sector``."""
+        return Action(Opcode.READ_DATA, dst=dst, a=sector,
+                      attrs=(("width", width),))
+
+    @staticmethod
+    def write_data(sector: Operand, value: Operand, width: int = 8) -> Action:
+        """Write a register value into data-RAM ``sector``."""
+        return Action(Opcode.WRITE_DATA, a=sector, b=value,
+                      attrs=(("width", width),))
+
+    # -- meta-tags -----------------------------------------------------
+    @staticmethod
+    def allocM() -> Action:
+        """Claim a meta-tag entry for the walker's tag."""
+        return Action(Opcode.ALLOCM)
+
+    @staticmethod
+    def deallocM() -> Action:
+        """Release the walker's meta-tag entry (terminates the walker)."""
+        return Action(Opcode.DEALLOCM)
+
+    @staticmethod
+    def update(what: str, value: Operand) -> Action:
+        """Write ``sector_start``/``sector_end`` into the meta-tag entry."""
+        if what not in ("sector_start", "sector_end"):
+            raise MicrocodeError(f"update target {what!r} unknown")
+        return Action(Opcode.UPDATE, a=value, attrs=(("what", what),))
+
+    @staticmethod
+    def state(next_state: str, done: bool = False) -> Action:
+        """Set the walker's next state; ``done=True`` retires the walker."""
+        return Action(Opcode.STATE,
+                      attrs=(("done", done), ("state", next_state)))
+
+    @staticmethod
+    def finish(next_state: str = VALID_STATE) -> Action:
+        """state(next_state, done=True) — the common retire idiom."""
+        return _OpFactory.state(next_state, done=True)
+
+    # -- control flow ----------------------------------------------------
+    @staticmethod
+    def beq(a: Operand, b: Operand, target: int) -> Action:
+        return Action(Opcode.BEQ, a=a, b=b, target=target)
+
+    @staticmethod
+    def bnz(a: Operand, target: int) -> Action:
+        return Action(Opcode.BNZ, a=a, target=target)
+
+    @staticmethod
+    def blt(a: Operand, b: Operand, target: int) -> Action:
+        return Action(Opcode.BLT, a=a, b=b, target=target)
+
+    @staticmethod
+    def bge(a: Operand, b: Operand, target: int) -> Action:
+        return Action(Opcode.BGE, a=a, b=b, target=target)
+
+    @staticmethod
+    def ble(a: Operand, b: Operand, target: int) -> Action:
+        return Action(Opcode.BLE, a=a, b=b, target=target)
+
+    @staticmethod
+    def jmp(target) -> Action:
+        """Unconditional branch (beq 0, 0, target)."""
+        return Action(Opcode.BEQ, a=IMM(0), b=IMM(0), target=target)
+
+    @staticmethod
+    def lbl(name: str) -> Label:
+        """Assembler label marking the next action."""
+        return Label(name)
+
+    @staticmethod
+    def bmiss(tag_field: Operand, target: int) -> Action:
+        """Branch when a single-field tag built from the operand misses."""
+        return Action(Opcode.BMISS, a=tag_field, target=target)
+
+    @staticmethod
+    def bhit(tag_field: Operand, target: int) -> Action:
+        return Action(Opcode.BHIT, a=tag_field, target=target)
+
+    # -- data RAM --------------------------------------------------------
+    @staticmethod
+    def allocD(dst: Operand, nsectors: Operand) -> Action:
+        """Allocate contiguous data-RAM sectors; start index into ``dst``."""
+        return Action(Opcode.ALLOCD, dst=dst, a=nsectors)
+
+    @staticmethod
+    def deallocD(start: Operand, nsectors: Operand) -> Action:
+        return Action(Opcode.DEALLOCD, a=start, b=nsectors)
+
+    @staticmethod
+    def read(dst: Operand, sector: Operand, width: int = 8) -> Action:
+        return Action(Opcode.READ, dst=dst, a=sector, attrs=(("width", width),))
+
+    @staticmethod
+    def write(sector: Operand, src: Operand, nbytes: int = 8,
+              from_msg: bool = False) -> Action:
+        """Copy into data RAM starting at ``sector``.
+
+        ``from_msg=True`` copies ``nbytes`` from the triggering fill's
+        data block starting at byte offset ``src`` ("copy the DRAM
+        response sector-by-sector into the data RAM"); otherwise writes
+        the low ``nbytes`` of register ``src``. Cost is charged per
+        sector touched.
+        """
+        return Action(Opcode.WRITE, a=sector, b=src,
+                      attrs=(("from_msg", from_msg), ("nbytes", nbytes)))
+
+
+op = _OpFactory()

@@ -1,0 +1,32 @@
+"""Host data structures the DSAs traverse.
+
+Each structure exists in two forms: a functional Python object (ground
+truth for validation) and a layout in the flat memory image that the
+walkers traverse address-by-address.
+"""
+
+from .csr import (
+    CSRLayout,
+    SparseMatrix,
+    spgemm_gustavson,
+    spgemm_inner,
+    spgemm_outer,
+)
+from .btree import BTree
+from .hashindex import HashIndex, fnv1a64
+from .graphs import Graph, GraphLayout, pagerank_event_driven, pagerank_reference
+
+__all__ = [
+    "SparseMatrix",
+    "CSRLayout",
+    "spgemm_inner",
+    "spgemm_outer",
+    "spgemm_gustavson",
+    "BTree",
+    "HashIndex",
+    "fnv1a64",
+    "Graph",
+    "GraphLayout",
+    "pagerank_reference",
+    "pagerank_event_driven",
+]

@@ -1,0 +1,159 @@
+"""A block-sized B-tree in the memory image (extension substrate).
+
+DASX iterates software data structures beyond hash tables — vectors and
+B-trees. The paper's evaluation uses the hash iterator; this module adds
+the B-tree so the reproduction can demonstrate a *fourth* walker family
+(see :func:`repro.dsa.walkers.build_btree_walker`): multi-way branching
+inside one node, dispatching on node type, chasing child pointers.
+
+Node layout — exactly one 64-byte DRAM block, 64-byte aligned:
+
+Inner node::
+
+    +0   flags   u64   (0 = inner)
+    +8   key0    u64   \\
+    +16  key1    u64    separators: child i holds keys < key_i;
+    +24  key2    u64    unused separators are 2^64-1
+    +32  child0  u64
+    +40  child1  u64
+    +48  child2  u64
+    +56  child3  u64    (unused children are NULL)
+
+Leaf node::
+
+    +0   flags   u64   (1 = leaf)
+    +8   key0    u64
+    +16  key1    u64   (unused slots are 2^64-1)
+    +24  key2    u64
+    +32  val0    u64
+    +40  val1    u64
+    +48  val2    u64
+    +56  pad
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..mem.layout import MemoryImage
+
+__all__ = ["BTree"]
+
+_EMPTY = (1 << 64) - 1   # sentinel for unused key slots
+
+
+class BTree:
+    """An immutable bulk-loaded B-tree (3 keys / 4 children per node)."""
+
+    NODE_BYTES = 64
+    FLAGS_OFF = 0
+    KEY_OFF = 8            # keys at +8, +16, +24
+    VAL_OFF = 32           # leaf values at +32, +40, +48
+    CHILD_OFF = 32         # inner children at +32..+56
+    LEAF_FLAG = 1
+    LEAF_KEYS = 3
+    FANOUT = 4
+
+    def __init__(self, image: MemoryImage,
+                 items: Iterable[Tuple[int, int]]) -> None:
+        self.image = image
+        self._items: Dict[int, int] = dict(items)
+        for key in self._items:
+            if not 0 <= key < _EMPTY:
+                raise ValueError(f"key {key} outside storable range")
+        self.height = 0
+        self.num_nodes = 0
+        self.root_addr = self._build()
+
+    # ------------------------------------------------------------------
+    # construction (bulk load, bottom-up)
+    # ------------------------------------------------------------------
+    def _alloc_node(self) -> int:
+        self.num_nodes += 1
+        return self.image.alloc(self.NODE_BYTES, align=self.NODE_BYTES)
+
+    def _build(self) -> int:
+        image = self.image
+        ordered = sorted(self._items.items())
+        if not ordered:
+            addr = self._alloc_node()
+            image.write_u64(addr + self.FLAGS_OFF, self.LEAF_FLAG)
+            for i in range(self.LEAF_KEYS):
+                image.write_u64(addr + self.KEY_OFF + 8 * i, _EMPTY)
+            self.height = 1
+            return addr
+
+        # leaves
+        level: List[Tuple[int, int]] = []   # (min_key, node_addr)
+        for start in range(0, len(ordered), self.LEAF_KEYS):
+            chunk = ordered[start:start + self.LEAF_KEYS]
+            addr = self._alloc_node()
+            image.write_u64(addr + self.FLAGS_OFF, self.LEAF_FLAG)
+            for i in range(self.LEAF_KEYS):
+                if i < len(chunk):
+                    key, value = chunk[i]
+                    image.write_u64(addr + self.KEY_OFF + 8 * i, key)
+                    image.write_u64(addr + self.VAL_OFF + 8 * i, value)
+                else:
+                    image.write_u64(addr + self.KEY_OFF + 8 * i, _EMPTY)
+            level.append((chunk[0][0], addr))
+        self.height = 1
+
+        # inner levels
+        while len(level) > 1:
+            next_level: List[Tuple[int, int]] = []
+            for start in range(0, len(level), self.FANOUT):
+                group = level[start:start + self.FANOUT]
+                addr = self._alloc_node()
+                image.write_u64(addr + self.FLAGS_OFF, 0)
+                for i in range(self.FANOUT - 1):
+                    sep = group[i + 1][0] if i + 1 < len(group) else _EMPTY
+                    image.write_u64(addr + self.KEY_OFF + 8 * i, sep)
+                for i in range(self.FANOUT):
+                    child = group[i][1] if i < len(group) else 0
+                    image.write_u64(addr + self.CHILD_OFF + 8 * i, child)
+                next_level.append((group[0][0], addr))
+            level = next_level
+            self.height += 1
+        return level[0][1]
+
+    # ------------------------------------------------------------------
+    # functional probes (ground truth)
+    # ------------------------------------------------------------------
+    def probe(self, key: int) -> Optional[int]:
+        value, _path = self.probe_with_path(key)
+        return value
+
+    def probe_with_path(self, key: int) -> Tuple[Optional[int], List[int]]:
+        """Value for ``key`` plus the node addresses visited root→leaf."""
+        image = self.image
+        addr = self.root_addr
+        path: List[int] = []
+        for _ in range(self.height + 1):
+            path.append(addr)
+            if image.read_u64(addr + self.FLAGS_OFF) & self.LEAF_FLAG:
+                for i in range(self.LEAF_KEYS):
+                    if image.read_u64(addr + self.KEY_OFF + 8 * i) == key:
+                        return image.read_u64(addr + self.VAL_OFF + 8 * i), \
+                            path
+                return None, path
+            child_index = self.FANOUT - 1
+            for i in range(self.FANOUT - 1):
+                if key < image.read_u64(addr + self.KEY_OFF + 8 * i):
+                    child_index = i
+                    break
+            addr = image.read_u64(addr + self.CHILD_OFF + 8 * child_index)
+            if addr == MemoryImage.NULL:
+                return None, path
+        raise RuntimeError("B-tree deeper than its recorded height")
+
+    def keys(self) -> List[int]:
+        return sorted(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"BTree(items={len(self._items)}, height={self.height}, "
+                f"nodes={self.num_nodes})")

@@ -1,0 +1,45 @@
+"""The five evaluated DSAs: Widx, DASX, GraphPulse, SpArch, Gamma.
+
+Each module provides the X-Cache integration, the hardwired baseline,
+and the address-tagged comparator Figure 14 measures against.
+"""
+
+from .base import RequestPump, RunResult
+from .walkers import (
+    build_btree_walker,
+    build_event_walker,
+    build_hash_walker,
+    build_row_walker,
+)
+from .widx import (
+    HASH_CYCLES_NUMERIC,
+    HASH_CYCLES_STRING,
+    WidxAddressModel,
+    WidxBaselineModel,
+    WidxWorkload,
+    WidxXCacheModel,
+    matched_cache_config,
+)
+from .dasx import DasxAddressModel, DasxBaselineModel, DasxXCacheModel
+from .graphpulse import (
+    GraphPulseAddressModel,
+    GraphPulseXCacheModel,
+    graphpulse_config,
+)
+from .spgemm import SpGEMMAddressModel, SpGEMMXCacheModel, element_trace
+from .sparch import SpArchAddressModel, SpArchXCacheModel
+from .gamma import GammaAddressModel, GammaXCacheModel
+
+__all__ = [
+    "RunResult", "RequestPump",
+    "build_hash_walker", "build_row_walker", "build_event_walker",
+    "build_btree_walker",
+    "WidxWorkload", "WidxXCacheModel", "WidxBaselineModel",
+    "WidxAddressModel", "matched_cache_config",
+    "HASH_CYCLES_STRING", "HASH_CYCLES_NUMERIC",
+    "DasxXCacheModel", "DasxBaselineModel", "DasxAddressModel",
+    "GraphPulseXCacheModel", "GraphPulseAddressModel", "graphpulse_config",
+    "SpGEMMXCacheModel", "SpGEMMAddressModel", "element_trace",
+    "SpArchXCacheModel", "SpArchAddressModel",
+    "GammaXCacheModel", "GammaAddressModel",
+]

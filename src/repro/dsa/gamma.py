@@ -1,0 +1,39 @@
+"""Gamma convenience wrappers (Gustavson SpGEMM).
+
+Same X-Cache microarchitecture and walker binary as SpArch — the paper's
+portability demonstration — with the row-wise access order of
+Gustavson's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import XCacheConfig
+from ..data.csr import SparseMatrix
+from ..mem.dram import DRAMConfig
+from .spgemm import SpGEMMAddressModel, SpGEMMXCacheModel
+
+__all__ = ["GammaXCacheModel", "GammaAddressModel"]
+
+
+class GammaXCacheModel(SpGEMMXCacheModel):
+    """Gustavson SpGEMM over the row-walker X-Cache."""
+
+    def __init__(self, a: SparseMatrix, b: SparseMatrix,
+                 config: Optional[XCacheConfig] = None,
+                 ideal: bool = False,
+                 dram_config: DRAMConfig = DRAMConfig(), **kw) -> None:
+        super().__init__(a, b, algorithm="gustavson", config=config,
+                         ideal=ideal, dram_config=dram_config, **kw)
+
+
+class GammaAddressModel(SpGEMMAddressModel):
+    """Address-tagged comparator for Gamma."""
+
+    def __init__(self, a: SparseMatrix, b: SparseMatrix,
+                 xcache_config: Optional[XCacheConfig] = None,
+                 dram_config: DRAMConfig = DRAMConfig(), **kw) -> None:
+        super().__init__(a, b, algorithm="gustavson",
+                         xcache_config=xcache_config,
+                         dram_config=dram_config, **kw)

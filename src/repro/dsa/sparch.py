@@ -1,0 +1,39 @@
+"""SpArch convenience wrappers (outer-product SpGEMM).
+
+SpArch and Gamma share the row-walker X-Cache (see
+:mod:`repro.dsa.spgemm`); these aliases pin the algorithm and Table-3
+geometry so callers can say "SpArch" and mean it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import XCacheConfig
+from ..data.csr import SparseMatrix
+from ..mem.dram import DRAMConfig
+from .spgemm import SpGEMMAddressModel, SpGEMMXCacheModel
+
+__all__ = ["SpArchXCacheModel", "SpArchAddressModel"]
+
+
+class SpArchXCacheModel(SpGEMMXCacheModel):
+    """Outer-product SpGEMM over the row-walker X-Cache."""
+
+    def __init__(self, a: SparseMatrix, b: SparseMatrix,
+                 config: Optional[XCacheConfig] = None,
+                 ideal: bool = False,
+                 dram_config: DRAMConfig = DRAMConfig(), **kw) -> None:
+        super().__init__(a, b, algorithm="outer", config=config,
+                         ideal=ideal, dram_config=dram_config, **kw)
+
+
+class SpArchAddressModel(SpGEMMAddressModel):
+    """Address-tagged comparator for SpArch."""
+
+    def __init__(self, a: SparseMatrix, b: SparseMatrix,
+                 xcache_config: Optional[XCacheConfig] = None,
+                 dram_config: DRAMConfig = DRAMConfig(), **kw) -> None:
+        super().__init__(a, b, algorithm="outer",
+                         xcache_config=xcache_config,
+                         dram_config=dram_config, **kw)

@@ -1,0 +1,319 @@
+"""Walker programs (X-Routines) for the five evaluated DSAs.
+
+Three program families cover all five DSAs — the reuse the paper
+demonstrates:
+
+* :func:`build_hash_walker` — Widx and DASX. Hashes the key, loads the
+  bucket root, chases the chain, caches the matching node's RID tagged
+  by the key (Figure 10a).
+* :func:`build_row_walker` — SpArch and Gamma ("we only had to
+  reprogram the controller"). Reads ``row_ptr`` metadata, then runs a
+  variable-length tiled refill of the row's packed elements, tagged by
+  the row id (Figure 10b).
+* :func:`build_event_walker` — GraphPulse. A store-miss allocates an
+  entry and deposits the event payload; store-hits coalesce in the hit
+  path; no DRAM walk at all (the event queue lives on-chip).
+
+Every program is expressed purely in the Figure-8 action set and
+compiled by :func:`repro.core.walker.compile_walker`; the controller
+interprets it action-by-action.
+"""
+
+from __future__ import annotations
+
+from ..core.isa import IMM, MSG, R
+from ..core.messages import EV_FILL, EV_META_LOAD, EV_META_STORE
+from ..core.walker import CompiledWalker, Transition, WalkerSpec, compile_walker, op
+from ..data.btree import BTree
+from ..data.hashindex import HashIndex
+
+__all__ = [
+    "build_hash_walker",
+    "build_row_walker",
+    "build_event_walker",
+    "build_btree_walker",
+]
+
+
+def build_hash_walker(num_buckets: int, hash_cycles: int,
+                      name: str = "widx-walker") -> CompiledWalker:
+    """Hash-index walker (Widx/DASX).
+
+    Register map: R0 key, R1 table base, R2 current address, R3 peeked
+    value, R4 offset scratch, R5-R8 match path temporaries.
+
+    ``hash_cycles`` is the hash-unit latency — ~60 cycles for the
+    string-keyed TPC-H 19/20 queries, a handful for numeric keys. On a
+    meta-tag hit none of this runs: the paper's 10× load-to-use win.
+    """
+    if num_buckets & (num_buckets - 1):
+        raise ValueError("num_buckets must be a power of two")
+    mask = num_buckets - 1
+    spec = WalkerSpec(
+        name=name,
+        description="chained hash-index walk, meta-tag = key",
+        transitions=(
+            # IDX: kick the hash unit, yield until it returns.
+            Transition("Default", EV_META_LOAD, (
+                op.allocM(),
+                op.mov(R(0), MSG("key")),
+                op.mov(R(1), MSG("table")),
+                op.enq_self("Hashed", delay=max(1, hash_cycles),
+                            hash_fields={"h": R(0)}),
+                op.state("Hash"),
+            ), note="IDX: hash the key"),
+            # META: bucket-root table lookup.
+            Transition("Hash", "Hashed", (
+                op.mov(R(2), MSG("h")),
+                op.and_(R(2), R(2), IMM(mask)),
+                op.shl(R(2), R(2), IMM(3)),
+                op.add(R(2), R(2), R(1)),
+                op.enq_dram(addr=R(2)),
+                op.state("Meta"),
+            ), note="META: fetch bucket root pointer"),
+            Transition("Meta", EV_FILL, (
+                op.and_(R(4), R(2), IMM(63)),
+                op.peek(R(3), R(4), width=8),
+                op.bnz(R(3), "chase"),
+                op.deallocM(),                     # empty bucket: not found
+                op.lbl("chase"),
+                op.mov(R(2), R(3)),
+                op.enq_dram(addr=R(2)),
+                op.state("Data"),
+            ), note="AREF: load first node"),
+            # DATA/MATCH: compare keys, follow next pointers.
+            Transition("Data", EV_FILL, (
+                op.and_(R(4), R(2), IMM(63)),
+                op.peek(R(3), R(4), width=8),       # node.key
+                op.beq(R(3), R(0), "match"),
+                op.addi(R(4), R(4), HashIndex.NEXT_OFF),
+                op.peek(R(3), R(4), width=8),       # node.next
+                op.bnz(R(3), "next"),
+                op.deallocM(),                      # chain exhausted
+                op.lbl("next"),
+                op.mov(R(2), R(3)),
+                op.enq_dram(addr=R(2)),
+                op.state("Data"),
+                op.jmp("end"),
+                op.lbl("match"),
+                op.addi(R(5), R(4), HashIndex.RID_OFF),
+                op.peek(R(6), R(5), width=8),       # node.rid
+                op.allocD(R(7), IMM(1)),
+                op.write(R(7), R(6)),
+                op.update("sector_start", R(7)),
+                op.addi(R(8), R(7), 1),
+                op.update("sector_end", R(8)),
+                op.finish(),
+                op.lbl("end"),
+            ), note="MATCH: compare, cache RID or follow chain"),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def _row_setup_tail():
+    """Shared SETUP sequence once row_ptr[r] (R4) and row_ptr[r+1] (R5)
+    are known: size the refill, allocate sectors, start the tiled fill.
+
+    Register map: R4 start element, R5 end element, R6 sector cursor,
+    R7 element count → sector count, R8 sector start, R9 sector end,
+    R10 pairs base, R11 row start address, R12 refill bytes,
+    R13-R15 block-count scratch.
+    """
+    return (
+        # n = end - start  (two's-complement subtract: ~a + b + 1)
+        op.not_(R(7), R(4)),
+        op.add(R(7), R(7), R(5)),
+        op.addi(R(7), R(7), 1),
+        op.bnz(R(7), "fill"),
+        op.update("sector_start", IMM(0)),          # empty row
+        op.update("sector_end", IMM(0)),
+        op.finish(),
+        op.lbl("fill"),
+        op.shl(R(7), R(7), IMM(1)),                 # 16B/elt ÷ 8B sectors
+        op.allocD(R(8), R(7)),
+        op.update("sector_start", R(8)),
+        op.add(R(9), R(8), R(7)),
+        op.update("sector_end", R(9)),
+        op.mov(R(6), R(8)),                         # copy cursor
+        # AG: row start address and refill size
+        op.shl(R(11), R(4), IMM(4)),
+        op.add(R(11), R(11), R(10)),
+        op.shl(R(12), R(7), IMM(3)),
+        op.enq_dram(addr=R(11), size=R(12)),        # tiled multi-block fill
+        # blocks outstanding = ((start+bytes-1)>>6) - (start>>6) + 1
+        op.add(R(13), R(11), R(12)),
+        op.dec(R(13)),
+        op.shr(R(13), R(13), IMM(6)),
+        op.shr(R(15), R(11), IMM(6)),
+        op.not_(R(15), R(15)),
+        op.add(R(14), R(13), R(15)),
+        op.addi(R(14), R(14), 2),
+        op.state("Tile"),
+    )
+
+
+def build_row_walker(name: str = "sparch-walker") -> CompiledWalker:
+    """CSR-row walker (SpArch/Gamma).
+
+    meta-tag = row id of matrix B; the refill is a variable-length tile
+    (the row's packed ``(col, value)`` pairs, 16 B each). Walk fields:
+    ``row_ptr`` (base of the row-pointer array) and ``pairs`` (base of
+    the packed element array).
+    """
+    spec = WalkerSpec(
+        name=name,
+        description="variable-length CSR row refill, meta-tag = row id",
+        transitions=(
+            # META: fetch row_ptr[r] (and usually row_ptr[r+1]).
+            Transition("Default", EV_META_LOAD, (
+                op.allocM(),
+                op.mov(R(0), MSG("row")),
+                op.mov(R(1), MSG("row_ptr")),
+                op.mov(R(10), MSG("pairs")),
+                op.shl(R(2), R(0), IMM(2)),
+                op.add(R(2), R(2), R(1)),
+                op.enq_dram(addr=R(2)),
+                op.state("Meta"),
+            ), note="META: fetch row_ptr entries"),
+            Transition("Meta", EV_FILL, (
+                op.and_(R(3), R(2), IMM(63)),
+                op.peek(R(4), R(3), width=4),        # row_ptr[r]
+                op.addi(R(3), R(3), 4),
+                op.beq(R(3), IMM(64), "neednext"),   # r+1 in the next block
+                op.peek(R(5), R(3), width=4),        # row_ptr[r+1]
+                *_row_setup_tail(),
+                op.jmp("end"),
+                op.lbl("neednext"),
+                op.addi(R(2), R(2), 4),
+                op.enq_dram(addr=R(2)),
+                op.state("Meta2"),
+                op.lbl("end"),
+            ), note="AG: size the tile, start the refill"),
+            Transition("Meta2", EV_FILL, (
+                op.peek(R(5), IMM(0), width=4),      # row_ptr[r+1] @ block 0
+                *_row_setup_tail(),
+            ), note="AG (block-straddling row_ptr)"),
+            # DATA: copy each arriving block slice, sector-by-sector.
+            Transition("Tile", EV_FILL, (
+                op.write(R(6), IMM(0), nbytes=64, from_msg=True),
+                op.shr(R(3), MSG("bytes"), IMM(3)),
+                op.add(R(6), R(6), R(3)),
+                op.dec(R(14)),
+                op.bnz(R(14), "more"),
+                op.finish(),
+                op.lbl("more"),
+                op.state("Tile"),
+            ), note="DATA: sector copy of the tile"),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def build_event_walker(name: str = "graphpulse-walker") -> CompiledWalker:
+    """GraphPulse event-coalescing program.
+
+    A store miss allocates the vertex's entry and deposits the payload;
+    store *hits* never reach the walker — the hit path merges payloads
+    with the controller's fadd port. Loads use take/nowalk semantics, so
+    this program needs no load path and touches DRAM not at all.
+    """
+    spec = WalkerSpec(
+        name=name,
+        description="event insert, meta-tag = vertex id; hits coalesce",
+        transitions=(
+            Transition("Default", EV_META_STORE, (
+                op.allocM(),
+                op.allocD(R(0), IMM(1)),
+                op.write(R(0), MSG("payload")),
+                op.update("sector_start", R(0)),
+                op.addi(R(1), R(0), 1),
+                op.update("sector_end", R(1)),
+                op.finish(),
+            ), note="insert: allocate entry + deposit payload"),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def build_btree_walker(name: str = "btree-walker") -> CompiledWalker:
+    """B-tree point-lookup walker (extension beyond the paper's five DSAs).
+
+    meta-tag = key; walk field ``root`` = the tree's root node address.
+    One routine handles *both* node types: it dispatches on the flags
+    word, does a 4-way separator comparison for inner nodes (descend),
+    and a 3-slot match for leaves — the in-node branching the hash and
+    row walkers never needed, showcasing the control-flow half of the
+    action ISA. Nodes are block-sized and block-aligned, so every level
+    costs exactly one fill.
+    """
+    k = BTree.KEY_OFF
+    v = BTree.VAL_OFF
+    c = BTree.CHILD_OFF
+    spec = WalkerSpec(
+        name=name,
+        description="B-tree point lookup, meta-tag = key",
+        transitions=(
+            Transition("Default", EV_META_LOAD, (
+                op.allocM(),
+                op.mov(R(0), MSG("key")),
+                op.mov(R(2), MSG("root")),
+                op.enq_dram(addr=R(2)),
+                op.state("Node"),
+            ), note="fetch the root node"),
+            Transition("Node", EV_FILL, (
+                op.peek(R(3), IMM(BTree.FLAGS_OFF)),
+                op.bnz(R(3), "leaf"),
+                # INNER: pick the child by separator comparison
+                op.peek(R(4), IMM(k)),
+                op.blt(R(0), R(4), "c0"),
+                op.peek(R(4), IMM(k + 8)),
+                op.blt(R(0), R(4), "c1"),
+                op.peek(R(4), IMM(k + 16)),
+                op.blt(R(0), R(4), "c2"),
+                op.peek(R(2), IMM(c + 24)),
+                op.jmp("descend"),
+                op.lbl("c0"),
+                op.peek(R(2), IMM(c)),
+                op.jmp("descend"),
+                op.lbl("c1"),
+                op.peek(R(2), IMM(c + 8)),
+                op.jmp("descend"),
+                op.lbl("c2"),
+                op.peek(R(2), IMM(c + 16)),
+                op.lbl("descend"),
+                op.bnz(R(2), "go"),
+                op.deallocM(),                 # null child: not found
+                op.lbl("go"),
+                op.enq_dram(addr=R(2)),
+                op.state("Node"),
+                op.jmp("end"),
+                # LEAF: 3-slot key match
+                op.lbl("leaf"),
+                op.peek(R(4), IMM(k)),
+                op.beq(R(0), R(4), "hit0"),
+                op.peek(R(4), IMM(k + 8)),
+                op.beq(R(0), R(4), "hit1"),
+                op.peek(R(4), IMM(k + 16)),
+                op.beq(R(0), R(4), "hit2"),
+                op.deallocM(),                 # key absent
+                op.lbl("hit0"),
+                op.peek(R(5), IMM(v)),
+                op.jmp("store"),
+                op.lbl("hit1"),
+                op.peek(R(5), IMM(v + 8)),
+                op.jmp("store"),
+                op.lbl("hit2"),
+                op.peek(R(5), IMM(v + 16)),
+                op.lbl("store"),
+                op.allocD(R(6), IMM(1)),
+                op.write(R(6), R(5)),
+                op.update("sector_start", R(6)),
+                op.addi(R(7), R(6), 1),
+                op.update("sector_end", R(7)),
+                op.finish(),
+                op.lbl("end"),
+            ), note="dispatch on node type; descend or match"),
+        ),
+    )
+    return compile_walker(spec)

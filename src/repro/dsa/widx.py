@@ -1,0 +1,300 @@
+"""Widx: hash-index walking for in-memory databases (Kocberber et al.).
+
+The DSA accelerates hash-join index probes: hash the key, locate the
+bucket, chase the chained nodes, return the RID. The original Widx kept
+data in an *address-based* cache, so every probe — even for hot keys —
+paid the hash (up to ~60 cycles for TPC-H's string keys) and the walk.
+
+X-Cache instead tags the cached index nodes with the *keys themselves*
+(Figure 10a): a meta-tag hit returns the RID in 3 cycles, skipping both
+hashing and walking. That is the source of the paper's 1.54× speedup
+over Widx and the ~10× lower load-to-use latency.
+
+Variants modelled here:
+
+* :class:`WidxXCacheModel`    — meta-tagged X-Cache (hash walker program).
+* :class:`WidxBaselineModel`  — original Widx: ``num_walkers`` probe
+  engines that always hash + walk through an address cache.
+* :class:`WidxAddressModel`   — the Figure-14 comparator: address-tagged
+  cache of the same size with an *ideal* walker (same parallelism as
+  X-Cache, zero orchestration cost — but it must still translate and
+  walk, because the tags are addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import XCacheConfig, table3_config
+from ..core.controller import Controller, MetaResponse
+from ..core.energy import EnergyModel
+from ..core.xcache import XCacheSystem
+from ..data.hashindex import HashIndex
+from ..mem.addrcache import AddressCache, CacheConfig
+from ..mem.dram import DRAMConfig, DRAMModel
+from ..mem.layout import MemoryImage
+from ..sim import Component, Simulator
+from .base import RequestPump, RunResult
+from .walkers import build_hash_walker
+
+__all__ = [
+    "WidxWorkload",
+    "WidxXCacheModel",
+    "WidxBaselineModel",
+    "WidxAddressModel",
+    "matched_cache_config",
+]
+
+HASH_CYCLES_STRING = 60   # TPC-H 19/20: string keys (paper: "up to 60 cycles")
+HASH_CYCLES_NUMERIC = 4   # TPC-H 22: numeric keys
+
+
+@dataclass(frozen=True)
+class WidxWorkload:
+    """A hash-join probe workload.
+
+    ``pairs``  — (key, rid) tuples building the index.
+    ``probes`` — the key trace the DSA looks up.
+    ``num_buckets`` — index bucket count (power of two).
+    ``hash_cycles`` — hash-unit latency (string vs numeric keys).
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    probes: Tuple[int, ...]
+    num_buckets: int
+    hash_cycles: int = HASH_CYCLES_STRING
+    name: str = "widx"
+
+
+def matched_cache_config(config: XCacheConfig) -> CacheConfig:
+    """Address-cache geometry matching an X-Cache's data capacity.
+
+    The paper keeps the same geometry across X-Cache, the address cache,
+    and the baseline "to ensure a fair comparison".
+    """
+    sets = max(1, config.data_bytes // (config.ways * 64))
+    # round down to a power of two
+    while sets & (sets - 1):
+        sets &= sets - 1
+    return CacheConfig(ways=config.ways, sets=sets, block_bytes=64,
+                       hit_latency=config.hit_latency)
+
+
+def _build_index(image: MemoryImage, workload: WidxWorkload) -> HashIndex:
+    return HashIndex.build(image, workload.pairs, workload.num_buckets)
+
+
+class WidxXCacheModel:
+    """Widx datapath over a programmed X-Cache."""
+
+    def __init__(self, workload: WidxWorkload,
+                 config: Optional[XCacheConfig] = None,
+                 dram_config: DRAMConfig = DRAMConfig(),
+                 window: int = 16) -> None:
+        self.workload = workload
+        self.config = config if config is not None else table3_config("widx")
+        program = build_hash_walker(workload.num_buckets,
+                                    workload.hash_cycles)
+        self.system = XCacheSystem(self.config, program,
+                                   dram_config=dram_config)
+        self.index = _build_index(self.system.image, workload)
+        self.window = window
+        self._expected: Dict[int, Optional[int]] = {}
+        self._failures = 0
+        self._last_done = 0
+
+    def run(self) -> RunResult:
+        probes = self.workload.probes
+        table = self.index.table_addr
+        pump = RequestPump(self.system.sim, len(probes), self._issue,
+                           window=self.window, name="widx-pump")
+
+        def on_resp(resp: MetaResponse) -> None:
+            expected = self._expected.pop(resp.request.uid, "missing")
+            if expected == "missing":
+                self._failures += 1
+            elif expected is None:
+                if resp.found:
+                    self._failures += 1
+            else:
+                got = (int.from_bytes(resp.data[:8], "little")
+                       if resp.found and resp.data else None)
+                if got != expected:
+                    self._failures += 1
+            self._last_done = max(self._last_done, resp.completed_at)
+            pump.complete()
+
+        self.system.on_response(on_resp)
+        self._pump = pump
+        self._table = table
+        pump.start()
+        self.system.run()
+        ctrl = self.system.controller
+        energy = EnergyModel().xcache_breakdown(ctrl, self._last_done)
+        stats = ctrl.stats
+        return RunResult(
+            dsa=self.workload.name,
+            variant="xcache",
+            cycles=self._last_done,
+            dram_reads=self.system.dram.stats.get("reads"),
+            dram_writes=self.system.dram.stats.get("writes"),
+            onchip_accesses=stats.get("tag_probes")
+            + ctrl.dataram.stats.get("bytes_read") // 8
+            + ctrl.dataram.stats.get("bytes_written") // 8,
+            hits=stats.get("hits"),
+            misses=stats.get("misses"),
+            requests=len(probes),
+            energy=energy,
+            checks_passed=self._failures == 0,
+            extras={
+                "miss_merges": stats.get("miss_merges"),
+                "actions": stats.get("actions_total"),
+                "mean_load_to_use": stats.histogram("load_to_use").mean,
+            },
+        )
+
+    def _issue(self, index: int) -> None:
+        key = self.workload.probes[index]
+        msg = self.system.load((key,), walk_fields={"table": self._table})
+        self._expected[msg.uid] = self.index.probe(key)
+
+
+class _HashProbeEngine(Component):
+    """One blocking probe engine: hash → root access → chain walk.
+
+    This is the translate-and-walk loop an address-tagged design cannot
+    avoid: the engine computes the bucket address (hash), loads the root
+    pointer through the cache, then loads nodes until the key matches.
+    """
+
+    def __init__(self, sim: Simulator, cache: AddressCache,
+                 index: HashIndex, hash_cycles: int, name: str) -> None:
+        super().__init__(sim, name)
+        self.cache = cache
+        self.index = index
+        self.hash_cycles = hash_cycles
+
+    def probe(self, key: int, callback: Callable[[Optional[int]], None]) -> None:
+        self.stats.inc("hashes")
+        self.stats.inc("agen_ops", 2)
+        rid, walk = self.index.probe_with_walk(key)
+        bucket = self.index.bucket_of(key)
+        root = self.index.bucket_root_entry(bucket)
+
+        def after_hash() -> None:
+            self.cache.access(root, False, lambda _lat: self._walk(walk, 0,
+                                                                    rid,
+                                                                    callback))
+
+        self.sim.call_after(max(1, self.hash_cycles), after_hash)
+
+    def _walk(self, walk: List[int], i: int, rid: Optional[int],
+              callback: Callable[[Optional[int]], None]) -> None:
+        if i >= len(walk):
+            callback(rid)
+            return
+        self.stats.inc("agen_ops")
+        self.cache.access(walk[i], False,
+                          lambda _lat: self._walk(walk, i + 1, rid, callback))
+
+
+class _AddressVariantBase:
+    """Shared machinery for the baseline and ideal-address variants."""
+
+    variant = "addr"
+
+    def __init__(self, workload: WidxWorkload, num_engines: int,
+                 cache_config: Optional[CacheConfig] = None,
+                 dram_config: DRAMConfig = DRAMConfig()) -> None:
+        self.workload = workload
+        self.sim = Simulator()
+        self.image = MemoryImage()
+        self.dram = DRAMModel(self.sim, self.image, dram_config)
+        cfg = cache_config or matched_cache_config(table3_config("widx"))
+        self.cache = AddressCache(self.sim, self.dram, cfg)
+        self.index = _build_index(self.image, workload)
+        self.engines = [
+            _HashProbeEngine(self.sim, self.cache, self.index,
+                             workload.hash_cycles, f"engine{i}")
+            for i in range(num_engines)
+        ]
+        self._failures = 0
+        self._last_done = 0
+        self._next_probe = 0
+        from ..sim.stats import Histogram
+        self.latency_hist = Histogram("probe_latency")
+
+    def _dispatch(self, engine: _HashProbeEngine) -> None:
+        if self._next_probe >= len(self.workload.probes):
+            return
+        key = self.workload.probes[self._next_probe]
+        self._next_probe += 1
+        expected = self.index.probe(key)
+        started = self.sim.now
+
+        def on_done(rid: Optional[int]) -> None:
+            if rid != expected:
+                self._failures += 1
+            self._done += 1
+            self._last_done = self.sim.now
+            self.latency_hist.add(self.sim.now - started)
+            self._dispatch(engine)
+
+        engine.probe(key, on_done)
+
+    def run(self) -> RunResult:
+        self._done = 0
+        for engine in self.engines:
+            self._dispatch(engine)
+        self.sim.run()
+        hash_ops = sum(e.stats.get("hashes") for e in self.engines)
+        agen_ops = sum(e.stats.get("agen_ops") for e in self.engines)
+        energy = EnergyModel().address_cache_breakdown(
+            self.cache, self._last_done, agen_ops=agen_ops,
+            hash_ops=hash_ops, hash_cycles=self.workload.hash_cycles)
+        return RunResult(
+            dsa=self.workload.name,
+            variant=self.variant,
+            cycles=self._last_done,
+            dram_reads=self.dram.stats.get("reads"),
+            dram_writes=self.dram.stats.get("writes"),
+            onchip_accesses=self.cache.stats.get("accesses"),
+            hits=self.cache.stats.get("hits"),
+            misses=self.cache.stats.get("misses"),
+            requests=len(self.workload.probes),
+            energy=energy,
+            checks_passed=(self._failures == 0
+                           and self._done == len(self.workload.probes)),
+            extras={"hash_ops": float(hash_ops)},
+        )
+
+
+class WidxBaselineModel(_AddressVariantBase):
+    """The original Widx: a few walker units, always hash + walk."""
+
+    variant = "baseline"
+
+    def __init__(self, workload: WidxWorkload, num_walkers: int = 4,
+                 cache_config: Optional[CacheConfig] = None,
+                 dram_config: DRAMConfig = DRAMConfig()) -> None:
+        super().__init__(workload, num_walkers, cache_config, dram_config)
+
+
+class WidxAddressModel(_AddressVariantBase):
+    """Address-tagged comparator with an ideal walker.
+
+    Same parallelism as the X-Cache configuration's #Active, zero
+    orchestration cost — the remaining cost is purely what address tags
+    force: hash + root + chain accesses on every probe.
+    """
+
+    variant = "addr"
+
+    def __init__(self, workload: WidxWorkload,
+                 xcache_config: Optional[XCacheConfig] = None,
+                 dram_config: DRAMConfig = DRAMConfig()) -> None:
+        xcfg = xcache_config if xcache_config is not None \
+            else table3_config("widx")
+        super().__init__(workload, xcfg.num_active,
+                         matched_cache_config(xcfg), dram_config)

@@ -1,0 +1,38 @@
+"""CLI: ``python -m repro.harness [exp ...] [--profile quick|full]``.
+
+Runs the requested experiments (default: all) and prints each report.
+Exits non-zero if any paper expectation missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help=f"ids to run (default: all of "
+                             f"{', '.join(sorted(EXPERIMENTS))})")
+    parser.add_argument("--profile", default="full",
+                        choices=("quick", "full"))
+    args = parser.parse_args(argv)
+
+    targets = args.experiments or sorted(EXPERIMENTS)
+    all_ok = True
+    for exp_id in targets:
+        report = run_experiment(exp_id, args.profile)
+        print(report.render())
+        print()
+        all_ok = all_ok and report.all_ok
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

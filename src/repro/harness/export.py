@@ -1,0 +1,92 @@
+"""Machine-readable experiment exports.
+
+``python -m repro.harness`` prints human tables; downstream tooling
+(plotting scripts, CI dashboards, regression tracking) wants structured
+data. This module serializes :class:`ExperimentReport` to JSON and CSV,
+and can dump a whole run directory in one call::
+
+    from repro.harness import run_experiment
+    from repro.harness.export import report_to_json, write_run
+
+    write_run("results/", ["tab03", "fig19"], profile="quick")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional
+
+from .report import ExperimentReport
+
+__all__ = ["report_to_dict", "report_to_json", "report_to_csv", "write_run"]
+
+
+def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
+    """Lossless dict form of a report (JSON-serializable)."""
+    return {
+        "exp_id": report.exp_id,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "expectations": [
+            {
+                "claim": e.claim,
+                "paper": e.paper,
+                "measured": e.measured,
+                "ok": e.ok,
+                "detail": e.detail,
+            }
+            for e in report.expectations
+        ],
+        "notes": list(report.notes),
+        "all_ok": report.all_ok,
+    }
+
+
+def report_to_json(report: ExperimentReport, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent, default=str)
+
+
+def report_to_csv(report: ExperimentReport) -> str:
+    """The report's data rows as CSV (headers first)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(report.headers)
+    for row in report.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_run(directory, experiments: Optional[Iterable[str]] = None,
+              profile: str = "quick") -> List[pathlib.Path]:
+    """Run experiments and write <exp>.json + <exp>.csv files.
+
+    Returns the paths written. Also writes ``summary.json`` with the
+    per-experiment pass/fail roll-up.
+    """
+    from . import EXPERIMENTS, run_experiment
+
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    targets = list(experiments) if experiments is not None \
+        else sorted(EXPERIMENTS)
+    written: List[pathlib.Path] = []
+    summary: Dict[str, object] = {"profile": profile, "experiments": {}}
+    for exp_id in targets:
+        report = run_experiment(exp_id, profile)
+        json_path = out_dir / f"{exp_id}.json"
+        json_path.write_text(report_to_json(report))
+        csv_path = out_dir / f"{exp_id}.csv"
+        csv_path.write_text(report_to_csv(report))
+        written.extend([json_path, csv_path])
+        summary["experiments"][exp_id] = {
+            "all_ok": report.all_ok,
+            "checks": len(report.expectations),
+        }
+    summary_path = out_dir / "summary.json"
+    summary_path.write_text(json.dumps(summary, indent=2))
+    written.append(summary_path)
+    return written

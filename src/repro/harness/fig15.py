@@ -1,0 +1,73 @@
+"""Figure 15 — total power: X-Cache vs address-based caches.
+
+Paper claim: address-based caches consume **26–79 % more power** than
+X-Cache, chiefly because meta-tags eliminate the walking and reduce the
+number of on-chip accesses; the controller + address generator cost
+only 2–8 % of the DSA's on-chip power.
+"""
+
+from __future__ import annotations
+
+from .report import ExperimentReport
+from .suite import SUITE_WORKLOADS, run_fig14_suite
+
+__all__ = ["run"]
+
+
+def run(profile: str = "full") -> ExperimentReport:
+    suite = run_fig14_suite(profile)
+    report = ExperimentReport(
+        exp_id="fig15",
+        title="Total power: X-Cache vs address-based cache (lower is "
+              "better)",
+        headers=["workload", "xcache mW", "addr mW", "power +%",
+                 "energy ratio", "ctrl+agen share %"],
+    )
+    overheads = []
+    energy_ratios = []
+    ctrl_shares = []
+    for label in SUITE_WORKLOADS:
+        if label not in suite:
+            continue
+        vs = suite[label]
+        x_e = vs.xcache.energy
+        a_e = vs.addr.energy
+        if x_e is None or a_e is None:
+            continue
+        x_mw = x_e.power_mw()
+        a_mw = a_e.power_mw()
+        overhead = (a_mw / x_mw - 1.0) * 100.0 if x_mw else 0.0
+        e_ratio = a_e.total_pj / max(x_e.total_pj, 1e-9)
+        ctrl = x_e.group_share("routine_ram", "xregs", "agen_alu",
+                               "controller_other") * 100.0
+        overheads.append(overhead)
+        energy_ratios.append(e_ratio)
+        ctrl_shares.append(ctrl)
+        report.rows.append([label, round(x_mw, 3), round(a_mw, 3),
+                            round(overhead, 1), round(e_ratio, 2),
+                            round(ctrl, 1)])
+
+    mean_overhead = sum(overheads) / len(overheads) if overheads else 0.0
+    report.expect_range(
+        "address cache extra power (mean)",
+        "26-79% more than X-Cache",
+        mean_overhead, 15.0, 200.0,
+    )
+    report.expect(
+        "address cache burns more energy in every workload",
+        "eliminating walks reduces on-chip accesses everywhere",
+        min(energy_ratios) if energy_ratios else 0.0,
+        bool(energy_ratios) and min(energy_ratios) > 1.0,
+    )
+    report.expect_range(
+        "programmable controller + AGEN share of cache power",
+        "2-8% of total DSA on-chip power (the datapath, which we do not "
+        "model, dominates the DSA)",
+        sum(ctrl_shares) / len(ctrl_shares) if ctrl_shares else 0.0,
+        1.0, 45.0,
+    )
+    report.notes.append(
+        "power at 1 GHz; X-Cache's shorter runtimes concentrate the same "
+        "useful energy, so the per-workload claim is checked on energy"
+    )
+    return report

@@ -1,0 +1,71 @@
+"""Figure 20 — ASIC layout: controller area at 45 nm.
+
+Paper: the controller (no RAMs) at #Exe=4, #Active=8 occupies 0.11 mm²
+and 65 K cells under 45 nm; a 256 KB RAM costs ~0.8 mm² (so the data
+array, not the programmable controller, dominates silicon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.area import ASIC_REFERENCE, SynthesisModel
+from ..core.config import XCacheConfig
+from ..dsa.walkers import build_hash_walker
+from .report import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(profile: str = "full") -> ExperimentReport:
+    model = SynthesisModel()
+    program = build_hash_walker(1024, 60)
+    reference = XCacheConfig(num_active=8, num_exe=4, xregs_per_walker=8)
+
+    report = ExperimentReport(
+        exp_id="fig20",
+        title="ASIC synthesis at 45nm (controller only + RAM macro)",
+        headers=["config", "#Active", "#Exe", "ctrl mm^2", "cells",
+                 "RAM mm^2"],
+    )
+    sweep = [
+        ("reference", reference),
+        ("small", replace(reference, num_active=4, num_exe=2)),
+        ("large", replace(reference, num_active=32, num_exe=8)),
+    ]
+    results = {}
+    for name, cfg in sweep:
+        area = model.synthesize(cfg, program)
+        results[name] = area
+        report.rows.append([
+            name, cfg.num_active, cfg.num_exe,
+            round(area.asic_mm2, 3), int(area.asic_cells),
+            round(area.ram_mm2, 3),
+        ])
+
+    ref_area = results["reference"]
+    report.expect_range(
+        "controller area at reference config",
+        "0.11 mm^2 @45nm",
+        ref_area.asic_mm2, 0.05, 0.2,
+    )
+    report.expect_range(
+        "controller cells at reference config",
+        "65K cells",
+        ref_area.asic_cells, 30_000, 130_000,
+    )
+    ram_256k = 256 * 1024
+    per_256k = ASIC_REFERENCE["ram_mm2_per_256kb"]
+    report.expect(
+        "256KB RAM macro area",
+        "0.8 mm^2 (paper: 1.1 mm^2 incl. tags)",
+        per_256k,
+        abs(per_256k - 0.8) < 1e-9,
+    )
+    report.expect(
+        "area scales with #Active/#Exe",
+        "larger configs pay more silicon",
+        results["large"].asic_mm2 / results["small"].asic_mm2,
+        results["large"].asic_mm2 > results["small"].asic_mm2,
+    )
+    return report

@@ -1,0 +1,89 @@
+"""Plain-text experiment reports.
+
+Every figure/table driver returns an :class:`ExperimentReport`: the
+regenerated rows/series plus a list of :class:`Expectation` checks that
+compare the paper's claim with the measured value. ``render()`` prints
+the same information a figure would carry, as an ASCII table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["Expectation", "ExperimentReport", "format_table"]
+
+
+@dataclass
+class Expectation:
+    """One paper-claim vs. measured-value comparison."""
+
+    claim: str                 # e.g. "X-Cache vs addr cache speedup"
+    paper: str                 # e.g. "1.7x average"
+    measured: float
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "MISS"
+        extra = f" ({self.detail})" if self.detail else ""
+        return (f"  [{mark}] {self.claim}: paper={self.paper}, "
+                f"measured={self.measured:.3g}{extra}")
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated table/figure plus its paper-claim checks."""
+
+    exp_id: str                # "fig14", "tab03", ...
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    expectations: List[Expectation] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def expect(self, claim: str, paper: str, measured: float,
+               ok: bool, detail: str = "") -> None:
+        self.expectations.append(
+            Expectation(claim, paper, measured, ok, detail))
+
+    def expect_range(self, claim: str, paper: str, measured: float,
+                     lo: float, hi: float, detail: str = "") -> None:
+        self.expect(claim, paper, measured, lo <= measured <= hi, detail)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(e.ok for e in self.expectations)
+
+    def render(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} ==",
+                 format_table(self.headers, self.rows)]
+        if self.expectations:
+            lines.append("paper vs measured:")
+            lines.extend(e.render() for e in self.expectations)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()

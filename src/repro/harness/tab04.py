@@ -1,0 +1,57 @@
+"""Table 4 — energy parameters (pJ, 1 GHz).
+
+Rendered from the live :class:`~repro.core.energy.EnergyParams` so the
+constants the whole power study rests on are checked against the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.energy import EnergyParams
+from .report import ExperimentReport
+
+__all__ = ["run"]
+
+_PAPER_BITS = {
+    "Register": 8.9e-03,
+    "Add": 2.1e-01,
+    "Mul": 12.6,
+    "Bitwise Op": 1.8e-02,
+    "Shift": 4.1e-01,
+}
+
+
+def run(profile: str = "full") -> ExperimentReport:
+    params = EnergyParams()
+    report = ExperimentReport(
+        exp_id="tab04",
+        title="Energy parameters per bit [pJ] (timing: 1 GHz)",
+        headers=["event", "paper pJ", "model pJ"],
+    )
+    live = {
+        "Register": params.register_bit,
+        "Add": params.add_bit,
+        "Mul": params.mul_bit,
+        "Bitwise Op": params.bitwise_bit,
+        "Shift": params.shift_bit,
+    }
+    all_match = True
+    for name, paper in _PAPER_BITS.items():
+        model = live[name]
+        if abs(model - paper) > 1e-12 * max(1.0, paper):
+            all_match = False
+        report.rows.append([name, paper, model])
+    report.rows.append(["Tag (per byte)", 2.7, params.tag_byte])
+    report.rows.append(["L1 Cache (per 32B)", 44.8, params.l1_per_32b])
+
+    report.expect(
+        "per-bit energies match Table 4",
+        "exact",
+        1.0 if all_match else 0.0, all_match,
+    )
+    report.expect(
+        "memory energies match Table 4",
+        "tag 2.7 pJ/B; L1 44.8 pJ/32B",
+        params.tag_byte,
+        params.tag_byte == 2.7 and params.l1_per_32b == 44.8,
+    )
+    return report

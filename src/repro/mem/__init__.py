@@ -1,0 +1,25 @@
+"""Memory substrate: flat image, DRAM timing model, address-tagged cache.
+
+These are the pieces the paper takes from its testbed (DRAMsim2, the
+CACTI-modelled baseline L1) and the host memory contents the walkers
+traverse.
+"""
+
+from .layout import MemoryImage, OutOfMemoryError
+from .dram import DRAMConfig, DRAMModel, MemRequest, MemResponse
+from .mshr import MSHRFile, MSHREntry
+from .addrcache import AddressCache, CacheConfig, CacheLine
+
+__all__ = [
+    "MemoryImage",
+    "OutOfMemoryError",
+    "DRAMConfig",
+    "DRAMModel",
+    "MemRequest",
+    "MemResponse",
+    "MSHRFile",
+    "MSHREntry",
+    "AddressCache",
+    "CacheConfig",
+    "CacheLine",
+]

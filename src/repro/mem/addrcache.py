@@ -1,0 +1,235 @@
+"""Set-associative address-tagged cache with MSHRs.
+
+This is the comparator the paper measures X-Cache against (and the lower
+level of the MXA hierarchy from §6). It is a conventional write-back,
+write-allocate, LRU cache: tags are block addresses, hits complete after
+``hit_latency`` cycles, misses allocate an MSHR and fill from the lower
+level (DRAM or another cache).
+
+Functional data always lives in the shared :class:`MemoryImage`; the
+cache models *timing and traffic* (hits, misses, evictions, DRAM
+accesses), which is what the evaluation's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim import Component, Simulator
+from .dram import DRAMModel, MemRequest, MemResponse
+from .mshr import MSHRFile
+
+__all__ = ["CacheConfig", "CacheLine", "AddressCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing for an address-tagged cache."""
+
+    ways: int = 8
+    sets: int = 64
+    block_bytes: int = 64
+    hit_latency: int = 3
+    mshr_entries: int = 16
+    ports: int = 1             # accesses accepted per cycle
+
+    def __post_init__(self) -> None:
+        if self.sets & (self.sets - 1):
+            raise ValueError("sets must be a power of two")
+        if self.block_bytes & (self.block_bytes - 1):
+            raise ValueError("block_bytes must be a power of two")
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.ways * self.sets * self.block_bytes
+
+
+@dataclass
+class CacheLine:
+    valid: bool = False
+    tag: int = -1
+    dirty: bool = False
+    last_used: int = 0
+
+
+class AddressCache(Component):
+    """A conventional cache front-ending a DRAM (or another cache)."""
+
+    def __init__(self, sim: Simulator, lower: DRAMModel,
+                 config: CacheConfig = CacheConfig(),
+                 name: str = "addr-cache") -> None:
+        super().__init__(sim, name)
+        self.lower = lower
+        self.config = config
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(config.ways)] for _ in range(config.sets)
+        ]
+        self._mshrs = MSHRFile(config.mshr_entries)
+        self._stalled: List[Callable[[], None]] = []
+        self._port_cycle = -1
+        self._port_used = 0
+        # Logical access counter for LRU: sim-time ties (a fill and a hit
+        # in the same cycle) would otherwise make eviction order depend
+        # on way position.
+        self._lru_tick = 0
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def _block_of(self, addr: int) -> int:
+        return addr & ~(self.config.block_bytes - 1)
+
+    def _set_index(self, block: int) -> int:
+        return (block // self.config.block_bytes) & (self.config.sets - 1)
+
+    def _find(self, block: int) -> Optional[CacheLine]:
+        for line in self._sets[self._set_index(block)]:
+            if line.valid and line.tag == block:
+                return line
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """Probe without side effects (testing / warm-up checks)."""
+        return self._find(self._block_of(addr)) is not None
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def _acquire_port(self) -> int:
+        """Serialize on the cache's access ports; returns the wait."""
+        now = self.sim.now
+        if self._port_cycle < now:
+            self._port_cycle = now
+            self._port_used = 0
+        while self._port_used >= self.config.ports:
+            self._port_cycle += 1
+            self._port_used = 0
+        self._port_used += 1
+        return self._port_cycle - now
+
+    def access(self, addr: int, is_write: bool,
+               callback: Callable[[int], None]) -> None:
+        """Timed access to the block containing ``addr``.
+
+        ``callback(latency)`` fires when the access completes. Writes are
+        write-allocate: a write miss fills the block first, then dirties
+        it. Accesses contend for ``ports`` per cycle.
+        """
+        start = self.sim.now
+        wait = self._acquire_port()
+        if wait:
+            self.sim.call_after(
+                wait, lambda: self._access_now(addr, is_write, callback, start)
+            )
+        else:
+            self._access_now(addr, is_write, callback, start)
+
+    def _access_now(self, addr: int, is_write: bool,
+                    callback: Callable[[int], None], start: int) -> None:
+        block = self._block_of(addr)
+        line = self._find(block)
+        self.stats.inc("accesses")
+        self._lru_tick += 1
+        if line is not None:
+            line.last_used = self._lru_tick
+            if is_write:
+                line.dirty = True
+            self.stats.inc("hits")
+            self.sim.call_after(self.config.hit_latency,
+                                lambda: callback(self.sim.now - start))
+            return
+
+        self.stats.inc("misses")
+
+        def on_fill() -> None:
+            filled = self._find(block)
+            if filled is not None:
+                self._lru_tick += 1
+                filled.last_used = self._lru_tick
+                if is_write:
+                    filled.dirty = True
+            callback(self.sim.now - start)
+
+        if self._mshrs.lookup(block) is not None:
+            self._mshrs.allocate(block, on_fill, is_write)
+            self.stats.inc("mshr_merges")
+            return
+        if self._mshrs.full:
+            # Back-pressure: retry once an MSHR frees up.
+            self.stats.inc("mshr_stalls")
+            self._stalled.append(lambda: self.access(addr, is_write, callback))
+            return
+
+        self._mshrs.allocate(block, on_fill, is_write)
+        self._issue_fill(block)
+
+    def _issue_fill(self, block: int) -> None:
+        self._evict_for(block)
+
+        def on_response(resp: MemResponse) -> None:
+            self._install(block)
+            for waiter in self._mshrs.complete(block):
+                waiter()
+            self._drain_stalled()
+
+        self.lower.request(MemRequest(addr=block), on_response)
+
+    def _evict_for(self, block: int) -> None:
+        lines = self._sets[self._set_index(block)]
+        for line in lines:
+            if not line.valid:
+                return
+        victim = min(lines, key=lambda l: l.last_used)
+        if victim.dirty:
+            self.stats.inc("writebacks")
+            # Fire-and-forget write-back: functional data is already in
+            # the shared image, so only the traffic/timing matters.
+            self.lower.request(
+                MemRequest(addr=victim.tag, is_write=True), lambda resp: None
+            )
+        victim.valid = False
+        victim.tag = -1
+        victim.dirty = False
+
+    def _install(self, block: int) -> None:
+        lines = self._sets[self._set_index(block)]
+        target = None
+        for line in lines:
+            if not line.valid:
+                target = line
+                break
+        if target is None:
+            self._evict_for(block)
+            for line in lines:
+                if not line.valid:
+                    target = line
+                    break
+        assert target is not None
+        target.valid = True
+        target.tag = block
+        target.dirty = False
+        self._lru_tick += 1
+        target.last_used = self._lru_tick
+        self.stats.inc("fills")
+
+    def _drain_stalled(self) -> None:
+        if self._stalled and not self._mshrs.full:
+            retries, self._stalled = self._stalled, []
+            for retry in retries:
+                retry()
+
+    # ------------------------------------------------------------------
+    # warm-up / reporting
+    # ------------------------------------------------------------------
+    def preload(self, addr: int) -> None:
+        """Install a block instantly (zero-cost warm-up for experiments)."""
+        block = self._block_of(addr)
+        if self._find(block) is None:
+            self._install(block)
+
+    def hit_rate(self) -> float:
+        acc = self.stats.get("accesses")
+        return self.stats.get("hits") / acc if acc else 0.0

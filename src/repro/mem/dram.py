@@ -1,0 +1,168 @@
+"""Banked DRAM timing model (the reproduction's DRAMsim2 stand-in).
+
+The model captures the first-order behaviour the paper's results depend
+on: row-buffer locality, bank-level parallelism, and a shared data bus
+that bounds bandwidth. Requests are block-granular (one cache line). A
+request's service time is::
+
+    wait-for-bank  +  (row hit ? tCL : tRP + tRCD + tCL)  +  burst
+
+and the burst additionally serializes on the channel data bus.
+
+Data is *functionally* backed by a :class:`~repro.mem.layout.MemoryImage`
+so fills return real bytes for the walkers to parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..sim import Component, Simulator
+from .layout import MemoryImage
+
+__all__ = ["DRAMConfig", "MemRequest", "MemResponse", "DRAMModel"]
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Timing/geometry knobs (defaults ~ DDR3-1600 at a 1 GHz DSA clock)."""
+
+    num_banks: int = 8
+    row_bytes: int = 2048
+    block_bytes: int = 64
+    t_cl: int = 11              # column access (row already open)
+    t_rcd: int = 11             # activate
+    t_rp: int = 11              # precharge
+    burst_cycles: int = 4       # data-bus occupancy per block
+    queue_depth: int = 32       # per-bank request queue
+
+    def __post_init__(self) -> None:
+        if self.num_banks & (self.num_banks - 1):
+            raise ValueError("num_banks must be a power of two")
+        if self.block_bytes & (self.block_bytes - 1):
+            raise ValueError("block_bytes must be a power of two")
+        if self.row_bytes % self.block_bytes:
+            raise ValueError("row_bytes must be a multiple of block_bytes")
+
+
+@dataclass
+class MemRequest:
+    """A block-granular DRAM request."""
+
+    addr: int
+    is_write: bool = False
+    data: Optional[bytes] = None          # payload for writes
+    tag: object = None                    # opaque requester cookie
+    issued_at: int = 0
+
+
+@dataclass
+class MemResponse:
+    """Completion for a :class:`MemRequest`."""
+
+    addr: int
+    data: bytes
+    tag: object = None
+    latency: int = 0
+
+
+@dataclass
+class _BankState:
+    open_row: int = -1
+    free_at: int = 0
+    queue_len: int = 0
+
+
+class DRAMModel(Component):
+    """Block-granular banked DRAM with row-buffer timing.
+
+    Requests arrive through :meth:`request` with a completion callback.
+    The model computes the completion cycle analytically (no per-cycle
+    ticking), which keeps simulation fast while preserving queueing,
+    row-buffer, and bus-serialization effects.
+    """
+
+    def __init__(self, sim: Simulator, image: MemoryImage,
+                 config: DRAMConfig = DRAMConfig(), name: str = "dram") -> None:
+        super().__init__(sim, name)
+        self.image = image
+        self.config = config
+        self._banks = [_BankState() for _ in range(config.num_banks)]
+        self._bus_free_at = 0
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr & ~(self.config.block_bytes - 1)
+
+    def bank_of(self, addr: int) -> int:
+        # Row-interleaved banks: consecutive rows map to different banks.
+        return (addr // self.config.row_bytes) & (self.config.num_banks - 1)
+
+    def row_of(self, addr: int) -> int:
+        return addr // (self.config.row_bytes * self.config.num_banks)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def request(self, req: MemRequest,
+                callback: Callable[[MemResponse], None]) -> int:
+        """Issue a block request; returns the completion cycle.
+
+        ``callback`` fires at the completion cycle with the response
+        (fill data for reads; echo for writes).
+        """
+        cfg = self.config
+        block = self.block_of(req.addr)
+        bank = self._banks[self.bank_of(block)]
+        row = self.row_of(block)
+        now = self.sim.now
+        req.issued_at = now
+
+        start = max(now, bank.free_at)
+        if bank.open_row == row:
+            access = cfg.t_cl
+            self.stats.inc("row_hits")
+        elif bank.open_row < 0:
+            access = cfg.t_rcd + cfg.t_cl
+            self.stats.inc("row_misses")
+        else:
+            access = cfg.t_rp + cfg.t_rcd + cfg.t_cl
+            self.stats.inc("row_conflicts")
+        bank.open_row = row
+
+        data_ready = start + access
+        burst_start = max(data_ready, self._bus_free_at)
+        done = burst_start + cfg.burst_cycles
+        bank.free_at = data_ready          # bank can pipeline next access
+        self._bus_free_at = done
+
+        self.stats.inc("writes" if req.is_write else "reads")
+        self.stats.inc("bytes", cfg.block_bytes)
+        self.stats.histogram("latency").add(done - now)
+
+        if req.is_write:
+            if req.data is not None:
+                self.image.write_block(block, req.data[:cfg.block_bytes])
+            payload = b""
+        else:
+            payload = self.image.read_block(block, cfg.block_bytes)
+
+        resp = MemResponse(addr=block, data=payload, tag=req.tag,
+                           latency=done - now)
+        self.sim.call_at(done, lambda: callback(resp))
+        return done
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_accesses(self) -> int:
+        return self.stats.get("reads") + self.stats.get("writes")
+
+    def row_hit_rate(self) -> float:
+        hits = self.stats.get("row_hits")
+        total = hits + self.stats.get("row_misses") + self.stats.get("row_conflicts")
+        return hits / total if total else 0.0

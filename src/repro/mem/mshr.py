@@ -1,0 +1,76 @@
+"""Miss Status Holding Registers.
+
+The address-based comparator cache merges concurrent misses to the same
+block through MSHRs — the paper's Table 1 calls out "Complex (MSHRs)"
+multi-fill control for conventional caches. The X-Cache controller gets
+the same effect from its active-meta-tag bitmap; this module serves the
+address-cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["MSHRFile", "MSHREntry"]
+
+
+@dataclass
+class MSHREntry:
+    """An outstanding miss: the block plus every waiter to notify."""
+
+    block: int
+    waiters: List[Callable[[], None]] = field(default_factory=list)
+    is_write: bool = False
+
+
+class MSHRFile:
+    """A bounded set of outstanding misses keyed by block address."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.stalls = 0
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, block: int) -> Optional[MSHREntry]:
+        return self._entries.get(block)
+
+    def allocate(self, block: int, waiter: Callable[[], None],
+                 is_write: bool = False) -> bool:
+        """Register a miss on ``block``.
+
+        Returns True if this call created a new entry (i.e. the caller
+        must issue the fill request); False if it merged into an existing
+        miss. Raises if the file is full and the block isn't present —
+        callers must check :attr:`full` first and stall.
+        """
+        entry = self._entries.get(block)
+        if entry is not None:
+            entry.waiters.append(waiter)
+            entry.is_write = entry.is_write or is_write
+            self.merges += 1
+            return False
+        if self.full:
+            self.stalls += 1
+            raise RuntimeError("MSHR file full; caller must back-pressure")
+        self._entries[block] = MSHREntry(block, [waiter], is_write)
+        self.allocations += 1
+        return True
+
+    def complete(self, block: int) -> List[Callable[[], None]]:
+        """Retire the miss; returns the waiters to wake (in arrival order)."""
+        entry = self._entries.pop(block, None)
+        if entry is None:
+            return []
+        return entry.waiters
+
+    def __len__(self) -> int:
+        return len(self._entries)

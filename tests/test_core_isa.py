@@ -1,0 +1,81 @@
+"""Unit tests for the X-Action ISA encoding."""
+
+import pytest
+
+from repro.core import IMM, MSG, Action, ActionCategory, Opcode, Operand, R
+from repro.core.isa import OPCODE_CATEGORY
+
+
+def test_every_opcode_has_a_category():
+    for opcode in Opcode:
+        assert opcode in OPCODE_CATEGORY
+
+
+def test_category_assignments_match_paper_groups():
+    assert OPCODE_CATEGORY[Opcode.ADD] is ActionCategory.AGEN
+    assert OPCODE_CATEGORY[Opcode.ENQ] is ActionCategory.QUEUE
+    assert OPCODE_CATEGORY[Opcode.ALLOCM] is ActionCategory.META
+    assert OPCODE_CATEGORY[Opcode.BEQ] is ActionCategory.CONTROL
+    assert OPCODE_CATEGORY[Opcode.ALLOCD] is ActionCategory.DATA
+
+
+def test_paper_action_set_is_complete():
+    names = {o.value for o in Opcode}
+    # Figure 8's table, verbatim
+    for expected in ("add and or xor addi inc dec shl shr sra srl not "
+                     "allocR enq deq read-data write-data peek allocM "
+                     "deallocM update state bmiss bhit beq bnz blt bge "
+                     "ble allocD deallocD read write").split():
+        assert expected in names
+
+
+def test_register_operand():
+    r = R(3)
+    assert r.kind == "r" and r.value == 3
+    assert repr(r) == "R3"
+
+
+def test_immediate_operand():
+    imm = IMM(64)
+    assert imm.kind == "imm"
+    assert repr(imm) == "#64"
+
+
+def test_msg_operand():
+    m = MSG("key")
+    assert m.kind == "msg"
+    assert repr(m) == "msg.key"
+
+
+def test_operand_validation():
+    with pytest.raises(ValueError):
+        Operand("bogus", 1)
+    with pytest.raises(ValueError):
+        R(-1)
+    with pytest.raises(ValueError):
+        Operand("msg", 5)
+
+
+def test_action_attrs_lookup():
+    a = Action(Opcode.STATE, attrs=(("done", True), ("state", "Valid")))
+    assert a.attr("state") == "Valid"
+    assert a.attr("done") is True
+    assert a.attr("missing", 42) == 42
+
+
+def test_action_with_target():
+    a = Action(Opcode.BEQ, a=R(0), b=IMM(0), target=1)
+    b = a.with_target(7)
+    assert b.target == 7
+    assert a.target == 1  # original untouched
+    assert b.op is Opcode.BEQ
+
+
+def test_action_category_property():
+    assert Action(Opcode.SHL, dst=R(0), a=R(0), b=IMM(1)).category \
+        is ActionCategory.AGEN
+
+
+def test_action_repr_mentions_operands():
+    text = repr(Action(Opcode.ADD, dst=R(0), a=R(1), b=IMM(2)))
+    assert "add" in text and "R1" in text and "#2" in text

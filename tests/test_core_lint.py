@@ -1,0 +1,150 @@
+"""Tests for the walker linter."""
+
+import pytest
+
+from repro.core import (
+    EV_FILL,
+    EV_META_LOAD,
+    IMM,
+    MSG,
+    R,
+    Transition,
+    WalkerSpec,
+    XCacheConfig,
+    check_context,
+    compile_walker,
+    lint_walker,
+    max_register,
+    op,
+)
+
+
+def walker(*transitions):
+    return compile_walker(WalkerSpec("t", tuple(transitions)))
+
+
+def test_shipped_walkers_are_clean():
+    from repro.dsa.walkers import (
+        build_btree_walker,
+        build_event_walker,
+        build_hash_walker,
+        build_row_walker,
+    )
+    cfg = XCacheConfig(xregs_per_walker=16)
+    for program in (build_hash_walker(64, 10), build_row_walker(),
+                    build_event_walker(), build_btree_walker()):
+        assert lint_walker(program, cfg) == [], program.name
+
+
+def test_read_before_write_in_entry_routine():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.addi(R(1), R(0), 4),   # R0 never written
+        op.finish(),
+    )))
+    findings = lint_walker(program)
+    assert any(f.check == "read-before-write" and "R0" in f.message
+               for f in findings)
+
+
+def test_write_then_read_is_clean():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.mov(R(0), MSG("key")),
+        op.addi(R(1), R(0), 4),
+        op.finish(),
+    )))
+    assert lint_walker(program) == []
+
+
+def test_unreachable_action_detected():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.jmp("end"),
+        op.mov(R(0), IMM(1)),     # skipped by the unconditional jump
+        op.lbl("end"),
+        op.finish(),
+    )))
+    findings = lint_walker(program)
+    assert any(f.check == "unreachable-action" for f in findings)
+
+
+def test_unreachable_transition_detected():
+    program = walker(
+        Transition("Default", EV_META_LOAD, (op.allocM(), op.finish())),
+        Transition("Orphan", EV_FILL, (op.finish(),)),
+    )
+    findings = lint_walker(program)
+    assert any(f.check == "unreachable-transition"
+               and "Orphan" in f.message for f in findings)
+
+
+def test_missing_fill_transition_is_error():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.mov(R(0), MSG("addr")),
+        op.enq_dram(addr=R(0)),
+        op.state("Waiting"),      # but no [Waiting, Fill] routine
+    )))
+    findings = lint_walker(program)
+    errors = [f for f in findings if f.severity == "error"]
+    assert any(f.check == "missing-transition" for f in errors)
+
+
+def test_fill_transition_present_is_clean():
+    program = walker(
+        Transition("Default", EV_META_LOAD, (
+            op.allocM(),
+            op.mov(R(0), MSG("addr")),
+            op.enq_dram(addr=R(0)),
+            op.state("Waiting"),
+        )),
+        Transition("Waiting", EV_FILL, (op.finish(),)),
+    )
+    assert not [f for f in lint_walker(program)
+                if f.check == "missing-transition"]
+
+
+def test_context_overflow():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.mov(R(12), IMM(1)),
+        op.finish(),
+    )))
+    findings = check_context(program, XCacheConfig(xregs_per_walker=8))
+    assert findings and findings[0].severity == "error"
+    assert "R12" in findings[0].message
+    assert check_context(program, XCacheConfig(xregs_per_walker=16)) == []
+
+
+def test_max_register():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.mov(R(3), IMM(1)),
+        op.add(R(7), R(3), R(3)),
+        op.finish(),
+    )))
+    assert max_register(program) == 7
+
+
+def test_findings_sorted_errors_first():
+    program = walker(
+        Transition("Default", EV_META_LOAD, (
+            op.allocM(),
+            op.addi(R(1), R(0), 1),     # warning: read-before-write
+            op.enq_dram(addr=R(1)),
+            op.state("Nowhere"),        # error: missing Fill handler
+        )),
+    )
+    findings = lint_walker(program)
+    assert findings[0].severity == "error"
+
+
+def test_finding_render():
+    program = walker(Transition("Default", EV_META_LOAD, (
+        op.allocM(),
+        op.addi(R(1), R(0), 1),
+        op.finish(),
+    )))
+    text = lint_walker(program)[0].render()
+    assert "read-before-write" in text and "Default@MetaLoad" in text

@@ -1,0 +1,184 @@
+"""Unit tests for routines, the routine table, microcode RAM, and the
+label assembler."""
+
+import pytest
+
+from repro.core import (
+    EV_FILL,
+    EV_META_LOAD,
+    IMM,
+    MicrocodeError,
+    MicrocodeRAM,
+    R,
+    Routine,
+    RoutineTable,
+    Transition,
+    WalkerSpec,
+    compile_walker,
+    op,
+)
+from repro.core.walker import Label, assemble
+
+
+def test_routine_requires_actions():
+    with pytest.raises(MicrocodeError):
+        Routine("empty", ())
+
+
+def test_routine_requires_state_update():
+    with pytest.raises(MicrocodeError) as err:
+        Routine("bad", (op.addi(R(0), R(0), 1),))
+    assert "state update" in str(err.value)
+
+
+def test_routine_accepts_terminal_state():
+    r = Routine("ok", (op.addi(R(0), R(0), 1), op.finish()))
+    assert len(r) == 2
+
+
+def test_routine_accepts_dealloc_terminal():
+    Routine("ok", (op.deallocM(),))
+
+
+def test_branch_bounds_validated():
+    with pytest.raises(MicrocodeError):
+        Routine("bad", (op.beq(R(0), IMM(0), 5), op.finish()))
+
+
+def test_branch_to_end_allowed():
+    Routine("ok", (op.finish(), op.beq(R(0), IMM(0), 2)))
+
+
+def test_all_branch_paths_must_update_state():
+    # branch skips the only STATE action -> invalid
+    with pytest.raises(MicrocodeError):
+        Routine("bad", (op.beq(R(0), IMM(0), 2), op.finish()))
+
+
+def test_branchy_routine_with_full_coverage():
+    Routine("ok", (
+        op.beq(R(0), IMM(0), 3),
+        op.addi(R(1), R(1), 1),
+        op.finish(),
+        op.deallocM(),
+    ))
+
+
+def test_routine_bytes():
+    r = Routine("ok", (op.finish(),))
+    assert r.bytes == 4
+
+
+def test_table_install_and_lookup():
+    table = RoutineTable()
+    r = Routine("r", (op.finish(),))
+    table.install("Default", EV_META_LOAD, r)
+    assert table.lookup("Default", EV_META_LOAD) is r
+    assert table.lookup("Default", EV_FILL) is None
+    assert table.handles("Default", EV_META_LOAD)
+
+
+def test_table_duplicate_rejected():
+    table = RoutineTable()
+    r = Routine("r", (op.finish(),))
+    table.install("A", "E", r)
+    with pytest.raises(MicrocodeError):
+        table.install("A", "E", r)
+
+
+def test_table_require_raises_with_context():
+    table = RoutineTable()
+    with pytest.raises(MicrocodeError) as err:
+        table.require("S", "E")
+    assert "S" in str(err.value)
+
+
+def test_table_num_entries_is_cross_product():
+    table = RoutineTable()
+    r = Routine("r", (op.finish(),))
+    table.install("A", "E1", r)
+    table.install("B", "E2", Routine("r2", (op.finish(),)))
+    assert table.num_entries == 4  # 2 states x 2 events
+    assert len(table) == 2
+
+
+def test_microcode_ram_offsets():
+    r1 = Routine("a", (op.finish(), op.finish()))
+    r2 = Routine("b", (op.finish(),))
+    ram = MicrocodeRAM([r1, r2])
+    assert ram.offset_of("a") == 0
+    assert ram.offset_of("b") == 2
+    assert ram.total_actions == 3
+    assert ram.bytes == 12
+
+
+def test_microcode_ram_duplicate_names():
+    r = Routine("a", (op.finish(),))
+    with pytest.raises(MicrocodeError):
+        MicrocodeRAM([r, Routine("a", (op.finish(),))])
+
+
+# ----------------------------------------------------------------------
+# assembler
+# ----------------------------------------------------------------------
+
+def test_assemble_resolves_labels():
+    actions = assemble([
+        op.beq(R(0), IMM(0), "skip"),
+        op.addi(R(1), R(1), 1),
+        op.lbl("skip"),
+        op.finish(),
+    ])
+    assert actions[0].target == 2
+    assert len(actions) == 3
+
+
+def test_assemble_label_at_end():
+    actions = assemble([op.jmp("end"), op.finish(), op.lbl("end")])
+    assert actions[0].target == 2
+
+
+def test_assemble_unknown_label():
+    with pytest.raises(MicrocodeError):
+        assemble([op.jmp("nowhere"), op.finish()])
+
+
+def test_assemble_duplicate_label():
+    with pytest.raises(MicrocodeError):
+        assemble([Label("x"), Label("x"), op.finish()])
+
+
+def test_transition_auto_assembles():
+    t = Transition("Default", EV_META_LOAD, (
+        op.bnz(R(0), "done"),
+        op.addi(R(0), R(0), 1),
+        op.lbl("done"),
+        op.finish(),
+    ))
+    assert t.actions[0].target == 2
+
+
+def test_compile_walker_builds_table_and_ram():
+    spec = WalkerSpec("w", (
+        Transition("Default", EV_META_LOAD, (op.allocM(), op.state("S"))),
+        Transition("S", EV_FILL, (op.finish(),)),
+    ))
+    compiled = compile_walker(spec)
+    assert compiled.table.lookup("Default", EV_META_LOAD) is not None
+    assert compiled.ram.total_actions == 3
+    assert compiled.name == "w"
+    assert spec.states() == ["Default", "S"]
+    assert EV_FILL in spec.events()
+
+
+def test_compile_walker_requires_miss_entry():
+    spec = WalkerSpec("w", (
+        Transition("Other", EV_FILL, (op.finish(),)),
+    ))
+    with pytest.raises(MicrocodeError):
+        compile_walker(spec)
+
+
+def test_transition_requires_actions():
+    with pytest.raises(MicrocodeError):
+        Transition("S", "E", ())

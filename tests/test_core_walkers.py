@@ -1,0 +1,211 @@
+"""End-to-end tests of the three DSA walker programs against the
+functional data structures."""
+
+import struct
+
+import pytest
+
+from repro.core import XCacheConfig, XCacheSystem
+from repro.data import CSRLayout, HashIndex, SparseMatrix
+from repro.dsa.walkers import (
+    build_event_walker,
+    build_hash_walker,
+    build_row_walker,
+)
+
+
+def hash_system(num_buckets=64, hash_cycles=10, **cfg_kw):
+    kw = dict(ways=4, sets=16, data_sectors=128, num_active=8,
+              xregs_per_walker=16)
+    kw.update(cfg_kw)
+    config = XCacheConfig(**kw)
+    program = build_hash_walker(num_buckets, hash_cycles)
+    return XCacheSystem(config, program)
+
+
+def test_hash_walker_finds_rid():
+    system = hash_system()
+    index = HashIndex.build(system.image, [(101, 9001), (202, 9002)], 64)
+    system.load((101,), walk_fields={"table": index.table_addr})
+    responses = system.run()
+    assert responses[0].found
+    assert int.from_bytes(responses[0].data[:8], "little") == 9001
+
+
+def test_hash_walker_not_found_in_empty_bucket():
+    system = hash_system()
+    index = HashIndex.build(system.image, [(1, 10)], 64)
+    missing = 999999
+    system.load((missing,), walk_fields={"table": index.table_addr})
+    responses = system.run()
+    assert not responses[0].found
+
+
+def test_hash_walker_chain_traversal():
+    system = hash_system(num_buckets=1)  # all keys collide
+    pairs = [(k, 1000 + k) for k in range(1, 10)]
+    index = HashIndex.build(system.image, pairs, 1)
+    for k, _rid in pairs:
+        system.load((k,), walk_fields={"table": index.table_addr})
+    responses = system.run()
+    got = {r.request.tag[0]: int.from_bytes(r.data[:8], "little")
+           for r in responses}
+    assert got == {k: rid for k, rid in pairs}
+
+
+def test_hash_walker_not_found_after_chain():
+    system = hash_system(num_buckets=1)
+    index = HashIndex.build(system.image, [(1, 10), (2, 20)], 1)
+    system.load((3,), walk_fields={"table": index.table_addr})
+    responses = system.run()
+    assert not responses[0].found
+
+
+def test_hash_walker_hash_latency_on_critical_path():
+    fast = hash_system(hash_cycles=1)
+    slow = hash_system(hash_cycles=60)
+    for system in (fast, slow):
+        index = HashIndex.build(system.image, [(5, 50)], 64)
+        system.load((5,), walk_fields={"table": index.table_addr})
+        system.run()
+    assert (slow.responses[0].completed_at
+            > fast.responses[0].completed_at + 50)
+
+
+def test_hash_walker_validates_bucket_power_of_two():
+    with pytest.raises(ValueError):
+        build_hash_walker(100, 10)
+
+
+def row_system(matrix, **cfg_kw):
+    kw = dict(ways=4, sets=16, data_sectors=512, num_active=8,
+              xregs_per_walker=16, tag_fields=("row",))
+    kw.update(cfg_kw)
+    config = XCacheConfig(**kw)
+    system = XCacheSystem(config, build_row_walker())
+    layout = CSRLayout.build(system.image, matrix, packed=True)
+    return system, layout
+
+
+def fetch_row(system, layout, r):
+    system.load((r,), walk_fields={"row_ptr": layout.row_ptr_addr,
+                                   "pairs": layout.pairs_addr})
+    system.run()
+    resp = system.responses[-1]
+    assert resp.found
+    return CSRLayout.parse_pairs(resp.data)
+
+
+def test_row_walker_fetches_row():
+    m = SparseMatrix.from_dense([
+        [0.0, 1.5, 0.0, 2.5],
+        [3.5, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+        [1.0, 2.0, 3.0, 4.0],
+    ])
+    system, layout = row_system(m)
+    pairs = fetch_row(system, layout, 0)
+    assert pairs == [(1, pytest.approx(1.5)), (3, pytest.approx(2.5))]
+
+
+def test_row_walker_empty_row():
+    m = SparseMatrix.from_dense([[1.0], [0.0]])
+    system, layout = row_system(m)
+    system.load((1,), walk_fields={"row_ptr": layout.row_ptr_addr,
+                                   "pairs": layout.pairs_addr})
+    responses = system.run()
+    assert responses[0].found
+    assert responses[0].data == b""
+
+
+def test_row_walker_long_row_multi_block():
+    # one row of 32 elements = 512B of pairs = 8 DRAM blocks
+    trips = [(0, c, float(c + 1)) for c in range(32)]
+    m = SparseMatrix.from_triplets(1, 32, trips)
+    system, layout = row_system(m)
+    pairs = fetch_row(system, layout, 0)
+    assert len(pairs) == 32
+    assert pairs[31] == (31, pytest.approx(32.0))
+    assert system.dram.stats.get("reads") >= 8
+
+
+def test_row_walker_block_straddling_row_ptr():
+    # rows 15/16 straddle a 64B row_ptr block boundary (entry 16 @ +64)
+    trips = [(r, 0, float(r + 1)) for r in range(20)]
+    m = SparseMatrix.from_triplets(20, 4, trips)
+    system, layout = row_system(m)
+    pairs = fetch_row(system, layout, 15)
+    assert pairs == [(0, pytest.approx(16.0))]
+
+
+def test_row_walker_every_row_matches_reference():
+    import random
+    rng = random.Random(3)
+    trips = [(r, c, rng.uniform(0.5, 2.0))
+             for r in range(16) for c in range(16) if rng.random() < 0.3]
+    m = SparseMatrix.from_triplets(16, 16, trips)
+    system, layout = row_system(m)
+    for r in range(16):
+        pairs = fetch_row(system, layout, r)
+        cols, vals = m.row(r)
+        assert [c for c, _v in pairs] == cols
+        for (_c, got), want in zip(pairs, vals):
+            assert got == pytest.approx(want)
+
+
+def test_row_walker_second_access_hits():
+    m = SparseMatrix.from_dense([[1.0, 2.0]])
+    system, layout = row_system(m)
+    fetch_row(system, layout, 0)
+    dram_before = system.dram.stats.get("reads")
+    fetch_row(system, layout, 0)
+    assert system.dram.stats.get("reads") == dram_before
+    assert system.controller.stats.get("hits") == 1
+
+
+def event_system(**cfg_kw):
+    kw = dict(ways=1, sets=64, data_sectors=128, tag_fields=("vertex",),
+              wlen=1, xregs_per_walker=8)
+    kw.update(cfg_kw)
+    return XCacheSystem(XCacheConfig(**kw), build_event_walker(),
+                        store_merge="fadd")
+
+
+def bits(x):
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def val(resp):
+    return struct.unpack("<d", resp.data[:8])[0]
+
+
+def test_event_walker_insert_without_dram():
+    system = event_system()
+    system.store((7,), bits(0.25))
+    system.run()
+    assert system.dram.stats.get("reads") == 0
+    system.load((7,), take=True)
+    system.run()
+    assert val(system.responses[-1]) == pytest.approx(0.25)
+
+
+def test_event_walker_coalesces_many_stores():
+    system = event_system()
+    for _ in range(10):
+        system.store((3,), bits(0.1))
+    system.run()
+    system.load((3,), take=True)
+    system.run()
+    assert val(system.responses[-1]) == pytest.approx(1.0)
+
+
+def test_event_walker_distinct_vertices_independent():
+    system = event_system()
+    system.store((1,), bits(1.0))
+    system.store((2,), bits(2.0))
+    system.run()
+    system.load((1,), take=True)
+    system.load((2,), take=True)
+    system.run()
+    values = sorted(val(r) for r in system.responses[-2:])
+    assert values == [pytest.approx(1.0), pytest.approx(2.0)]

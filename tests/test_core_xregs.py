@@ -1,0 +1,92 @@
+"""Unit tests for X-register contexts and occupancy accounting."""
+
+import pytest
+
+from repro.core import XRegisterFile
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        XRegisterFile(0, 8)
+    with pytest.raises(ValueError):
+        XRegisterFile(4, 0)
+
+
+def test_allocate_until_exhausted():
+    xregs = XRegisterFile(2, 4)
+    c1 = xregs.allocate(0)
+    c2 = xregs.allocate(0)
+    assert c1 is not None and c2 is not None
+    assert xregs.allocate(0) is None
+    assert xregs.alloc_failures == 1
+    assert xregs.live_contexts == 2
+    assert xregs.free_contexts == 0
+
+
+def test_release_recycles():
+    xregs = XRegisterFile(1, 4)
+    ctx = xregs.allocate(0)
+    xregs.release(ctx, 10)
+    assert xregs.allocate(11) is not None
+
+
+def test_release_unknown_raises():
+    xregs = XRegisterFile(2, 4)
+    ctx = xregs.allocate(0)
+    xregs.release(ctx, 1)
+    with pytest.raises(KeyError):
+        xregs.release(ctx, 2)
+
+
+def test_register_read_write():
+    xregs = XRegisterFile(1, 4)
+    ctx = xregs.allocate(0)
+    ctx.write(2, 99)
+    assert ctx.read(2) == 99
+    assert ctx.read(0) == 0
+
+
+def test_register_bounds():
+    ctx = XRegisterFile(1, 4).allocate(0)
+    with pytest.raises(IndexError):
+        ctx.write(4, 1)
+    with pytest.raises(IndexError):
+        ctx.read(-1)
+
+
+def test_values_wrap_to_64_bits():
+    ctx = XRegisterFile(1, 2).allocate(0)
+    ctx.write(0, 1 << 70)
+    assert ctx.read(0) == (1 << 70) & ((1 << 64) - 1)
+
+
+def test_regs_touched_high_water():
+    ctx = XRegisterFile(1, 8).allocate(0)
+    ctx.write(0, 1)
+    ctx.write(5, 1)
+    ctx.write(2, 1)
+    assert ctx.regs_touched == 6
+
+
+def test_resident_occupancy_uses_touched_registers():
+    xregs = XRegisterFile(2, 8)
+    ctx = xregs.allocate(10)
+    ctx.write(1, 5)  # 2 registers touched
+    xregs.release(ctx, 30)
+    assert xregs.resident_byte_cycles == 2 * 8 * 20
+
+
+def test_active_occupancy_charged_per_slot():
+    xregs = XRegisterFile(1, 8)
+    ctx = xregs.allocate(0)
+    ctx.write(3, 1)  # 4 regs touched
+    xregs.charge_active(ctx, 5)
+    assert xregs.occupancy_byte_cycles == 4 * 8 * 5
+
+
+def test_finalize_closes_live_contexts():
+    xregs = XRegisterFile(2, 8)
+    ctx = xregs.allocate(0)
+    ctx.write(0, 1)
+    xregs.finalize(100)
+    assert xregs.resident_byte_cycles == 1 * 8 * 100

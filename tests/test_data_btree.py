@@ -1,0 +1,114 @@
+"""Unit + property tests for the B-tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import BTree
+from repro.mem import MemoryImage
+
+
+def build(items):
+    image = MemoryImage()
+    return image, BTree(image, items)
+
+
+def test_empty_tree():
+    _image, tree = build([])
+    assert tree.probe(5) is None
+    assert tree.height == 1
+    assert len(tree) == 0
+
+
+def test_single_item():
+    _image, tree = build([(10, 100)])
+    assert tree.probe(10) == 100
+    assert tree.probe(11) is None
+
+
+def test_all_items_found():
+    items = {k * 7: k for k in range(1, 100)}
+    _image, tree = build(items.items())
+    for key, value in items.items():
+        assert tree.probe(key) == value
+
+
+def test_absent_keys_not_found():
+    _image, tree = build([(k, k) for k in range(0, 100, 2)])
+    for key in range(1, 100, 2):
+        assert tree.probe(key) is None
+
+
+def test_height_grows_logarithmically():
+    _image, small = build([(k, k) for k in range(3)])
+    image2, big = BTree.__new__(BTree), None
+    _image2, big = build([(k, k) for k in range(200)])
+    assert small.height == 1
+    assert 3 <= big.height <= 6
+    assert big.num_nodes > 60
+
+
+def test_nodes_are_block_aligned():
+    _image, tree = build([(k, k) for k in range(50)])
+    _value, path = tree.probe_with_path(25)
+    for node in path:
+        assert node % BTree.NODE_BYTES == 0
+
+
+def test_path_length_equals_height():
+    _image, tree = build([(k, k) for k in range(64)])
+    _value, path = tree.probe_with_path(30)
+    assert len(path) == tree.height
+
+
+def test_key_range_validation():
+    with pytest.raises(ValueError):
+        build([((1 << 64) - 1, 0)])
+
+
+def test_duplicate_keys_last_wins():
+    _image, tree = build([(5, 1), (5, 2)])
+    assert tree.probe(5) == 2
+
+
+def test_keys_sorted():
+    _image, tree = build([(9, 0), (1, 0), (5, 0)])
+    assert tree.keys() == [1, 5, 9]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=2**50),
+                       st.integers(min_value=0, max_value=2**40),
+                       min_size=1, max_size=120))
+def test_probe_roundtrip_property(items):
+    _image, tree = build(items.items())
+    for key, value in items.items():
+        assert tree.probe(key) == value
+    # a key guaranteed absent
+    missing = max(items) + 1
+    assert tree.probe(missing) is None
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=300),
+       st.integers(min_value=0, max_value=99))
+def test_walker_agrees_with_probe_property(n, seed):
+    from repro.core import XCacheConfig, XCacheSystem
+    from repro.dsa.walkers import build_btree_walker
+    rng = random.Random(seed)
+    items = {rng.randrange(1, 1 << 40): rng.randrange(1 << 32)
+             for _ in range(n)}
+    config = XCacheConfig(ways=4, sets=16, data_sectors=128, num_active=8,
+                          xregs_per_walker=16)
+    system = XCacheSystem(config, build_btree_walker())
+    tree = BTree(system.image, items.items())
+    probes = rng.sample(sorted(items), min(20, len(items))) + [1 << 41]
+    for key in probes:
+        system.load((key,), walk_fields={"root": tree.root_addr})
+    for resp in system.run():
+        key = resp.request.tag[0]
+        want = items.get(key)
+        got = (int.from_bytes(resp.data[:8], "little")
+               if resp.found else None)
+        assert got == want

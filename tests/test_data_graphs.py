@@ -1,0 +1,84 @@
+"""Unit tests for the graph substrate and PageRank references."""
+
+import pytest
+
+from repro.data import (
+    Graph,
+    GraphLayout,
+    pagerank_event_driven,
+    pagerank_reference,
+)
+from repro.mem import MemoryImage
+
+
+def ring(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def test_csr_adjacency():
+    g = Graph(3, [(0, 1), (0, 2), (2, 1)])
+    assert g.out_neighbors(0) == [1, 2]
+    assert g.out_neighbors(1) == []
+    assert g.out_degree(2) == 1
+    assert g.num_edges == 3
+
+
+def test_neighbors_sorted():
+    g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+    assert g.out_neighbors(0) == [1, 2, 3]
+
+
+def test_edge_bounds_checked():
+    with pytest.raises(ValueError):
+        Graph(2, [(0, 5)])
+
+
+def test_pagerank_ring_uniform():
+    ranks = pagerank_reference(ring(5), iterations=50)
+    for r in ranks:
+        assert r == pytest.approx(0.2, abs=1e-6)
+
+
+def test_pagerank_sums_to_one():
+    g = Graph(4, [(0, 1), (1, 2), (2, 0), (3, 0)])
+    ranks = pagerank_reference(g, iterations=60)
+    assert sum(ranks) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_event_driven_matches_reference_no_dangling():
+    g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (2, 0)])
+    ref = pagerank_reference(g, iterations=100)
+    evt, processed = pagerank_event_driven(g, epsilon=1e-10)
+    assert processed > 0
+    for a, b in zip(ref, evt):
+        assert a == pytest.approx(b, abs=1e-4)
+
+
+def test_event_driven_converges_sum():
+    g = ring(8)
+    ranks, _n = pagerank_event_driven(g, epsilon=1e-9)
+    assert sum(ranks) == pytest.approx(1.0, abs=1e-5)
+
+
+def test_empty_graph():
+    assert pagerank_reference(Graph(0, [])) == []
+    ranks, n = pagerank_event_driven(Graph(0, []))
+    assert ranks == [] and n == 0
+
+
+def test_hub_ranks_higher():
+    # everyone points at vertex 0; 0 points back at 1
+    g = Graph(5, [(i, 0) for i in range(1, 5)] + [(0, 1)])
+    ranks = pagerank_reference(g, iterations=80)
+    assert ranks[0] == max(ranks)
+
+
+def test_layout_addresses():
+    image = MemoryImage()
+    g = ring(4)
+    layout = GraphLayout.build(image, g)
+    assert layout.indptr_entry(2) == layout.indptr_addr + 8
+    assert layout.indices_entry(1) == layout.indices_addr + 4
+    assert layout.rank_entry(3) == layout.rank_addr + 24
+    # functional readback of indptr
+    assert image.read_u32(layout.indptr_entry(4)) == 4

@@ -1,0 +1,89 @@
+"""Tests for shared DSA infrastructure (RunResult, RequestPump)."""
+
+import pytest
+
+from repro.dsa import RequestPump, RunResult
+from repro.sim import Simulator
+
+
+def make_result(cycles=100, **kw):
+    defaults = dict(dsa="x", variant="xcache", cycles=cycles, dram_reads=10,
+                    dram_writes=2, onchip_accesses=50, hits=8, misses=2,
+                    requests=10)
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+def test_run_result_derived_metrics():
+    r = make_result()
+    assert r.dram_accesses == 12
+    assert r.hit_rate == pytest.approx(0.8)
+
+
+def test_hit_rate_no_accesses():
+    r = make_result(hits=0, misses=0)
+    assert r.hit_rate == 0.0
+
+
+def test_speedup_over():
+    fast = make_result(cycles=100)
+    slow = make_result(cycles=250)
+    assert fast.speedup_over(slow) == pytest.approx(2.5)
+    assert slow.speedup_over(fast) == pytest.approx(0.4)
+
+
+def test_speedup_zero_cycles():
+    assert make_result(cycles=0).speedup_over(make_result()) == 0.0
+
+
+def test_row_serialization():
+    row = make_result().row()
+    assert row == {"dsa": "x", "variant": "xcache", "cycles": 100,
+                   "dram": 12, "onchip": 50, "hit_rate": 0.8, "ok": True}
+
+
+def test_pump_window_limits_outstanding():
+    sim = Simulator()
+    issued = []
+    pump = RequestPump(sim, total=10, issue_fn=issued.append, window=3)
+    pump.start()
+    assert issued == [0, 1, 2]
+    pump.complete()
+    assert issued == [0, 1, 2, 3]
+
+
+def test_pump_completion_callback():
+    sim = Simulator()
+    done = []
+    pump = RequestPump(sim, total=2, issue_fn=lambda i: None, window=4,
+                       on_done=lambda: done.append(True))
+    pump.start()
+    pump.complete()
+    assert not pump.done
+    pump.complete()
+    assert pump.done and done == [True]
+
+
+def test_pump_empty_trace_fires_done():
+    sim = Simulator()
+    done = []
+    pump = RequestPump(sim, total=0, issue_fn=lambda i: None,
+                       on_done=lambda: done.append(True))
+    pump.start()
+    sim.run()
+    assert done == [True]
+
+
+def test_pump_window_validation():
+    with pytest.raises(ValueError):
+        RequestPump(Simulator(), total=1, issue_fn=lambda i: None, window=0)
+
+
+def test_pump_issues_in_order():
+    sim = Simulator()
+    issued = []
+    pump = RequestPump(sim, total=5, issue_fn=issued.append, window=1)
+    pump.start()
+    for _ in range(4):
+        pump.complete()
+    assert issued == [0, 1, 2, 3, 4]

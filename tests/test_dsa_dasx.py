@@ -1,0 +1,62 @@
+"""Integration tests for the DASX DSA variants."""
+
+import pytest
+
+from repro.core.config import table3_config
+from repro.dsa import DasxAddressModel, DasxBaselineModel, DasxXCacheModel
+from repro.workloads import make_widx_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_widx_workload(num_keys=256, num_probes=512, num_buckets=128,
+                              skew=1.2, hash_cycles=20, seed=13,
+                              name="dasx")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return table3_config("dasx", scale=0.03125)
+
+
+def test_xcache_rounds_validate(workload, config):
+    model = DasxXCacheModel(workload, config=config, round_size=32)
+    result = model.run()
+    assert result.checks_passed
+    assert result.extras["rounds"] == 16
+    assert result.dsa == "dasx"
+
+
+def test_round_partitioning(workload, config):
+    model = DasxXCacheModel(workload, config=config, round_size=100)
+    assert len(model._rounds) == 6  # ceil(512/100)
+    assert sum(len(r) for r in model._rounds) == 512
+
+
+def test_baseline_flush_per_round_validates(workload):
+    result = DasxBaselineModel(workload, round_size=32).run()
+    assert result.checks_passed
+    assert result.variant == "baseline"
+
+
+def test_address_variant_uses_round_orchestration(workload, config):
+    result = DasxAddressModel(workload, xcache_config=config,
+                              round_size=32).run()
+    assert result.checks_passed
+    assert result.variant == "addr"
+
+
+def test_preload_makes_compute_hits(workload, config):
+    model = DasxXCacheModel(workload, config=config, round_size=32)
+    result = model.run()
+    # at least the compute phase's accesses (half of all) should hit
+    assert result.hits >= len(workload.probes) // 2
+
+
+def test_cross_round_reuse_beats_flush(config):
+    # trace with heavy cross-round repetition
+    wl = make_widx_workload(num_keys=64, num_probes=512, num_buckets=64,
+                            skew=1.3, hash_cycles=20, seed=17, name="dasx")
+    x = DasxXCacheModel(wl, config=config, round_size=32).run()
+    base = DasxBaselineModel(wl, round_size=32).run()
+    assert x.cycles < base.cycles

@@ -1,0 +1,88 @@
+"""Energy-model coverage across every DSA variant.
+
+Each DSA family's run must produce a self-consistent energy breakdown:
+positive totals, data-array dominance trends, and the programmability
+cost (routine RAM) staying a small fraction — the invariants behind
+Figures 15/16 at any workload size.
+"""
+
+import pytest
+
+from repro.core.config import table3_config
+from repro.dsa import (
+    DasxXCacheModel,
+    GammaXCacheModel,
+    GraphPulseXCacheModel,
+    SpArchXCacheModel,
+    WidxXCacheModel,
+)
+from repro.workloads import (
+    dense_spgemm_input,
+    make_widx_workload,
+    powerlaw_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    wl = make_widx_workload(num_keys=512, num_probes=1024, num_buckets=256,
+                            skew=1.3, hash_cycles=20, seed=3)
+    out["widx"] = WidxXCacheModel(
+        wl, config=table3_config("widx", scale=0.0625)).run()
+    out["dasx"] = DasxXCacheModel(
+        wl, config=table3_config("dasx", scale=0.0625)).run()
+    graph = powerlaw_graph(300, 1000, seed=5)
+    out["graphpulse"] = GraphPulseXCacheModel(graph, num_pes=4).run()
+    a, b = dense_spgemm_input(n=96, nnz_per_row=6, seed=5)
+    out["sparch"] = SpArchXCacheModel(
+        a, b, config=table3_config("sparch", scale=0.125)).run()
+    out["gamma"] = GammaXCacheModel(
+        a, b, config=table3_config("gamma", scale=0.125)).run()
+    return out
+
+
+@pytest.mark.parametrize("dsa", ["widx", "dasx", "graphpulse", "sparch",
+                                 "gamma"])
+def test_every_component_nonnegative(runs, dsa):
+    energy = runs[dsa].energy
+    assert energy is not None
+    assert energy.total_pj > 0
+    for name, pj in energy.components.items():
+        assert pj >= 0.0, name
+
+
+@pytest.mark.parametrize("dsa", ["widx", "dasx", "graphpulse", "sparch",
+                                 "gamma"])
+def test_routine_ram_is_minor(runs, dsa):
+    """Programmability must stay a small fraction (paper: <4.2%)."""
+    assert runs[dsa].energy.share("routine_ram") < 0.20
+
+
+@pytest.mark.parametrize("dsa", ["widx", "dasx", "graphpulse", "sparch",
+                                 "gamma"])
+def test_power_positive_and_finite(runs, dsa):
+    power = runs[dsa].energy.power_mw()
+    assert 0.0 < power < 1e5
+
+
+def test_sparch_data_dominates(runs):
+    """Multi-sector row traffic makes data the dominant component."""
+    assert runs["sparch"].energy.share("data_ram") > 0.5
+
+
+def test_graphpulse_no_walk_energy(runs):
+    """The event walker never touches DRAM; AGEN stays tiny."""
+    assert runs["graphpulse"].energy.share("agen_alu") < 0.15
+
+
+def test_hash_dsa_pays_agen(runs):
+    """Widx misses hash + chase: visible AGEN share."""
+    assert runs["widx"].energy.share("agen_alu") > \
+        runs["graphpulse"].energy.share("agen_alu")
+
+
+@pytest.mark.parametrize("dsa", ["widx", "dasx", "graphpulse", "sparch",
+                                 "gamma"])
+def test_all_runs_validated(runs, dsa):
+    assert runs[dsa].checks_passed

@@ -1,0 +1,86 @@
+"""Integration tests for the Widx DSA variants."""
+
+import pytest
+
+from repro.core.config import table3_config
+from repro.dsa import (
+    WidxAddressModel,
+    WidxBaselineModel,
+    WidxWorkload,
+    WidxXCacheModel,
+    matched_cache_config,
+)
+from repro.workloads import make_widx_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_widx_workload(num_keys=256, num_probes=512, num_buckets=128,
+                              skew=1.2, hash_cycles=20, seed=11)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return table3_config("widx", scale=0.03125)
+
+
+def test_xcache_variant_validates(workload, config):
+    result = WidxXCacheModel(workload, config=config).run()
+    assert result.checks_passed
+    assert result.requests == 512
+    assert result.cycles > 0
+    assert 0.0 < result.hit_rate < 1.0
+    assert result.energy is not None and result.energy.total_pj > 0
+
+
+def test_baseline_variant_validates(workload):
+    result = WidxBaselineModel(workload, num_walkers=2).run()
+    assert result.checks_passed
+    assert result.variant == "baseline"
+    assert result.extras["hash_ops"] == 512  # hashes every probe
+
+
+def test_address_variant_validates(workload, config):
+    result = WidxAddressModel(workload, xcache_config=config).run()
+    assert result.checks_passed
+    assert result.variant == "addr"
+
+
+def test_xcache_beats_always_walk_baseline(workload, config):
+    x = WidxXCacheModel(workload, config=config).run()
+    base = WidxBaselineModel(workload, num_walkers=2).run()
+    assert x.speedup_over(base) > 1.0
+
+
+def test_more_walkers_speed_up_baseline(workload):
+    slow = WidxBaselineModel(workload, num_walkers=1).run()
+    fast = WidxBaselineModel(workload, num_walkers=8).run()
+    assert fast.cycles < slow.cycles
+
+
+def test_matched_cache_config_capacity():
+    xcfg = table3_config("widx")
+    ccfg = matched_cache_config(xcfg)
+    assert ccfg.capacity_bytes <= xcfg.data_bytes
+    assert ccfg.capacity_bytes >= xcfg.data_bytes // 2
+
+
+def test_string_hash_hurts_baseline_more():
+    cheap = make_widx_workload(num_keys=128, num_probes=256,
+                               num_buckets=128, hash_cycles=1, seed=5)
+    costly = make_widx_workload(num_keys=128, num_probes=256,
+                                num_buckets=128, hash_cycles=60, seed=5)
+    cfg = table3_config("widx", scale=0.03125)
+    gap_cheap = (WidxBaselineModel(cheap, num_walkers=2).run().cycles
+                 / WidxXCacheModel(cheap, config=cfg).run().cycles)
+    gap_costly = (WidxBaselineModel(costly, num_walkers=2).run().cycles
+                  / WidxXCacheModel(costly, config=cfg).run().cycles)
+    assert gap_costly > gap_cheap
+
+
+def test_run_result_row_fields(workload, config):
+    result = WidxXCacheModel(workload, config=config).run()
+    row = result.row()
+    assert row["dsa"] == workload.name
+    assert row["variant"] == "xcache"
+    assert row["ok"] is True

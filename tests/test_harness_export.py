@@ -1,0 +1,60 @@
+"""Tests for machine-readable experiment exports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness import run_experiment
+from repro.harness.export import (
+    report_to_csv,
+    report_to_dict,
+    report_to_json,
+    write_run,
+)
+from repro.harness.report import ExperimentReport
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_experiment("tab03", "quick")
+
+
+def test_dict_roundtrips_content(report):
+    d = report_to_dict(report)
+    assert d["exp_id"] == "tab03"
+    assert d["headers"][0] == "DSA"
+    assert len(d["rows"]) == 5
+    assert d["all_ok"] is True
+    assert all(e["ok"] for e in d["expectations"])
+
+
+def test_json_is_valid(report):
+    parsed = json.loads(report_to_json(report))
+    assert parsed["exp_id"] == "tab03"
+    assert isinstance(parsed["rows"], list)
+
+
+def test_csv_parses_back(report):
+    rows = list(csv.reader(io.StringIO(report_to_csv(report))))
+    assert rows[0][0] == "DSA"
+    assert len(rows) == 6  # header + 5 DSAs
+    widx = next(r for r in rows if r[0] == "Widx")
+    assert widx[1:6] == ["16", "2", "8", "1024", "4"]
+
+
+def test_write_run(tmp_path):
+    written = write_run(tmp_path, ["tab04", "fig20"], profile="quick")
+    names = {p.name for p in written}
+    assert names == {"tab04.json", "tab04.csv", "fig20.json", "fig20.csv",
+                     "summary.json"}
+    summary = json.loads((tmp_path / "summary.json").read_text())
+    assert summary["experiments"]["tab04"]["all_ok"] is True
+    assert summary["profile"] == "quick"
+
+
+def test_export_handles_empty_report():
+    empty = ExperimentReport("x", "t", ["a"])
+    assert json.loads(report_to_json(empty))["rows"] == []
+    assert report_to_csv(empty).strip() == "a"

@@ -1,0 +1,144 @@
+"""Unit tests for the address-tagged cache (the Figure-14 comparator)."""
+
+import pytest
+
+from repro.mem import (
+    AddressCache,
+    CacheConfig,
+    DRAMConfig,
+    DRAMModel,
+    MemoryImage,
+)
+from repro.sim import Simulator
+
+
+def make_cache(**kw):
+    sim = Simulator()
+    image = MemoryImage()
+    dram = DRAMModel(sim, image, DRAMConfig())
+    cache = AddressCache(sim, dram, CacheConfig(**kw))
+    return sim, dram, cache
+
+
+def run_access(sim, cache, addr, is_write=False):
+    out = {}
+    cache.access(addr, is_write, lambda lat: out.update(lat=lat))
+    sim.run()
+    return out["lat"]
+
+
+def test_miss_then_hit():
+    sim, dram, cache = make_cache()
+    miss_lat = run_access(sim, cache, 0x1000)
+    hit_lat = run_access(sim, cache, 0x1000)
+    assert miss_lat > hit_lat
+    assert hit_lat == cache.config.hit_latency
+    assert cache.stats.get("misses") == 1
+    assert cache.stats.get("hits") == 1
+
+
+def test_same_block_shares_line():
+    sim, _dram, cache = make_cache()
+    run_access(sim, cache, 0x1000)
+    assert run_access(sim, cache, 0x1030) == cache.config.hit_latency
+
+
+def test_hit_rate():
+    sim, _dram, cache = make_cache()
+    run_access(sim, cache, 0)
+    run_access(sim, cache, 0)
+    run_access(sim, cache, 0)
+    assert cache.hit_rate() == pytest.approx(2 / 3)
+
+
+def test_lru_eviction_within_set():
+    sim, _dram, cache = make_cache(ways=2, sets=1)
+    run_access(sim, cache, 0)      # A
+    run_access(sim, cache, 64)     # B
+    run_access(sim, cache, 0)      # touch A
+    run_access(sim, cache, 128)    # C evicts B (LRU)
+    assert cache.contains(0)
+    assert not cache.contains(64)
+    assert cache.contains(128)
+
+
+def test_write_miss_allocates_and_dirties():
+    sim, dram, cache = make_cache(ways=1, sets=1)
+    run_access(sim, cache, 0, is_write=True)
+    assert cache.contains(0)
+    run_access(sim, cache, 64)  # evicts dirty line -> writeback
+    sim.run()
+    assert cache.stats.get("writebacks") == 1
+    assert dram.stats.get("writes") == 1
+
+
+def test_mshr_merges_concurrent_misses():
+    sim, dram, cache = make_cache()
+    done = []
+    cache.access(0x2000, False, lambda lat: done.append(lat))
+    cache.access(0x2008, False, lambda lat: done.append(lat))
+    sim.run()
+    assert len(done) == 2
+    assert dram.stats.get("reads") == 1
+    assert cache.stats.get("mshr_merges") == 1
+
+
+def test_mshr_full_backpressure_retries():
+    sim, dram, cache = make_cache(mshr_entries=1)
+    done = []
+    cache.access(0x1000, False, lambda lat: done.append("a"))
+    cache.access(0x2000, False, lambda lat: done.append("b"))
+    sim.run()
+    assert sorted(done) == ["a", "b"]
+    assert cache.stats.get("mshr_stalls") >= 1
+
+
+def test_port_serialization():
+    sim, _dram, cache = make_cache(ports=1)
+    # warm two blocks
+    run_access(sim, cache, 0)
+    run_access(sim, cache, 64)
+    done = []
+    cache.access(0, False, lambda lat: done.append(sim.now))
+    cache.access(64, False, lambda lat: done.append(sim.now))
+    sim.run()
+    assert done[1] == done[0] + 1  # second hit waits one port slot
+
+
+def test_multi_port_same_cycle():
+    sim, _dram, cache = make_cache(ports=2)
+    run_access(sim, cache, 0)
+    run_access(sim, cache, 64)
+    done = []
+    cache.access(0, False, lambda lat: done.append(sim.now))
+    cache.access(64, False, lambda lat: done.append(sim.now))
+    sim.run()
+    assert done[0] == done[1]
+
+
+def test_preload_installs_without_traffic():
+    sim, dram, cache = make_cache()
+    cache.preload(0x3000)
+    assert cache.contains(0x3000)
+    assert dram.total_accesses == 0
+    assert run_access(sim, cache, 0x3000) == cache.config.hit_latency
+
+
+def test_capacity_bytes():
+    cfg = CacheConfig(ways=4, sets=16, block_bytes=64)
+    assert cfg.capacity_bytes == 4 * 16 * 64
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(sets=3)
+    with pytest.raises(ValueError):
+        CacheConfig(ways=0)
+    with pytest.raises(ValueError):
+        CacheConfig(block_bytes=33)
+
+
+def test_fill_counted():
+    sim, _dram, cache = make_cache()
+    run_access(sim, cache, 0)
+    assert cache.stats.get("fills") == 1

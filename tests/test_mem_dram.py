@@ -1,0 +1,126 @@
+"""Unit tests for the banked DRAM timing model."""
+
+import pytest
+
+from repro.mem import DRAMConfig, DRAMModel, MemRequest, MemoryImage
+from repro.sim import Simulator
+
+
+def make_dram(**kw):
+    sim = Simulator()
+    image = MemoryImage()
+    return sim, image, DRAMModel(sim, image, DRAMConfig(**kw))
+
+
+def test_read_returns_functional_block():
+    sim, image, dram = make_dram()
+    addr = image.alloc(64, align=64)
+    image.write_u64(addr + 8, 777)
+    got = {}
+    dram.request(MemRequest(addr), lambda r: got.update(data=r.data))
+    sim.run()
+    assert int.from_bytes(got["data"][8:16], "little") == 777
+
+
+def test_response_is_block_aligned():
+    sim, image, dram = make_dram()
+    got = {}
+    dram.request(MemRequest(100), lambda r: got.update(addr=r.addr))
+    sim.run()
+    assert got["addr"] == 64
+
+
+def test_cold_access_latency():
+    sim, _image, dram = make_dram()
+    cfg = dram.config
+    got = {}
+    dram.request(MemRequest(0), lambda r: got.update(lat=r.latency))
+    sim.run()
+    assert got["lat"] == cfg.t_rcd + cfg.t_cl + cfg.burst_cycles
+
+
+def test_row_hit_faster_than_conflict():
+    sim, _image, dram = make_dram()
+    lat = []
+    # same row twice -> second is a row hit
+    dram.request(MemRequest(0), lambda r: lat.append(r.latency))
+    sim.run()
+    dram.request(MemRequest(64), lambda r: lat.append(r.latency))
+    sim.run()
+    # different row, same bank -> conflict
+    row_span = dram.config.row_bytes * dram.config.num_banks
+    dram.request(MemRequest(row_span), lambda r: lat.append(r.latency))
+    sim.run()
+    assert lat[1] < lat[0] < lat[2]
+    assert dram.stats.get("row_hits") == 1
+    assert dram.stats.get("row_conflicts") == 1
+
+
+def test_bank_interleaving_by_row():
+    _sim, _image, dram = make_dram(num_banks=4, row_bytes=2048)
+    assert dram.bank_of(0) == 0
+    assert dram.bank_of(2048) == 1
+    assert dram.bank_of(4096) == 2
+    assert dram.bank_of(2048 * 4) == 0
+
+
+def test_bus_serializes_parallel_requests():
+    sim, _image, dram = make_dram()
+    done = []
+    # different banks -> bank-parallel, but one data bus
+    for i in range(4):
+        dram.request(MemRequest(i * 2048),
+                     lambda r, i=i: done.append((i, sim.now)))
+    sim.run()
+    times = [t for _i, t in sorted(done)]
+    for t1, t2 in zip(times, times[1:]):
+        assert t2 - t1 >= dram.config.burst_cycles
+
+
+def test_write_updates_image():
+    sim, image, dram = make_dram()
+    addr = image.alloc(64, align=64)
+    payload = bytes([7] * 64)
+    dram.request(MemRequest(addr, is_write=True, data=payload),
+                 lambda r: None)
+    sim.run()
+    assert image.read_block(addr, 64) == payload
+    assert dram.stats.get("writes") == 1
+
+
+def test_access_counters():
+    sim, _image, dram = make_dram()
+    for i in range(3):
+        dram.request(MemRequest(i * 64), lambda r: None)
+    dram.request(MemRequest(0, is_write=True), lambda r: None)
+    sim.run()
+    assert dram.total_accesses == 4
+    assert dram.stats.get("bytes") == 4 * 64
+
+
+def test_row_hit_rate():
+    sim, _image, dram = make_dram()
+    dram.request(MemRequest(0), lambda r: None)
+    sim.run()
+    dram.request(MemRequest(64), lambda r: None)
+    sim.run()
+    assert dram.row_hit_rate() == pytest.approx(0.5)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        DRAMConfig(num_banks=3)
+    with pytest.raises(ValueError):
+        DRAMConfig(block_bytes=48)
+    with pytest.raises(ValueError):
+        DRAMConfig(row_bytes=100, block_bytes=64)
+
+
+def test_latency_histogram_collected():
+    sim, _image, dram = make_dram()
+    for i in range(5):
+        dram.request(MemRequest(i * 64), lambda r: None)
+    sim.run()
+    hist = dram.stats.histogram("latency")
+    assert hist.count == 5
+    assert hist.mean > 0

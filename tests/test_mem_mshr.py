@@ -1,0 +1,70 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem import MSHRFile
+
+
+def test_allocate_new_entry_needs_fill():
+    mshrs = MSHRFile(4)
+    assert mshrs.allocate(0x100, lambda: None) is True
+    assert len(mshrs) == 1
+
+
+def test_merge_into_existing_miss():
+    mshrs = MSHRFile(4)
+    mshrs.allocate(0x100, lambda: None)
+    assert mshrs.allocate(0x100, lambda: None) is False
+    assert mshrs.merges == 1
+    assert len(mshrs) == 1
+
+
+def test_complete_wakes_waiters_in_order():
+    mshrs = MSHRFile(4)
+    order = []
+    mshrs.allocate(0x40, lambda: order.append(1))
+    mshrs.allocate(0x40, lambda: order.append(2))
+    for waiter in mshrs.complete(0x40):
+        waiter()
+    assert order == [1, 2]
+    assert len(mshrs) == 0
+
+
+def test_complete_unknown_block_is_empty():
+    assert MSHRFile(2).complete(0x999) == []
+
+
+def test_full_file_raises_for_new_block():
+    mshrs = MSHRFile(2)
+    mshrs.allocate(0x40, lambda: None)
+    mshrs.allocate(0x80, lambda: None)
+    assert mshrs.full
+    with pytest.raises(RuntimeError):
+        mshrs.allocate(0xC0, lambda: None)
+    assert mshrs.stalls == 1
+
+
+def test_full_file_still_merges_existing():
+    mshrs = MSHRFile(2)
+    mshrs.allocate(0x40, lambda: None)
+    mshrs.allocate(0x80, lambda: None)
+    assert mshrs.allocate(0x40, lambda: None) is False
+
+
+def test_write_flag_sticks():
+    mshrs = MSHRFile(2)
+    mshrs.allocate(0x40, lambda: None, is_write=False)
+    mshrs.allocate(0x40, lambda: None, is_write=True)
+    assert mshrs.lookup(0x40).is_write
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_lookup_returns_entry():
+    mshrs = MSHRFile(2)
+    mshrs.allocate(0x40, lambda: None)
+    assert mshrs.lookup(0x40).block == 0x40
+    assert mshrs.lookup(0x80) is None

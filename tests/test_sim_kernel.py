@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_starts_at_cycle_zero():
+    assert Simulator().now == 0
+
+
+def test_call_at_runs_at_cycle():
+    sim = Simulator()
+    seen = []
+    sim.call_at(10, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [10]
+
+
+def test_call_after_relative():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5, lambda: sim.call_after(7, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [12]
+
+
+def test_same_cycle_fifo_order():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.call_at(3, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_events_ordered_across_cycles():
+    sim = Simulator()
+    seen = []
+    sim.call_at(9, lambda: seen.append(9))
+    sim.call_at(2, lambda: seen.append(2))
+    sim.call_at(5, lambda: seen.append(5))
+    sim.run()
+    assert seen == [2, 5, 9]
+
+
+def test_run_returns_final_cycle():
+    sim = Simulator()
+    sim.call_at(42, lambda: None)
+    assert sim.run() == 42
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.call_at(10, lambda: seen.append(10))
+    sim.call_at(100, lambda: seen.append(100))
+    sim.run(until=50)
+    assert seen == [10]
+    assert sim.now == 50
+    assert sim.pending == 1
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    seen = []
+    sim.call_at(100, lambda: seen.append(100))
+    sim.run(until=50)
+    sim.run()
+    assert seen == [100]
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.call_at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().call_after(-1, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.stop()
+
+    sim.call_at(1, first)
+    sim.call_at(2, lambda: seen.append("second"))
+    sim.run()
+    assert seen == ["first"]
+    assert sim.pending == 1
+
+
+def test_step_runs_one_cycle():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1, lambda: seen.append("a"))
+    sim.call_at(1, lambda: seen.append("b"))
+    sim.call_at(2, lambda: seen.append("c"))
+    assert sim.step()
+    assert seen == ["a", "b"]
+    assert sim.step()
+    assert seen == ["a", "b", "c"]
+    assert not sim.step()
+
+
+def test_max_events_guards_livelock():
+    sim = Simulator()
+
+    def respawn():
+        sim.call_after(1, respawn)
+
+    sim.call_at(0, respawn)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            sim.call_after(2, lambda: chain(n + 1))
+
+    sim.call_at(0, chain.__get__(0) if False else (lambda: chain(0)))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert sim.now == 8
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.call_at(0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_zero_delay_runs_same_cycle():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5, lambda: sim.call_after(0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [5]

@@ -1,0 +1,110 @@
+"""Tests for the event tracer and its controller integration."""
+
+import pytest
+
+from repro.sim import TraceEvent, Tracer
+
+
+def test_emit_and_inspect():
+    tracer = Tracer()
+    tracer.emit(5, "ctl", "hit", tag=(1,))
+    tracer.emit(9, "ctl", "fill", addr=64)
+    assert len(tracer) == 2
+    assert tracer.count("hit") == 1
+    assert tracer.events()[0].get("tag") == (1,)
+    assert tracer.events()[1].cycle == 9
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.emit(i, "c", "k", n=i)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert tracer.total_emitted == 5
+    assert [e.get("n") for e in tracer.events()] == [2, 3, 4]
+
+
+def test_kind_filtering_at_emit():
+    tracer = Tracer(kinds=("hit",))
+    tracer.emit(1, "c", "hit")
+    tracer.emit(2, "c", "fill")
+    assert tracer.count("hit") == 1
+    assert tracer.count("fill") == 0
+
+
+def test_filter_by_component_and_predicate():
+    tracer = Tracer()
+    tracer.emit(1, "a", "hit", tag=(1,))
+    tracer.emit(2, "b", "hit", tag=(2,))
+    assert len(tracer.filter(component="a")) == 1
+    assert len(tracer.filter(kind="hit")) == 2
+    assert len(tracer.filter(predicate=lambda e: e.get("tag") == (2,))) == 1
+
+
+def test_render_and_clear():
+    tracer = Tracer()
+    tracer.emit(1, "ctl", "retire", found=True)
+    text = tracer.render()
+    assert "retire" in text and "found=True" in text
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_render_last_n():
+    tracer = Tracer()
+    for i in range(10):
+        tracer.emit(i, "c", "k")
+    assert len(tracer.render(last=3).splitlines()) == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_event_default_get():
+    event = TraceEvent(1, "c", "k")
+    assert event.get("missing", 42) == 42
+
+
+def test_controller_emits_trace(mini_system):
+    tracer = Tracer()
+    mini_system.controller.tracer = tracer
+    addr = mini_system.image.alloc_u64_array([1])
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    kinds = tracer.kinds()
+    assert kinds.get("walk_start") == 1
+    assert kinds.get("dispatch") == 2      # Default + Wait routines
+    assert kinds.get("fill") == 1
+    assert kinds.get("retire") == 1
+    assert kinds.get("hit") == 1
+
+
+def test_trace_invariant_one_dispatch_per_routine(mini_system):
+    tracer = Tracer()
+    mini_system.controller.tracer = tracer
+    addr = mini_system.image.alloc_u64_array(list(range(6)))
+    for i in range(6):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    assert tracer.count("walk_start") == 6
+    assert tracer.count("retire") == 6
+    assert tracer.count("fill") == 6
+    # every retire happens after its walk_start
+    starts = {e.get("tag"): e.cycle for e in tracer.filter("walk_start")}
+    for retire in tracer.filter("retire"):
+        assert retire.cycle > starts[retire.get("tag")]
+
+
+def test_merge_traced(mini_system):
+    tracer = Tracer()
+    mini_system.controller.tracer = tracer
+    addr = mini_system.image.alloc_u64_array([1])
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    assert tracer.count("merge") == 1

@@ -1,0 +1,155 @@
+"""Tests for workload generators (determinism + shape)."""
+
+import pytest
+
+from repro.workloads import (
+    ZipfSampler,
+    banded_sparse,
+    dense_spgemm_input,
+    gnutella_spgemm_input,
+    graph_adjacency,
+    make_widx_workload,
+    p2p_gnutella08,
+    powerlaw_graph,
+    random_sparse,
+    tpch_query_workload,
+    zipf_trace,
+    TPCH_QUERIES,
+)
+
+
+def test_zipf_deterministic():
+    s1 = ZipfSampler(100, 1.0, seed=5).trace(50)
+    s2 = ZipfSampler(100, 1.0, seed=5).trace(50)
+    assert s1 == s2
+
+
+def test_zipf_skew_concentrates_mass():
+    flat = ZipfSampler(100, 0.0, seed=1).trace(2000)
+    skewed = ZipfSampler(100, 1.5, seed=1).trace(2000)
+    assert skewed.count(0) > flat.count(0) * 3
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -1.0)
+
+
+def test_zipf_trace_over_items():
+    trace = zipf_trace(["a", "b", "c"], 100, seed=2)
+    assert len(trace) == 100
+    assert set(trace) <= {"a", "b", "c"}
+
+
+def test_widx_workload_shape():
+    wl = make_widx_workload(num_keys=128, num_probes=256, num_buckets=64,
+                            seed=1)
+    assert len(wl.pairs) == 128
+    assert len(wl.probes) == 256
+    assert len({k for k, _ in wl.pairs}) == 128  # unique keys
+
+
+def test_widx_workload_deterministic():
+    w1 = make_widx_workload(num_keys=64, num_probes=64, num_buckets=64,
+                            seed=9)
+    w2 = make_widx_workload(num_keys=64, num_probes=64, num_buckets=64,
+                            seed=9)
+    assert w1.probes == w2.probes
+    assert w1.pairs == w2.pairs
+
+
+def test_widx_workload_miss_fraction():
+    wl = make_widx_workload(num_keys=128, num_probes=400, num_buckets=128,
+                            miss_fraction=0.25, seed=3)
+    present = {k for k, _ in wl.pairs}
+    missing = sum(1 for p in wl.probes if p not in present)
+    assert missing == 100
+
+
+def test_widx_workload_validation():
+    with pytest.raises(ValueError):
+        make_widx_workload(num_buckets=100)
+    with pytest.raises(ValueError):
+        make_widx_workload(miss_fraction=2.0)
+
+
+def test_tpch_query_knobs():
+    assert set(TPCH_QUERIES) == {"TPC-H-19", "TPC-H-20", "TPC-H-22"}
+    wl19 = tpch_query_workload("TPC-H-19", num_keys=128, num_probes=128)
+    wl22 = tpch_query_workload("TPC-H-22", num_keys=128, num_probes=128)
+    assert wl19.hash_cycles > wl22.hash_cycles  # string vs numeric keys
+    with pytest.raises(KeyError):
+        tpch_query_workload("TPC-H-1")
+
+
+def test_powerlaw_graph_shape():
+    g = powerlaw_graph(200, 800, seed=4)
+    assert g.num_vertices == 200
+    assert g.num_edges <= 800
+    assert g.num_edges >= 700  # close to target
+
+
+def test_powerlaw_graph_no_dangling():
+    g = powerlaw_graph(300, 900, seed=7)
+    for v in range(g.num_vertices):
+        assert g.out_degree(v) >= 1
+
+
+def test_powerlaw_graph_heavy_tail():
+    g = powerlaw_graph(500, 2500, seed=5)
+    in_deg = [0] * g.num_vertices
+    for v in range(g.num_vertices):
+        for u in g.out_neighbors(v):
+            in_deg[u] += 1
+    assert max(in_deg) > 10 * (sum(in_deg) / len(in_deg))
+
+
+def test_graph_presets_scale():
+    g = p2p_gnutella08(scale=0.02)
+    assert 100 <= g.num_vertices <= 200
+
+
+def test_random_sparse_exact_nnz():
+    m = random_sparse(16, 16, 40, seed=1)
+    assert m.nnz == 40
+    with pytest.raises(ValueError):
+        random_sparse(2, 2, 5)
+
+
+def test_banded_sparse_band_structure():
+    m = banded_sparse(8, band=1)
+    for r in range(8):
+        cols, _ = m.row(r)
+        for c in cols:
+            assert abs(c - r) <= 1
+
+
+def test_graph_adjacency_matches_graph():
+    g = powerlaw_graph(50, 150, seed=2)
+    m = graph_adjacency(g)
+    assert m.nnz == g.num_edges
+    assert m.rows == g.num_vertices
+
+
+def test_gnutella_spgemm_input_square():
+    a, b = gnutella_spgemm_input(scale=0.002)
+    assert a.rows == a.cols == b.rows == b.cols
+
+
+def test_dense_spgemm_input_density_and_determinism():
+    a1, b1 = dense_spgemm_input(n=64, nnz_per_row=4, seed=3)
+    a2, _b2 = dense_spgemm_input(n=64, nnz_per_row=4, seed=3)
+    assert a1.nnz == 64 * 4
+    assert b1.nnz == 64 * 4
+    assert a1.to_dict() == a2.to_dict()
+
+
+def test_dense_spgemm_column_skew():
+    a, _b = dense_spgemm_input(n=128, nnz_per_row=8, skew=1.0, seed=1)
+    col_counts = {}
+    for c in a.indices:
+        col_counts[c] = col_counts.get(c, 0) + 1
+    top = max(col_counts.values())
+    assert top > 5 * (a.nnz / a.cols)
