@@ -15,9 +15,11 @@ stat group.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
+from ..sim.stats import STATS_COUNTERS
 from .isa import Action, ActionCategory, Opcode, Operand
 from .messages import Message
 
@@ -47,6 +49,25 @@ class ExecResult:
     terminated: bool = False
 
 
+# The overwhelmingly common outcome (fall through, cost 1, keep running).
+# ExecResult is frozen, so every action can hand back this one instance.
+_OK = ExecResult()
+
+
+def _shl(a: int, b: int) -> int:
+    return (a << (b & 63)) & _MASK64
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & 63)
+
+
+def _sra(a: int, b: int) -> int:
+    b &= 63
+    if a & (1 << 63):  # sign-extend
+        return ((a - (1 << 64)) >> b) & _MASK64
+    return a >> b
+
 _ALU_STAT = {
     Opcode.ADD: "alu_add", Opcode.ADDI: "alu_add", Opcode.INC: "alu_add",
     Opcode.DEC: "alu_add",
@@ -58,10 +79,28 @@ _ALU_STAT = {
 
 
 class ActionExecutor:
-    """Interprets actions against a controller's hardware structures."""
+    """Interprets actions against a controller's hardware structures.
+
+    ``execute`` is the single hottest call in whole-model runs (one per
+    microcode action), so the per-opcode work — handler lookup and the
+    category/ALU counter selection — is resolved once per opcode into
+    ``_dispatch`` and the energy-model counters are bumped through
+    cached :class:`~repro.sim.stats.Counter` objects instead of name
+    lookups.
+    """
 
     def __init__(self, controller: "Controller") -> None:
         self.c = controller
+        stats = controller.stats
+        self._track = controller.stats_level >= STATS_COUNTERS
+        self._n_actions = stats.counter("actions_total")
+        self._n_ucode = stats.counter("ucode_reads")
+        self._n_xreg_reads = stats.counter("xreg_reads")
+        self._n_xreg_writes = stats.counter("xreg_writes")
+        self._n_branches = stats.counter("branches")
+        self._n_branches_taken = stats.counter("branches_taken")
+        # opcode -> (handler, category counter, ALU counter or None)
+        self._dispatch = {}
 
     # ------------------------------------------------------------------
     # operand plumbing
@@ -71,7 +110,8 @@ class ActionExecutor:
         if operand.kind == "imm":
             return int(operand.value)
         if operand.kind == "r":
-            self.c.stats.inc("xreg_reads")
+            if self._track:
+                self._n_xreg_reads.value += 1
             return walker.ctx.read(int(operand.value))
         # message field
         return msg.get(str(operand.value))
@@ -80,7 +120,8 @@ class ActionExecutor:
                    value: int) -> None:
         if operand.kind != "r":
             raise ActionError(f"destination {operand!r} is not a register")
-        self.c.stats.inc("xreg_writes")
+        if self._track:
+            self._n_xreg_writes.value += 1
         walker.ctx.write(int(operand.value), value & _MASK64)
 
     # ------------------------------------------------------------------
@@ -88,14 +129,23 @@ class ActionExecutor:
     # ------------------------------------------------------------------
     def execute(self, walker: "WalkerRun", action: Action,
                 msg: Message) -> ExecResult:
-        self.c.stats.inc("actions_total")
-        self.c.stats.inc(f"act_{action.category.value}")
-        self.c.stats.inc("ucode_reads")
-        handler = getattr(self, f"_op_{action.op.name.lower()}", None)
-        if handler is None:
-            raise ActionError(f"no semantics for {action.op}")
-        if action.op in _ALU_STAT:
-            self.c.stats.inc(_ALU_STAT[action.op])
+        op = action.op
+        entry = self._dispatch.get(op)
+        if entry is None:
+            handler = getattr(self, f"_op_{op.name.lower()}", None)
+            if handler is None:
+                raise ActionError(f"no semantics for {op}")
+            category = self.c.stats.counter(f"act_{action.category.value}")
+            alu_stat = _ALU_STAT.get(op)
+            alu = self.c.stats.counter(alu_stat) if alu_stat else None
+            entry = self._dispatch[op] = (handler, category, alu)
+        handler, category, alu = entry
+        if self._track:
+            self._n_actions.value += 1
+            self._n_ucode.value += 1
+            category.value += 1
+            if alu is not None:
+                alu.value += 1
         return handler(walker, action, msg)
 
     # ------------------------------------------------------------------
@@ -105,60 +155,54 @@ class ActionExecutor:
         a = self._resolve(walker, msg, action.a)
         b = self._resolve(walker, msg, action.b)
         self._write_reg(walker, action.dst, fn(a, b))
-        return ExecResult()
+        return _OK
 
     def _op_add(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a + b)
+        return self._binary(walker, action, msg, operator.add)
 
     def _op_and(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a & b)
+        return self._binary(walker, action, msg, operator.and_)
 
     def _op_or(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a | b)
+        return self._binary(walker, action, msg, operator.or_)
 
     def _op_xor(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a ^ b)
+        return self._binary(walker, action, msg, operator.xor)
 
     def _op_addi(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a + b)
+        return self._binary(walker, action, msg, operator.add)
 
     def _op_inc(self, walker, action, msg):
         a = self._resolve(walker, msg, action.a)
         self._write_reg(walker, action.dst, a + 1)
-        return ExecResult()
+        return _OK
 
     def _op_dec(self, walker, action, msg):
         a = self._resolve(walker, msg, action.a)
         self._write_reg(walker, action.dst, a - 1)
-        return ExecResult()
+        return _OK
 
     def _op_shl(self, walker, action, msg):
-        return self._binary(walker, action, msg,
-                            lambda a, b: (a << (b & 63)) & _MASK64)
+        return self._binary(walker, action, msg, _shl)
 
     def _op_shr(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a >> (b & 63))
+        return self._binary(walker, action, msg, _shr)
 
     def _op_srl(self, walker, action, msg):
-        return self._binary(walker, action, msg, lambda a, b: a >> (b & 63))
+        return self._binary(walker, action, msg, _shr)
 
     def _op_sra(self, walker, action, msg):
-        def sra(a: int, b: int) -> int:
-            b &= 63
-            if a & (1 << 63):  # sign-extend
-                return ((a - (1 << 64)) >> b) & _MASK64
-            return a >> b
-        return self._binary(walker, action, msg, sra)
+        return self._binary(walker, action, msg, _sra)
 
     def _op_not(self, walker, action, msg):
         a = self._resolve(walker, msg, action.a)
         self._write_reg(walker, action.dst, (~a) & _MASK64)
-        return ExecResult()
+        return _OK
 
     def _op_allocr(self, walker, action, msg):
         # Context registers are physically claimed at walker admission;
         # the action remains for ISA fidelity (and energy accounting).
-        return ExecResult()
+        return _OK
 
     # ------------------------------------------------------------------
     # queues
@@ -183,22 +227,23 @@ class ActionExecutor:
             for name, operand in action.attr("hash_fields", ()):
                 from ..data.hashindex import fnv1a64
                 fields[name] = fnv1a64(self._resolve(walker, msg, operand))
-                self.c.stats.inc("hash_ops")
-                self.c.stats.inc("hash_cycles", delay)
+                if self._track:
+                    self.c.stats.inc("hash_ops")
+                    self.c.stats.inc("hash_cycles", delay)
             self.c.raise_internal(walker, event, fields, delay)
-            return ExecResult()
+            return _OK
         if action.queue == "resp":
             fields = {
                 name: self._resolve(walker, msg, operand)
                 for name, operand in action.attr("fields", ())
             }
             self.c.walker_respond(walker, fields)
-            return ExecResult()
+            return _OK
         raise ActionError(f"enq to unknown queue {action.queue!r}")
 
     def _op_deq(self, walker, action, msg):
         # The front-end consumed the triggering message at dispatch.
-        return ExecResult()
+        return _OK
 
     def _op_peek(self, walker, action, msg) -> ExecResult:
         offset = self._resolve(walker, msg, action.a)
@@ -210,7 +255,7 @@ class ActionExecutor:
             )
         value = int.from_bytes(msg.data[offset:offset + width], "little")
         self._write_reg(walker, action.dst, value)
-        return ExecResult()
+        return _OK
 
     def _op_read_data(self, walker, action, msg) -> ExecResult:
         sector = self._resolve(walker, msg, action.a)
@@ -218,14 +263,14 @@ class ActionExecutor:
         raw = self.c.dataram.read_sectors(sector, sector + 1)
         value = int.from_bytes(raw[:width], "little")
         self._write_reg(walker, action.dst, value)
-        return ExecResult()
+        return _OK
 
     def _op_write_data(self, walker, action, msg) -> ExecResult:
         sector = self._resolve(walker, msg, action.a)
         value = self._resolve(walker, msg, action.b)
         width = int(action.attr("width", 8))
         self.c.dataram.write_sector(sector, value.to_bytes(8, "little")[:width])
-        return ExecResult()
+        return _OK
 
     # ------------------------------------------------------------------
     # meta-tags
@@ -246,7 +291,7 @@ class ActionExecutor:
         entry.ctx_id = walker.ctx.ctx_id
         walker.entry = entry
         self.c.note_allocm(walker)
-        return ExecResult()
+        return _OK
 
     def _op_deallocm(self, walker, action, msg) -> ExecResult:
         if walker.entry is not None and walker.entry.tag == walker.tag:
@@ -271,7 +316,7 @@ class ActionExecutor:
             walker.entry.sector_end = value
         else:
             raise ActionError(f"update target {what!r}")
-        return ExecResult()
+        return _OK
 
     def _op_state(self, walker, action, msg) -> ExecResult:
         next_state = str(action.attr("state"))
@@ -287,11 +332,13 @@ class ActionExecutor:
     # control flow
     # ------------------------------------------------------------------
     def _branch(self, action, taken: bool) -> ExecResult:
-        self.c.stats.inc("branches")
+        if self._track:
+            self._n_branches.value += 1
         if taken:
-            self.c.stats.inc("branches_taken")
+            if self._track:
+                self._n_branches_taken.value += 1
             return ExecResult(branch=action.target)
-        return ExecResult()
+        return _OK
 
     def _op_beq(self, walker, action, msg):
         a = self._resolve(walker, msg, action.a)
@@ -343,7 +390,7 @@ class ActionExecutor:
             )
         self._write_reg(walker, action.dst, start)
         walker.owned_sectors.append((start, nsectors))
-        return ExecResult()
+        return _OK
 
     def _op_deallocd(self, walker, action, msg) -> ExecResult:
         start = self._resolve(walker, msg, action.a)
@@ -352,7 +399,7 @@ class ActionExecutor:
         walker.owned_sectors = [
             (s, n) for s, n in walker.owned_sectors if s != start
         ]
-        return ExecResult()
+        return _OK
 
     def _op_read(self, walker, action, msg) -> ExecResult:
         return self._op_read_data(walker, action, msg)

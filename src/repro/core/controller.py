@@ -24,12 +24,15 @@ stalled coroutine.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
 from ..sim import Component, MessageQueue, Simulator
+from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .actions import ActionExecutor, ActionError
 from .config import XCacheConfig
 from .dataram import DataRAM
@@ -49,6 +52,10 @@ from .xregs import XContext, XRegisterFile
 __all__ = ["Controller", "WalkerRun", "MetaResponse"]
 
 Tag = Tuple[int, ...]
+
+
+def _drop_response(resp: MemResponse) -> None:
+    """Completion sink for fire-and-forget writes."""
 
 
 @dataclass
@@ -114,10 +121,16 @@ class Controller(Component):
         self.executor = ActionExecutor(self)
 
         self.metaio_in: MessageQueue[Message] = MessageQueue(
-            f"{self.name}.metaio", capacity=0, on_push=lambda: self.wake()
+            f"{self.name}.metaio", capacity=0, on_push=self.wake
         )
         # optional event tracing (see repro.sim.trace); None = zero cost
         self.tracer = None
+        # persistent DRAM fill callback: the per-fill context rides on the
+        # request's tag cookie instead of a fresh closure per block
+        self._fill_cb = self._on_dram_fill
+        self._count_stats = self.stats_level >= STATS_COUNTERS
+        self._hist_stats = self.stats_level >= STATS_FULL
+        self._load_to_use_hist = self.stats.histogram("load_to_use")
         self._internal: Deque[Message] = deque()
         self._execq: Deque[_RoutineExec] = deque()
         self._walkers: Dict[Tag, WalkerRun] = {}
@@ -158,7 +171,8 @@ class Controller(Component):
         msg = Message(EV_META_LOAD, tag=tag, fields=fields,
                       issued_at=self.sim.now)
         self.metaio_in.enq(msg)
-        self.stats.inc("meta_loads")
+        if self._count_stats:
+            self.stats.inc("meta_loads")
         return msg
 
     def meta_store(self, tag: Tag, payload_bits: int,
@@ -172,7 +186,8 @@ class Controller(Component):
         msg = Message(EV_META_STORE, tag=tag, fields=fields,
                       issued_at=self.sim.now)
         self.metaio_in.enq(msg)
-        self.stats.inc("meta_stores")
+        if self._count_stats:
+            self.stats.inc("meta_stores")
         return msg
 
     # ------------------------------------------------------------------
@@ -192,34 +207,34 @@ class Controller(Component):
         end = addr + max(nbytes, 1)
         first = addr & ~(bb - 1)
         last = (end - 1) & ~(bb - 1)
+        count_stats = self._count_stats
         blocks = 0
         block = first
         while block <= last:
             blocks += 1
             if write:
-                self.stats.inc("dram_writes")
+                if count_stats:
+                    self.stats.inc("dram_writes")
                 self.dram.request(MemRequest(block, is_write=True),
-                                  lambda resp: None)
+                                  _drop_response)
             else:
-                self.stats.inc("dram_fills")
+                if count_stats:
+                    self.stats.inc("dram_fills")
                 walker.fills_outstanding += 1
-                tag = walker.tag
                 if ranged:
                     lo = max(addr, block) - block
                     hi = min(end, block + bb) - block
                 else:
                     lo, hi = 0, bb
-
-                def on_fill(resp: MemResponse, tag: Tag = tag,
-                            lo: int = lo, hi: int = hi) -> None:
-                    self._deliver_fill(tag, resp, lo, hi)
-
-                self.dram.request(MemRequest(block), on_fill)
+                self.dram.request(
+                    MemRequest(block, tag=(walker.tag, lo, hi)),
+                    self._fill_cb,
+                )
             block += bb
         return blocks
 
-    def _deliver_fill(self, tag: Tag, resp: MemResponse,
-                      lo: int, hi: int) -> None:
+    def _on_dram_fill(self, resp: MemResponse) -> None:
+        tag, lo, hi = resp.tag
         walker = self._walkers.get(tag)
         if walker is None:
             self.stats.inc("orphan_fills")
@@ -267,15 +282,22 @@ class Controller(Component):
             self._pending_allocs[set_index] = pending - 1
 
     def reclaim_sectors(self, nsectors: int) -> None:
-        """Evict LRU servable entries until ``nsectors`` contiguous fit."""
-        victims = sorted(
-            (e for e in self.metatags.entries() if e.servable
-             and e.sector_start >= 0),
-            key=lambda e: e.last_used,
-        )
-        for victim in victims:
+        """Evict LRU servable entries until ``nsectors`` contiguous fit.
+
+        Usually one or two evictions suffice, so victims come off a lazy
+        heap rather than a full sort; the (last_used, scan-index) keys
+        make the pop order identical to the stable sort it replaced.
+        """
+        victims = [
+            (e.last_used, i, e)
+            for i, e in enumerate(self.metatags.entries())
+            if e.servable and e.sector_start >= 0
+        ]
+        heapq.heapify(victims)
+        while victims:
             if self.dataram.can_alloc(nsectors):
                 return
+            _, _, victim = heapq.heappop(victims)
             assert victim.tag is not None
             released = self.metatags.deallocate(victim.tag)
             self.dataram.free(released.sector_start,
@@ -288,12 +310,14 @@ class Controller(Component):
     def _respond(self, request: Message, status: int, data: bytes,
                  latency: int) -> None:
         done = self.sim.now + latency
-        self.stats.histogram("load_to_use").add(done - request.issued_at)
-        if self.on_response is None:
+        if self._hist_stats:
+            self._load_to_use_hist.add(done - request.issued_at)
+        handler = self.on_response
+        if handler is None:
             return
         resp = MetaResponse(request=request, status=status, data=data,
                             completed_at=done)
-        self.sim.call_at(done, lambda: self.on_response(resp))
+        self.sim.call_at(done, partial(handler, resp))
 
     def _hit_latency_for(self, nbytes: int) -> int:
         """3-cycle load-to-use, plus serialization beyond #wlen words."""
@@ -303,7 +327,8 @@ class Controller(Component):
 
     def _serve_hit(self, msg: Message, entry: MetaTagEntry) -> None:
         self.metatags.touch(entry, self.sim.now)
-        self.stats.inc("hits")
+        if self._count_stats:
+            self.stats.inc("hits")
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, self.name, "hit", tag=msg.tag,
                              take=bool(msg.fields.get("take")))
@@ -394,7 +419,8 @@ class Controller(Component):
                 served += 1
                 continue
             entry = self.metatags.lookup(msg.tag)
-            self.stats.inc("tag_probes")
+            if self._count_stats:
+                self.stats.inc("tag_probes")
             if entry is not None and entry.servable:
                 self.metaio_in.remove(msg)
                 if msg.event == EV_META_STORE:
@@ -478,27 +504,32 @@ class Controller(Component):
         walker.inflight = _RoutineExec(routine=routine, msg=msg, walker=walker)
         walker.routines_run += 1
         self._execq.append(walker.inflight)
-        self.stats.inc("routines_dispatched")
+        if self._count_stats:
+            self.stats.inc("routines_dispatched")
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, self.name, "dispatch",
                              tag=walker.tag, routine=routine.name)
 
     def _back_end_execute(self) -> None:
         budget = self.config.num_exe
-        while budget > 0 and self._execq:
-            ex = self._execq[0]
-            if ex.pc >= len(ex.routine.actions):
+        execq = self._execq
+        execute = self.executor.execute
+        charge = self.xregs.charge_active
+        while budget > 0 and execq:
+            ex = execq[0]
+            actions = ex.routine.actions
+            if ex.pc >= len(actions):
                 self._finish_routine(ex, terminated=False)
                 continue
-            action = ex.routine.actions[ex.pc]
-            result = self.executor.execute(ex.walker, action, ex.msg)
+            action = actions[ex.pc]
+            result = execute(ex.walker, action, ex.msg)
             budget -= result.cost
-            self.xregs.charge_active(ex.walker.ctx, result.cost)
+            charge(ex.walker.ctx, result.cost)
             if result.terminated:
                 self._finish_routine(ex, terminated=True)
                 continue
             ex.pc = result.branch if result.branch is not None else ex.pc + 1
-            if ex.pc >= len(ex.routine.actions):
+            if ex.pc >= len(actions):
                 self._finish_routine(ex, terminated=False)
 
     def _finish_routine(self, ex: _RoutineExec, terminated: bool) -> None:
@@ -510,8 +541,10 @@ class Controller(Component):
 
     def _complete_walker(self, walker: WalkerRun) -> None:
         now = self.sim.now
-        self.stats.inc("walks_completed")
-        self.stats.histogram("walk_latency").add(now - walker.started_at)
+        if self._count_stats:
+            self.stats.inc("walks_completed")
+        if self._hist_stats:
+            self.stats.histogram("walk_latency").add(now - walker.started_at)
         if self.tracer is not None:
             self.tracer.emit(now, self.name, "retire", tag=walker.tag,
                              found=walker.found,

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
 from ..sim import Component, Simulator
@@ -53,6 +54,10 @@ class _Walk:
     submitted_at: int
     started_at: int = -1
     step_index: int = 0
+    # persistent per-walk callbacks (armed once at start, reused every
+    # step — the steady state allocates nothing per compute/DRAM step)
+    resume: Optional[Callable[[], None]] = None
+    on_fill: Optional[Callable[[MemResponse], None]] = None
 
 
 class ThreadController(Component):
@@ -104,9 +109,14 @@ class ThreadController(Component):
             self._advance()
             walk = self._pending.popleft()
             walk.started_at = self.sim.now
+            walk.resume = partial(self._step, walk)
+            walk.on_fill = partial(self._resume_after_fill, walk)
             self._resident += 1
             self.stats.inc("walks_started")
             self._step(walk)
+
+    def _resume_after_fill(self, walk: _Walk, resp: MemResponse) -> None:
+        self._step(walk)
 
     def _step(self, walk: _Walk) -> None:
         if walk.step_index >= len(walk.steps):
@@ -116,14 +126,10 @@ class ThreadController(Component):
         walk.step_index += 1
         if step.kind == "compute":
             self.stats.inc("compute_cycles", step.cycles)
-            self.sim.call_after(max(1, step.cycles), lambda: self._step(walk))
+            self.sim.call_after(max(1, step.cycles), walk.resume)
         else:
             self.stats.inc("dram_fetches")
-
-            def on_fill(resp: MemResponse) -> None:
-                self._step(walk)
-
-            self.dram.request(MemRequest(step.addr), on_fill)
+            self.dram.request(MemRequest(step.addr), walk.on_fill)
 
     def _finish(self, walk: _Walk) -> None:
         self._advance()

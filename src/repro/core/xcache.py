@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..mem.dram import DRAMConfig, DRAMModel
 from ..mem.layout import MemoryImage
-from ..sim import Simulator
+from ..sim import new_simulator
 from .config import XCacheConfig
 from .controller import Controller, MetaResponse
 from .walker import CompiledWalker
@@ -39,7 +39,7 @@ class XCacheSystem:
                  image: Optional[MemoryImage] = None,
                  dram_config: DRAMConfig = DRAMConfig(),
                  store_merge: str = "fadd") -> None:
-        self.sim = Simulator()
+        self.sim = new_simulator()
         self.image = image if image is not None else MemoryImage()
         self.dram = DRAMModel(self.sim, self.image, dram_config)
         self.controller = Controller(self.sim, config, program, self.dram,

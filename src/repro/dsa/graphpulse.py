@@ -38,7 +38,7 @@ from ..data.graphs import Graph, GraphLayout, pagerank_event_driven
 from ..mem.addrcache import AddressCache, CacheConfig
 from ..mem.dram import DRAMConfig, DRAMModel, MemRequest
 from ..mem.layout import MemoryImage
-from ..sim import Simulator
+from ..sim import new_simulator
 from .base import RunResult
 from .walkers import build_event_walker
 
@@ -270,7 +270,7 @@ class GraphPulseAddressModel:
         self.damping = damping
         self.epsilon = epsilon
         self.num_pes = num_pes
-        self.sim = Simulator()
+        self.sim = new_simulator()
         self.image = MemoryImage()
         self.dram = DRAMModel(self.sim, self.image, dram_config)
         if cache_config is None:

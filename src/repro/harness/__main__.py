@@ -1,7 +1,10 @@
-"""CLI: ``python -m repro.harness [exp ...] [--profile quick|full]``.
+"""CLI: ``python -m repro.harness [exp ...] [--profile ci|quick|full]``.
 
 Runs the requested experiments (default: all) and prints each report.
-Exits non-zero if any paper expectation missed.
+``--parallel N`` fans independent experiments over N worker processes;
+output is printed in request order either way, so serial and parallel
+runs produce byte-identical reports. Exits non-zero if any paper
+expectation missed.
 """
 
 from __future__ import annotations
@@ -9,7 +12,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import EXPERIMENTS, run_experiment
+from . import EXPERIMENTS
+from .parallel import run_parallel, run_serial
 
 
 def main(argv=None) -> int:
@@ -21,16 +25,29 @@ def main(argv=None) -> int:
                         help=f"ids to run (default: all of "
                              f"{', '.join(sorted(EXPERIMENTS))})")
     parser.add_argument("--profile", default="full",
-                        choices=("quick", "full"))
+                        choices=("ci", "quick", "full"))
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="fan experiments over N worker processes "
+                             "(default: 1, serial)")
     args = parser.parse_args(argv)
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
 
     targets = args.experiments or sorted(EXPERIMENTS)
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    if args.parallel > 1:
+        results = run_parallel(targets, args.profile, args.parallel)
+    else:
+        results = run_serial(targets, args.profile)
+
     all_ok = True
-    for exp_id in targets:
-        report = run_experiment(exp_id, args.profile)
-        print(report.render())
+    for rendered, ok in results:
+        print(rendered)
         print()
-        all_ok = all_ok and report.all_ok
+        all_ok = all_ok and ok
     return 0 if all_ok else 1
 
 

@@ -27,7 +27,7 @@ from ..core.threadctrl import ThreadController, WalkStep
 from ..dsa.widx import WidxXCacheModel
 from ..mem.dram import DRAMModel
 from ..mem.layout import MemoryImage
-from ..sim import Simulator
+from ..sim import new_simulator
 from ..workloads.tpch import make_widx_workload
 from .profiles import get_profile
 from .report import ExperimentReport
@@ -68,7 +68,7 @@ def measure_occupancy(off_chip: float, num_keys: int = 1024,
     coro_occ = ctrl.xregs.occupancy_byte_cycles
 
     # --- threads: same walks, coarse batches, blocking DRAM steps ------
-    sim = Simulator()
+    sim = new_simulator()
     image = MemoryImage()
     dram = DRAMModel(sim, image, model.system.dram.config)
     threads = ThreadController(sim, dram, num_pipelines=4,
@@ -97,7 +97,7 @@ def measure_occupancy(off_chip: float, num_keys: int = 1024,
 
 def run(profile: str = "full") -> ExperimentReport:
     prof = get_profile(profile)
-    num_keys = 2048 if prof.name == "full" else 512
+    num_keys = {"full": 2048, "quick": 512}.get(prof.name, 256)
     report = ExperimentReport(
         exp_id="fig07",
         title="Controller occupancy: coroutine vs thread walkers",

@@ -1,0 +1,92 @@
+"""Parallel experiment execution (``python -m repro.harness --parallel N``).
+
+Every experiment driver is an independent, deterministic function of
+``(exp_id, profile)``, so the figure set fans out over a
+``multiprocessing`` pool. Two things make the parallel run produce
+byte-identical reports to the serial one:
+
+* results come back as *rendered report strings* and are printed in the
+  caller's requested order, regardless of completion order;
+* the figs. 14/15/16 shared suite is simulated **once in the parent**
+  and published to a disk cache (see ``REPRO_SUITE_CACHE`` in
+  :mod:`repro.harness.suite`) before the pool starts, so the three
+  workers that consume it reload the identical pickled runs instead of
+  re-simulating.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+from typing import List, Optional, Sequence, Tuple
+
+from .suite import SUITE_CACHE_ENV, run_fig14_suite
+
+__all__ = ["run_serial", "run_parallel", "SHARED_SUITE_EXPERIMENTS"]
+
+# experiments that consume the memoized fig-14 suite
+SHARED_SUITE_EXPERIMENTS = ("fig14", "fig15", "fig16")
+
+
+def _run_one(job: Tuple[str, str]) -> Tuple[str, bool]:
+    """Pool worker: run one experiment, return (rendered report, all_ok)."""
+    from . import run_experiment
+
+    exp_id, profile = job
+    report = run_experiment(exp_id, profile)
+    return report.render(), report.all_ok
+
+
+def _warm_suite(profile: str) -> None:
+    """Pool worker: simulate the shared suite and publish it to disk."""
+    run_fig14_suite(profile)
+
+
+def run_serial(targets: Sequence[str], profile: str
+               ) -> List[Tuple[str, bool]]:
+    """Run experiments in order in this process."""
+    return [_run_one((exp_id, profile)) for exp_id in targets]
+
+
+def run_parallel(targets: Sequence[str], profile: str, jobs: int,
+                 cache_dir: Optional[str] = None
+                 ) -> List[Tuple[str, bool]]:
+    """Fan experiments out over ``jobs`` worker processes.
+
+    Returns ``(rendered_report, all_ok)`` pairs in ``targets`` order —
+    the same sequence :func:`run_serial` produces. ``cache_dir`` is the
+    shared suite cache directory; a temporary one is created (and
+    removed) when not given.
+    """
+    if jobs <= 1 or len(targets) <= 1:
+        return run_serial(targets, profile)
+
+    own_cache = cache_dir is None
+    if own_cache:
+        cache_dir = tempfile.mkdtemp(prefix="repro-suite-cache-")
+    previous = os.environ.get(SUITE_CACHE_ENV)
+    os.environ[SUITE_CACHE_ENV] = cache_dir
+    suite_targets = [t for t in targets if t in SHARED_SUITE_EXPERIMENTS]
+    try:
+        with multiprocessing.Pool(processes=min(jobs, len(targets))) as pool:
+            # The shared suite simulates once, concurrently with the
+            # non-suite experiments; fig14/15/16 dispatch only after it
+            # lands on disk, then reload it instead of re-simulating.
+            warm = (pool.apply_async(_warm_suite, (profile,))
+                    if suite_targets else None)
+            pending = {t: pool.apply_async(_run_one, ((t, profile),))
+                       for t in targets if t not in SHARED_SUITE_EXPERIMENTS}
+            if warm is not None:
+                warm.get()
+                for t in suite_targets:
+                    pending[t] = pool.apply_async(_run_one, ((t, profile),))
+            return [pending[t].get() for t in targets]
+    finally:
+        if previous is None:
+            os.environ.pop(SUITE_CACHE_ENV, None)
+        else:
+            os.environ[SUITE_CACHE_ENV] = previous
+        if own_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)

@@ -1,7 +1,11 @@
 """Workload/geometry profiles for the experiment drivers.
 
-Two profiles ship:
+Three profiles ship:
 
+* ``ci``    — sub-second runs for determinism tests (the golden-trace
+  suite runs every experiment under two kernels). Too small for the
+  paper's quantitative claims; use it when only cycle-level behaviour
+  matters.
 * ``quick`` — seconds-scale runs for CI and tests. Working sets are
   shrunk with cache geometry shrunk proportionally, so the qualitative
   relationships survive.
@@ -80,6 +84,20 @@ class Profile:
 
 
 PROFILES: Dict[str, Profile] = {
+    "ci": Profile(
+        name="ci",
+        cache_scale=0.0625,
+        widx_keys=1024,
+        widx_probes=2048,
+        widx_skew=1.4,
+        dasx_keys=1024,
+        dasx_probes=1024,
+        graph_scale=0.04,
+        spgemm_n=256,
+        spgemm_nnz_per_row=8,
+        spgemm_cache_scale=0.25,
+        graph_pes=4,
+    ),
     "quick": Profile(
         name="quick",
         cache_scale=0.0625,     # 512-entry Widx cache

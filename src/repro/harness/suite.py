@@ -3,12 +3,27 @@
 Figures 14, 15, and 16 all consume the same runs (runtime, traffic, and
 energy of X-Cache vs the hardwired baseline vs the address-tagged
 comparator), so the suite executes once per profile and is memoized.
+
+Two memoization layers stack:
+
+* in-process — a plain dict, as before;
+* on disk — when the ``REPRO_SUITE_CACHE`` environment variable names a
+  directory, finished suites are pickled there and reloaded on the next
+  miss. The parallel harness (``python -m repro.harness --parallel N``)
+  points every worker at one shared directory so the suite simulates
+  once instead of once per fig-14/15/16 worker.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pathlib
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+SUITE_CACHE_ENV = "REPRO_SUITE_CACHE"
 
 from ..dsa import (
     DasxAddressModel,
@@ -29,7 +44,8 @@ from ..workloads.graphgen import p2p_gnutella08
 from ..workloads.matrices import dense_spgemm_input
 from .profiles import Profile, get_profile
 
-__all__ = ["VariantSet", "run_fig14_suite", "SUITE_WORKLOADS", "clear_cache"]
+__all__ = ["VariantSet", "run_fig14_suite", "SUITE_WORKLOADS", "clear_cache",
+           "SUITE_CACHE_ENV"]
 
 # workload labels, in the order Figure 14's x-axis lists them
 SUITE_WORKLOADS: Tuple[str, ...] = (
@@ -73,8 +89,36 @@ _CACHE: Dict[Tuple[str, Tuple[str, ...]], Dict[str, VariantSet]] = {}
 
 
 def clear_cache() -> None:
-    """Forget memoized suite runs (tests that tweak profiles use this)."""
+    """Forget in-process memoized suite runs (disk entries survive)."""
     _CACHE.clear()
+
+
+def _disk_cache_path(key: Tuple[str, Tuple[str, ...]]
+                     ) -> Optional[pathlib.Path]:
+    root = os.environ.get(SUITE_CACHE_ENV)
+    if not root:
+        return None
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+    return pathlib.Path(root) / f"suite_{key[0]}_{digest}.pkl"
+
+
+def _disk_load(path: pathlib.Path) -> Optional[Dict[str, VariantSet]]:
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None  # absent or torn write: fall through to a fresh run
+
+
+def _disk_store(path: pathlib.Path, suite: Dict[str, VariantSet]) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(suite, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic vs concurrent workers
+    except OSError:
+        pass  # cache is best-effort; the run itself already succeeded
 
 
 def _run_widx(label: str, profile: Profile) -> VariantSet:
@@ -129,6 +173,12 @@ def run_fig14_suite(profile: str = "full",
     key = (profile, tuple(selected))
     if key in _CACHE:
         return _CACHE[key]
+    disk_path = _disk_cache_path(key)
+    if disk_path is not None and disk_path.exists():
+        cached = _disk_load(disk_path)
+        if cached is not None:
+            _CACHE[key] = cached
+            return cached
     prof = get_profile(profile)
     out: Dict[str, VariantSet] = {}
     for label in selected:
@@ -143,4 +193,6 @@ def run_fig14_suite(profile: str = "full",
         else:
             raise KeyError(f"unknown suite workload {label!r}")
     _CACHE[key] = out
+    if disk_path is not None:
+        _disk_store(disk_path, out)
     return out

@@ -11,17 +11,27 @@ and the burst additionally serializes on the channel data bus.
 
 Data is *functionally* backed by a :class:`~repro.mem.layout.MemoryImage`
 so fills return real bytes for the walkers to parse.
+
+The response path is allocation-free on the steady state: completed
+:class:`MemResponse` objects are recycled through a small pool and are
+themselves the scheduled event (no per-request completion closure).
+Responses are therefore *transient* — consume the fields inside the
+callback and copy anything you need to retain (``data`` is an ordinary
+bytes object and is always safe to keep).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from ..sim import Component, Simulator
+from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .layout import MemoryImage
 
 __all__ = ["DRAMConfig", "MemRequest", "MemResponse", "DRAMModel"]
+
+_RESP_POOL_MAX = 128
 
 
 @dataclass(frozen=True)
@@ -46,25 +56,60 @@ class DRAMConfig:
             raise ValueError("row_bytes must be a multiple of block_bytes")
 
 
-@dataclass
 class MemRequest:
     """A block-granular DRAM request."""
 
-    addr: int
-    is_write: bool = False
-    data: Optional[bytes] = None          # payload for writes
-    tag: object = None                    # opaque requester cookie
-    issued_at: int = 0
+    __slots__ = ("addr", "is_write", "data", "tag", "issued_at")
+
+    def __init__(self, addr: int, is_write: bool = False,
+                 data: Optional[bytes] = None, tag: object = None,
+                 issued_at: int = 0) -> None:
+        self.addr = addr
+        self.is_write = is_write
+        self.data = data          # payload for writes
+        self.tag = tag            # opaque requester cookie
+        self.issued_at = issued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "write" if self.is_write else "read"
+        return f"MemRequest({kind} @{self.addr:#x}, tag={self.tag!r})"
 
 
-@dataclass
 class MemResponse:
-    """Completion for a :class:`MemRequest`."""
+    """Completion for a :class:`MemRequest`.
 
-    addr: int
-    data: bytes
-    tag: object = None
-    latency: int = 0
+    Doubles as its own completion event: the DRAM model schedules the
+    response object directly and ``__call__`` fires the requester's
+    callback, then returns the object to the model's pool. Pool-owned
+    responses are only valid for the duration of the callback.
+    """
+
+    __slots__ = ("addr", "data", "tag", "latency", "_callback", "_pool")
+
+    def __init__(self, addr: int, data: bytes, tag: object = None,
+                 latency: int = 0) -> None:
+        self.addr = addr
+        self.data = data
+        self.tag = tag
+        self.latency = latency
+        self._callback: Optional[Callable[["MemResponse"], None]] = None
+        self._pool: Optional[List["MemResponse"]] = None
+
+    def __call__(self) -> None:
+        callback = self._callback
+        self._callback = None
+        callback(self)
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            if len(pool) < _RESP_POOL_MAX:
+                self.data = b""
+                self.tag = None
+                pool.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemResponse(@{self.addr:#x}, {len(self.data)}B, "
+                f"lat={self.latency})")
 
 
 @dataclass
@@ -90,6 +135,10 @@ class DRAMModel(Component):
         self.config = config
         self._banks = [_BankState() for _ in range(config.num_banks)]
         self._bus_free_at = 0
+        self._resp_pool: List[MemResponse] = []
+        self._count_stats = self.stats_level >= STATS_COUNTERS
+        self._hist_stats = self.stats_level >= STATS_FULL
+        self._latency_hist = self.stats.histogram("latency")
 
     # ------------------------------------------------------------------
     # address mapping
@@ -112,7 +161,8 @@ class DRAMModel(Component):
         """Issue a block request; returns the completion cycle.
 
         ``callback`` fires at the completion cycle with the response
-        (fill data for reads; echo for writes).
+        (fill data for reads; echo for writes). The response object is
+        recycled after the callback returns — copy fields to retain.
         """
         cfg = self.config
         block = self.block_of(req.addr)
@@ -124,13 +174,13 @@ class DRAMModel(Component):
         start = max(now, bank.free_at)
         if bank.open_row == row:
             access = cfg.t_cl
-            self.stats.inc("row_hits")
+            row_stat = "row_hits"
         elif bank.open_row < 0:
             access = cfg.t_rcd + cfg.t_cl
-            self.stats.inc("row_misses")
+            row_stat = "row_misses"
         else:
             access = cfg.t_rp + cfg.t_rcd + cfg.t_cl
-            self.stats.inc("row_conflicts")
+            row_stat = "row_conflicts"
         bank.open_row = row
 
         data_ready = start + access
@@ -139,9 +189,12 @@ class DRAMModel(Component):
         bank.free_at = data_ready          # bank can pipeline next access
         self._bus_free_at = done
 
-        self.stats.inc("writes" if req.is_write else "reads")
-        self.stats.inc("bytes", cfg.block_bytes)
-        self.stats.histogram("latency").add(done - now)
+        if self._count_stats:
+            self.stats.inc(row_stat)
+            self.stats.inc("writes" if req.is_write else "reads")
+            self.stats.inc("bytes", cfg.block_bytes)
+            if self._hist_stats:
+                self._latency_hist.add(done - now)
 
         if req.is_write:
             if req.data is not None:
@@ -150,9 +203,19 @@ class DRAMModel(Component):
         else:
             payload = self.image.read_block(block, cfg.block_bytes)
 
-        resp = MemResponse(addr=block, data=payload, tag=req.tag,
-                           latency=done - now)
-        self.sim.call_at(done, lambda: callback(resp))
+        pool = self._resp_pool
+        if pool:
+            resp = pool.pop()
+            resp.addr = block
+            resp.data = payload
+            resp.tag = req.tag
+            resp.latency = done - now
+        else:
+            resp = MemResponse(addr=block, data=payload, tag=req.tag,
+                               latency=done - now)
+        resp._callback = callback
+        resp._pool = pool
+        self.sim.call_at(done, resp)
         return done
 
     # ------------------------------------------------------------------

@@ -5,12 +5,20 @@ DRAM bus, and upstream/downstream caches — through "parameterized message
 bundles, i.e. latency-insensitive queues" (paper §7.1). This module is
 the Python analogue: a bounded FIFO with ready/valid semantics and an
 optional wakeup callback so a consumer can sleep until traffic arrives.
+
+Traffic statistics (peak depth, enqueue/dequeue totals) feed the
+occupancy studies and are gathered at the default stats level; at
+``STATS_OFF`` the enq/deq fast paths skip all bookkeeping (see
+:mod:`repro.sim.stats`). The level is sampled once at construction.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Callable, Deque, Generic, Iterable, List, Optional, TypeVar
+
+from .stats import STATS_COUNTERS, stats_level
 
 __all__ = ["MessageQueue", "QueueFullError", "QueueEmptyError"]
 
@@ -33,12 +41,16 @@ class MessageQueue(Generic[T]):
     Statistics (peak depth, total traffic) feed the occupancy studies.
     """
 
+    __slots__ = ("name", "capacity", "on_push", "_items", "_track_stats",
+                 "total_enqueued", "total_dequeued", "peak_depth")
+
     def __init__(self, name: str = "q", capacity: int = 0,
                  on_push: Optional[Callable[[], None]] = None) -> None:
         self.name = name
         self.capacity = capacity
         self.on_push = on_push
         self._items: Deque[T] = deque()
+        self._track_stats = stats_level() >= STATS_COUNTERS
         self.total_enqueued = 0
         self.total_dequeued = 0
         self.peak_depth = 0
@@ -66,12 +78,15 @@ class MessageQueue(Generic[T]):
     # data movement
     # ------------------------------------------------------------------
     def enq(self, item: T) -> None:
-        if not self.ready:
+        items = self._items
+        if 0 < self.capacity <= len(items):
             raise QueueFullError(f"queue {self.name!r} full (cap={self.capacity})")
-        self._items.append(item)
-        self.total_enqueued += 1
-        if len(self._items) > self.peak_depth:
-            self.peak_depth = len(self._items)
+        items.append(item)
+        if self._track_stats:
+            self.total_enqueued += 1
+            depth = len(items)
+            if depth > self.peak_depth:
+                self.peak_depth = depth
         if self.on_push is not None:
             self.on_push()
 
@@ -82,7 +97,8 @@ class MessageQueue(Generic[T]):
     def deq(self) -> T:
         if not self._items:
             raise QueueEmptyError(f"queue {self.name!r} empty")
-        self.total_dequeued += 1
+        if self._track_stats:
+            self.total_dequeued += 1
         return self._items.popleft()
 
     def peek(self) -> T:
@@ -92,8 +108,7 @@ class MessageQueue(Generic[T]):
 
     def window(self, n: int) -> List[T]:
         """The first ``n`` queued items, oldest first (scheduler scan)."""
-        import itertools
-        return list(itertools.islice(self._items, n))
+        return list(islice(self._items, n))
 
     def remove(self, item: T) -> None:
         """Remove a specific item (a scheduler picked it mid-queue)."""
@@ -102,12 +117,14 @@ class MessageQueue(Generic[T]):
         except ValueError:
             raise QueueEmptyError(
                 f"item not present in queue {self.name!r}") from None
-        self.total_dequeued += 1
+        if self._track_stats:
+            self.total_dequeued += 1
 
     def drain(self) -> List[T]:
         """Dequeue everything at once (testing/teardown helper)."""
         out = list(self._items)
-        self.total_dequeued += len(self._items)
+        if self._track_stats:
+            self.total_dequeued += len(self._items)
         self._items.clear()
         return out
 

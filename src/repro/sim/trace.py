@@ -13,11 +13,25 @@ pay nothing otherwise.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "trace_digest"]
+
+
+def trace_digest(events: Iterable["TraceEvent"]) -> str:
+    """Stable hex digest of a per-cycle event trace.
+
+    The golden-trace tests hash the full trace of a run under two
+    kernels and assert equality — any reordering, missing, or extra
+    event (even within one cycle) changes the digest.
+    """
+    h = hashlib.sha256()
+    for e in events:
+        h.update(repr((e.cycle, e.component, e.kind, e.detail)).encode())
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -89,6 +103,17 @@ class Tracer:
                 continue
             out.append(event)
         return out
+
+    def digest(self) -> str:
+        """Hex digest of the held events plus the emit/drop totals.
+
+        Including ``total_emitted`` makes the digest sensitive to events
+        that rolled off the ring, so two runs only match when they
+        emitted identical traces end to end.
+        """
+        h = hashlib.sha256(trace_digest(self._events).encode())
+        h.update(f"{self.total_emitted}:{self.dropped}".encode())
+        return h.hexdigest()
 
     def count(self, kind: str) -> int:
         return sum(1 for e in self._events if e.kind == kind)

@@ -1,0 +1,50 @@
+"""Golden-trace determinism: bucketed kernel vs the reference heap kernel.
+
+The bucketed scheduler is only a performance change; it must execute the
+*identical* event sequence the seed heapq kernel did. These tests run
+real experiment drivers under both kernels and compare
+
+* the per-cycle event trace digest of a traced Widx run (any reorder,
+  even within one cycle, changes the hash), and
+* the fully rendered reports of fig04 and fig07 at the ``ci`` profile
+  (string equality — every measured number must match).
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+from repro.sim import Tracer, use_kernel
+from repro.workloads.tpch import make_widx_workload
+
+
+def _traced_widx_run(kernel: str):
+    from repro.dsa.widx import WidxXCacheModel
+
+    workload = make_widx_workload(
+        num_keys=512, num_probes=1024, num_buckets=512,
+        skew=1.3, hash_cycles=10, seed=3,
+    )
+    with use_kernel(kernel):
+        model = WidxXCacheModel(workload, window=16)
+        tracer = Tracer(capacity=100_000)
+        model.system.controller.tracer = tracer
+        result = model.run()
+    return tracer, result
+
+
+def test_widx_trace_digest_matches_heap_kernel():
+    heap_trace, heap_result = _traced_widx_run("heap")
+    bucket_trace, bucket_result = _traced_widx_run("bucket")
+    assert heap_trace.total_emitted > 0
+    assert bucket_trace.digest() == heap_trace.digest()
+    assert bucket_result.cycles == heap_result.cycles
+    assert bucket_result.dram_accesses == heap_result.dram_accesses
+
+
+@pytest.mark.parametrize("exp_id", ["fig04", "fig07"])
+def test_experiment_reports_identical_across_kernels(exp_id):
+    with use_kernel("heap"):
+        heap_report = run_experiment(exp_id, "ci").render()
+    with use_kernel("bucket"):
+        bucket_report = run_experiment(exp_id, "ci").render()
+    assert bucket_report == heap_report

@@ -26,7 +26,7 @@ def test_unknown_experiment_rejected():
 
 
 def test_profiles_available():
-    assert set(PROFILES) == {"quick", "full"}
+    assert set(PROFILES) == {"ci", "quick", "full"}
     with pytest.raises(KeyError):
         get_profile("huge")
 

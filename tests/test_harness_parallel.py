@@ -1,0 +1,79 @@
+"""Parallel harness: byte-identical output and suite disk memoization."""
+
+import pickle
+
+import pytest
+
+from repro.harness import suite
+from repro.harness.parallel import run_parallel, run_serial
+from repro.harness.suite import SUITE_CACHE_ENV, run_fig14_suite
+
+
+# tab01/tab02 are metadata tables — cheap enough to run twice in a test
+CHEAP = ["tab01", "tab02"]
+
+
+def test_parallel_matches_serial_byte_for_byte():
+    serial = run_serial(CHEAP, "ci")
+    parallel = run_parallel(CHEAP, "ci", jobs=2)
+    assert parallel == serial
+    assert all(ok for _rendered, ok in serial)
+
+
+def test_parallel_falls_back_to_serial_for_one_job():
+    assert run_parallel(CHEAP, "ci", jobs=1) == run_serial(CHEAP, "ci")
+
+
+def test_cli_parallel_flag(capsys):
+    from repro.harness.__main__ import main
+
+    rc_serial = main(CHEAP + ["--profile", "ci"])
+    out_serial = capsys.readouterr().out
+    rc_parallel = main(CHEAP + ["--profile", "ci", "--parallel", "2"])
+    out_parallel = capsys.readouterr().out
+    assert rc_parallel == rc_serial
+    assert out_parallel == out_serial
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.harness.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["no-such-figure"])
+
+
+def test_suite_disk_cache_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv(SUITE_CACHE_ENV, str(tmp_path))
+    suite.clear_cache()
+    try:
+        first = run_fig14_suite("ci", workloads=("dasx",))
+        cached_files = list(tmp_path.glob("suite_ci_*.pkl"))
+        assert len(cached_files) == 1
+
+        # a second process would start cold: clear the in-memory layer
+        # and verify the reload comes from disk with identical numbers
+        suite.clear_cache()
+        reloaded = run_fig14_suite("ci", workloads=("dasx",))
+        assert reloaded["dasx"].xcache.cycles == first["dasx"].xcache.cycles
+        assert (reloaded["dasx"].speedup_vs_baseline
+                == first["dasx"].speedup_vs_baseline)
+    finally:
+        suite.clear_cache()
+
+
+def test_suite_disk_cache_tolerates_corruption(tmp_path, monkeypatch):
+    monkeypatch.setenv(SUITE_CACHE_ENV, str(tmp_path))
+    suite.clear_cache()
+    try:
+        run_fig14_suite("ci", workloads=("dasx",))
+        (cached,) = tmp_path.glob("suite_ci_*.pkl")
+        cached.write_bytes(b"not a pickle")
+        suite.clear_cache()
+        # torn/corrupt cache entry must fall through to a fresh run
+        result = run_fig14_suite("ci", workloads=("dasx",))
+        assert result["dasx"].all_checked
+        # and the fresh run repaired the disk entry
+        with cached.open("rb") as fh:
+            assert "dasx" in pickle.load(fh)
+    finally:
+        suite.clear_cache()

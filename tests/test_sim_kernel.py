@@ -1,32 +1,53 @@
-"""Unit tests for the discrete-event simulation kernel."""
+"""Unit tests for the discrete-event simulation kernel.
+
+Every semantic test runs against both kernels — the bucketed production
+``Simulator`` and the reference ``HeapSimulator`` it replaced — so the
+two stay behaviourally interchangeable (the golden-trace suite depends
+on that).
+"""
+
+import random
 
 import pytest
 
-from repro.sim import SimulationError, Simulator
+from repro.sim import (
+    KERNELS,
+    HeapSimulator,
+    SimulationError,
+    Simulator,
+    default_kernel,
+    new_simulator,
+    use_kernel,
+)
 
 
-def test_starts_at_cycle_zero():
-    assert Simulator().now == 0
+@pytest.fixture(params=sorted(KERNELS), ids=sorted(KERNELS))
+def make_sim(request):
+    return KERNELS[request.param]
 
 
-def test_call_at_runs_at_cycle():
-    sim = Simulator()
+def test_starts_at_cycle_zero(make_sim):
+    assert make_sim().now == 0
+
+
+def test_call_at_runs_at_cycle(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(10, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [10]
 
 
-def test_call_after_relative():
-    sim = Simulator()
+def test_call_after_relative(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(5, lambda: sim.call_after(7, lambda: seen.append(sim.now)))
     sim.run()
     assert seen == [12]
 
 
-def test_same_cycle_fifo_order():
-    sim = Simulator()
+def test_same_cycle_fifo_order(make_sim):
+    sim = make_sim()
     seen = []
     for i in range(5):
         sim.call_at(3, lambda i=i: seen.append(i))
@@ -34,8 +55,8 @@ def test_same_cycle_fifo_order():
     assert seen == [0, 1, 2, 3, 4]
 
 
-def test_events_ordered_across_cycles():
-    sim = Simulator()
+def test_events_ordered_across_cycles(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(9, lambda: seen.append(9))
     sim.call_at(2, lambda: seen.append(2))
@@ -44,14 +65,14 @@ def test_events_ordered_across_cycles():
     assert seen == [2, 5, 9]
 
 
-def test_run_returns_final_cycle():
-    sim = Simulator()
+def test_run_returns_final_cycle(make_sim):
+    sim = make_sim()
     sim.call_at(42, lambda: None)
     assert sim.run() == 42
 
 
-def test_run_until_stops_before_later_events():
-    sim = Simulator()
+def test_run_until_stops_before_later_events(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(10, lambda: seen.append(10))
     sim.call_at(100, lambda: seen.append(100))
@@ -61,8 +82,8 @@ def test_run_until_stops_before_later_events():
     assert sim.pending == 1
 
 
-def test_run_resumes_after_until():
-    sim = Simulator()
+def test_run_resumes_after_until(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(100, lambda: seen.append(100))
     sim.run(until=50)
@@ -70,21 +91,21 @@ def test_run_resumes_after_until():
     assert seen == [100]
 
 
-def test_scheduling_in_past_rejected():
-    sim = Simulator()
+def test_scheduling_in_past_rejected(make_sim):
+    sim = make_sim()
     sim.call_at(10, lambda: None)
     sim.run()
     with pytest.raises(SimulationError):
         sim.call_at(5, lambda: None)
 
 
-def test_negative_delay_rejected():
+def test_negative_delay_rejected(make_sim):
     with pytest.raises(SimulationError):
-        Simulator().call_after(-1, lambda: None)
+        make_sim().call_after(-1, lambda: None)
 
 
-def test_stop_halts_run():
-    sim = Simulator()
+def test_stop_halts_run(make_sim):
+    sim = make_sim()
     seen = []
 
     def first():
@@ -98,8 +119,8 @@ def test_stop_halts_run():
     assert sim.pending == 1
 
 
-def test_step_runs_one_cycle():
-    sim = Simulator()
+def test_step_runs_one_cycle(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(1, lambda: seen.append("a"))
     sim.call_at(1, lambda: seen.append("b"))
@@ -111,8 +132,8 @@ def test_step_runs_one_cycle():
     assert not sim.step()
 
 
-def test_max_events_guards_livelock():
-    sim = Simulator()
+def test_max_events_guards_livelock(make_sim):
+    sim = make_sim()
 
     def respawn():
         sim.call_after(1, respawn)
@@ -122,8 +143,30 @@ def test_max_events_guards_livelock():
         sim.run(max_events=100)
 
 
-def test_events_scheduled_during_run_execute():
-    sim = Simulator()
+def test_max_events_counts_callbacks_not_cycles(make_sim):
+    # 10 callbacks spread over 1000 cycles: a cycle-based cap of 100
+    # would trip, a callback-based one must not.
+    sim = make_sim()
+    seen = []
+    for i in range(10):
+        sim.call_at(i * 100, lambda i=i: seen.append(i))
+    sim.run(max_events=100)
+    assert len(seen) == 10
+
+
+def test_events_executed_accumulates(make_sim):
+    sim = make_sim()
+    for i in range(7):
+        sim.call_at(i, lambda: None)
+    assert sim.events_executed == 0
+    sim.run(until=2)
+    assert sim.events_executed == 3
+    sim.run()
+    assert sim.events_executed == 7
+
+
+def test_events_scheduled_during_run_execute(make_sim):
+    sim = make_sim()
     seen = []
 
     def chain(n):
@@ -131,14 +174,14 @@ def test_events_scheduled_during_run_execute():
         if n < 4:
             sim.call_after(2, lambda: chain(n + 1))
 
-    sim.call_at(0, chain.__get__(0) if False else (lambda: chain(0)))
+    sim.call_at(0, lambda: chain(0))
     sim.run()
     assert seen == [0, 1, 2, 3, 4]
     assert sim.now == 8
 
 
-def test_reentrant_run_rejected():
-    sim = Simulator()
+def test_reentrant_run_rejected(make_sim):
+    sim = make_sim()
 
     def nested():
         sim.run()
@@ -148,9 +191,101 @@ def test_reentrant_run_rejected():
         sim.run()
 
 
-def test_zero_delay_runs_same_cycle():
-    sim = Simulator()
+def test_zero_delay_runs_same_cycle(make_sim):
+    sim = make_sim()
     seen = []
     sim.call_at(5, lambda: sim.call_after(0, lambda: seen.append(sim.now)))
     sim.run()
     assert seen == [5]
+
+
+# ----------------------------------------------------------------------
+# bucketed-kernel specifics: ring/heap boundary and idle fast-forward
+# ----------------------------------------------------------------------
+
+def test_far_future_events_beyond_horizon():
+    sim = Simulator(horizon=16)
+    seen = []
+    for cycle in (3, 15, 16, 17, 1000, 100_000):
+        sim.call_at(cycle, lambda c=cycle: seen.append((c, sim.now)))
+    sim.run()
+    assert seen == [(c, c) for c in (3, 15, 16, 17, 1000, 100_000)]
+    assert sim.now == 100_000
+
+
+def test_heap_then_ring_same_cycle_fifo():
+    # An event scheduled while cycle 40 is beyond the horizon (heap) must
+    # still run before one scheduled later, from nearby (ring) — global
+    # FIFO within a cycle spans both stores.
+    sim = Simulator(horizon=16)
+    seen = []
+    sim.call_at(40, lambda: seen.append("far-first"))     # heap
+    sim.call_at(39, lambda: sim.call_after(1, lambda: seen.append("near-second")))  # ring @40
+    sim.run()
+    assert seen == ["far-first", "near-second"]
+
+
+def test_idle_fast_forward_skips_empty_cycles():
+    sim = Simulator(horizon=8)
+    seen = []
+    sim.call_at(0, lambda: sim.call_after(1_000_000,
+                                          lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1_000_000]
+    assert sim.events_executed == 2
+
+
+def test_horizon_rounds_to_power_of_two():
+    assert Simulator(horizon=100)._horizon == 128
+    assert Simulator(horizon=128)._horizon == 128
+    with pytest.raises(SimulationError):
+        Simulator(horizon=0)
+
+
+def test_fuzz_execution_order_matches_heap_kernel():
+    # Random schedule shapes, including re-scheduling from inside
+    # callbacks: both kernels must execute the exact same sequence.
+    for seed in range(5):
+        logs = {}
+        for name, cls in (("bucket", Simulator), ("heap", HeapSimulator)):
+            rng = random.Random(seed)
+            sim = cls() if name == "heap" else cls(horizon=32)
+            log = logs.setdefault(name, [])
+
+            def make_event(eid, depth, sim=sim, rng=rng, log=log):
+                def event():
+                    log.append((eid, sim.now))
+                    if depth < 2:
+                        for _ in range(rng.randrange(3)):
+                            sim.call_after(
+                                rng.randrange(0, 100),
+                                make_event(rng.randrange(10_000), depth + 1),
+                            )
+                return event
+
+            for i in range(50):
+                sim.call_at(rng.randrange(0, 200), make_event(i, 0))
+            sim.run()
+        assert logs["bucket"] == logs["heap"], f"diverged at seed {seed}"
+
+
+# ----------------------------------------------------------------------
+# kernel selection
+# ----------------------------------------------------------------------
+
+def test_default_kernel_is_bucket():
+    assert default_kernel() == "bucket"
+    assert isinstance(new_simulator(), Simulator)
+
+
+def test_use_kernel_scopes_selection():
+    with use_kernel("heap"):
+        assert default_kernel() == "heap"
+        assert isinstance(new_simulator(), HeapSimulator)
+    assert default_kernel() == "bucket"
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(KeyError):
+        with use_kernel("fifo"):
+            pass
