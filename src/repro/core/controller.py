@@ -31,6 +31,21 @@ from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
+from ..obs.events import (
+    Evict,
+    Fill,
+    Hit,
+    Merge,
+    Miss,
+    QueueStall,
+    Reclaim,
+    RequestArrive,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+    WalkerYield,
+)
+from ..obs.processors import LegacyTraceProcessor
 from ..sim import Component, MessageQueue, Simulator
 from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .actions import ActionExecutor, ActionError
@@ -123,8 +138,11 @@ class Controller(Component):
         self.metaio_in: MessageQueue[Message] = MessageQueue(
             f"{self.name}.metaio", capacity=0, on_push=self.wake
         )
-        # optional event tracing (see repro.sim.trace); None = zero cost
-        self.tracer = None
+        # Legacy ring-buffer tracing rides the obs bus: assigning
+        # `controller.tracer = Tracer()` attaches a digest-compatible
+        # LegacyTraceProcessor (see the `tracer` property below).
+        self._legacy_tracer = None
+        self._legacy_bridge = None
         # persistent DRAM fill callback: the per-fill context rides on the
         # request's tag cookie instead of a fresh closure per block
         self._fill_cb = self._on_dram_fill
@@ -138,6 +156,30 @@ class Controller(Component):
         # executed, per set — dispatch must not over-commit a set.
         self._pending_allocs: Dict[int, int] = {}
         self.on_response: Optional[Callable[[MetaResponse], None]] = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached legacy :class:`~repro.sim.trace.Tracer` (or None).
+
+        Setting a tracer arms the controller's event bus with a
+        :class:`~repro.obs.processors.LegacyTraceProcessor` bridge that
+        reproduces the seed tracer's exact ``(cycle, component, kind,
+        detail)`` stream, so trace digests are unchanged.
+        """
+        return self._legacy_tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        if self._legacy_bridge is not None and self.bus is not None:
+            self.bus.detach(self._legacy_bridge)
+        self._legacy_tracer = tracer
+        self._legacy_bridge = None
+        if tracer is not None:
+            self._legacy_bridge = LegacyTraceProcessor(tracer)
+            self.ensure_bus().attach(self._legacy_bridge)
 
     # ------------------------------------------------------------------
     # datapath-facing API (MetaIO)
@@ -173,6 +215,11 @@ class Controller(Component):
         self.metaio_in.enq(msg)
         if self._count_stats:
             self.stats.inc("meta_loads")
+        bus = self.bus
+        if bus is not None:
+            bus.publish(RequestArrive(cycle=self.sim.now,
+                                      component=self.name,
+                                      tag=tag, op="load"))
         return msg
 
     def meta_store(self, tag: Tag, payload_bits: int,
@@ -188,6 +235,11 @@ class Controller(Component):
         self.metaio_in.enq(msg)
         if self._count_stats:
             self.stats.inc("meta_stores")
+        bus = self.bus
+        if bus is not None:
+            bus.publish(RequestArrive(cycle=self.sim.now,
+                                      component=self.name,
+                                      tag=tag, op="store"))
         return msg
 
     # ------------------------------------------------------------------
@@ -240,9 +292,10 @@ class Controller(Component):
             self.stats.inc("orphan_fills")
             return
         walker.fills_outstanding -= 1
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, self.name, "fill", tag=tag,
-                             addr=resp.addr)
+        bus = self.bus
+        if bus is not None:
+            bus.publish(Fill(cycle=self.sim.now, component=self.name,
+                             tag=tag, addr=resp.addr, nbytes=hi - lo))
         data = resp.data[lo:hi]
         self._internal.append(
             Message(EV_FILL, tag=tag,
@@ -288,6 +341,10 @@ class Controller(Component):
         heap rather than a full sort; the (last_used, scan-index) keys
         make the pop order identical to the stable sort it replaced.
         """
+        bus = self.bus
+        if bus is not None:
+            bus.publish(Reclaim(cycle=self.sim.now, component=self.name,
+                                nsectors=nsectors))
         victims = [
             (e.last_used, i, e)
             for i, e in enumerate(self.metatags.entries())
@@ -299,10 +356,16 @@ class Controller(Component):
                 return
             _, _, victim = heapq.heappop(victims)
             assert victim.tag is not None
-            released = self.metatags.deallocate(victim.tag)
+            victim_tag = victim.tag
+            released = self.metatags.deallocate(victim_tag)
             self.dataram.free(released.sector_start,
                               released.sector_end - released.sector_start)
             self.stats.inc("capacity_evictions")
+            if bus is not None:
+                bus.publish(Evict(
+                    cycle=self.sim.now, component=self.name,
+                    tag=victim_tag,
+                    sectors=released.sector_end - released.sector_start))
 
     # ------------------------------------------------------------------
     # responses
@@ -326,13 +389,18 @@ class Controller(Component):
         return self.config.hit_latency + extra
 
     def _serve_hit(self, msg: Message, entry: MetaTagEntry) -> None:
-        self.metatags.touch(entry, self.sim.now)
+        now = self.sim.now
+        self.metatags.touch(entry, now)
         if self._count_stats:
             self.stats.inc("hits")
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, self.name, "hit", tag=msg.tag,
-                             take=bool(msg.fields.get("take")))
+        bus = self.bus
+        take = bool(msg.fields.get("take"))
         if msg.fields.get("preload"):
+            if bus is not None:
+                bus.publish(Hit(
+                    cycle=now, component=self.name, tag=msg.tag, take=take,
+                    load_to_use=now + self.config.hit_latency
+                    - msg.issued_at))
             self._respond(msg, 1, b"", self.config.hit_latency)
             return
         data = b""
@@ -340,6 +408,10 @@ class Controller(Component):
             data = self.dataram.read_sectors(entry.sector_start,
                                              entry.sector_end)
         latency = self._hit_latency_for(len(data))
+        if bus is not None:
+            bus.publish(Hit(cycle=now, component=self.name, tag=msg.tag,
+                            take=take,
+                            load_to_use=now + latency - msg.issued_at))
         self._respond(msg, 1, data, latency)
         if msg.fields.get("take"):
             released = self.metatags.deallocate(entry.tag)
@@ -349,11 +421,15 @@ class Controller(Component):
             self.stats.inc("takes")
 
     def _serve_store_hit(self, msg: Message, entry: MetaTagEntry) -> None:
-        self.metatags.touch(entry, self.sim.now)
+        now = self.sim.now
+        self.metatags.touch(entry, now)
         self.stats.inc("store_hits")
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, self.name, "store_hit",
-                             tag=msg.tag)
+        bus = self.bus
+        if bus is not None:
+            bus.publish(Hit(cycle=now, component=self.name, tag=msg.tag,
+                            store=True,
+                            load_to_use=now + self.config.hit_latency
+                            - msg.issued_at))
         self._apply_store(entry, msg.fields["payload"])
         self._respond(msg, 1, b"", self.config.hit_latency)
 
@@ -413,9 +489,10 @@ class Controller(Component):
                 self.metaio_in.remove(msg)
                 walker.waiters.append(msg)
                 self.stats.inc("miss_merges")
-                if self.tracer is not None:
-                    self.tracer.emit(self.sim.now, self.name, "merge",
-                                     tag=msg.tag)
+                if self.bus is not None:
+                    self.bus.publish(Merge(cycle=self.sim.now,
+                                           component=self.name,
+                                           tag=msg.tag))
                 served += 1
                 continue
             entry = self.metatags.lookup(msg.tag)
@@ -455,6 +532,11 @@ class Controller(Component):
                         f"no routine for event {msg.event!r}"
                     )
                 del self._internal[i]
+                if self.bus is not None:
+                    self.bus.publish(WalkerWake(cycle=self.sim.now,
+                                                component=self.name,
+                                                tag=walker.tag,
+                                                event=msg.event))
                 self._dispatch(walker, routine, msg)
                 return
         # 2) admit a new walker for the oldest dispatchable miss
@@ -481,10 +563,20 @@ class Controller(Component):
             pending = self._pending_allocs.get(set_index, 0)
             if self.metatags.claimable_ways(msg.tag) <= pending:
                 self.stats.inc("stall_set_conflict")
+                if self.bus is not None:
+                    self.bus.publish(QueueStall(cycle=self.sim.now,
+                                                component=self.name,
+                                                tag=msg.tag,
+                                                reason="set_conflict"))
                 continue
             ctx = self.xregs.allocate(self.sim.now)
             if ctx is None:
                 self.stats.inc("stall_no_context")
+                if self.bus is not None:
+                    self.bus.publish(QueueStall(cycle=self.sim.now,
+                                                component=self.name,
+                                                tag=msg.tag,
+                                                reason="no_context"))
                 return
             self.metaio_in.remove(msg)
             self._pending_allocs[set_index] = pending + 1
@@ -493,9 +585,10 @@ class Controller(Component):
             self._walkers[msg.tag] = walker
             self.stats.inc("misses")
             self.stats.inc("walks_started")
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, self.name, "walk_start",
-                                 tag=msg.tag, event=msg.event)
+            if self.bus is not None:
+                self.bus.publish(Miss(cycle=self.sim.now,
+                                      component=self.name,
+                                      tag=msg.tag, op=msg.event))
             self._dispatch(walker, routine, msg)
             return
 
@@ -506,9 +599,11 @@ class Controller(Component):
         self._execq.append(walker.inflight)
         if self._count_stats:
             self.stats.inc("routines_dispatched")
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, self.name, "dispatch",
-                             tag=walker.tag, routine=routine.name)
+        if self.bus is not None:
+            self.bus.publish(WalkerDispatch(cycle=self.sim.now,
+                                            component=self.name,
+                                            tag=walker.tag,
+                                            routine=routine.name))
 
     def _back_end_execute(self) -> None:
         budget = self.config.num_exe
@@ -538,6 +633,11 @@ class Controller(Component):
         walker.inflight = None
         if terminated:
             self._complete_walker(walker)
+        elif self.bus is not None:
+            self.bus.publish(WalkerYield(cycle=self.sim.now,
+                                         component=self.name,
+                                         tag=walker.tag,
+                                         routine=ex.routine.name))
 
     def _complete_walker(self, walker: WalkerRun) -> None:
         now = self.sim.now
@@ -545,10 +645,11 @@ class Controller(Component):
             self.stats.inc("walks_completed")
         if self._hist_stats:
             self.stats.histogram("walk_latency").add(now - walker.started_at)
-        if self.tracer is not None:
-            self.tracer.emit(now, self.name, "retire", tag=walker.tag,
-                             found=walker.found,
-                             lifetime=now - walker.started_at)
+        if self.bus is not None:
+            self.bus.publish(WalkerRetire(cycle=now, component=self.name,
+                                          tag=walker.tag,
+                                          found=walker.found,
+                                          lifetime=now - walker.started_at))
         entry = walker.entry
         if walker.found and entry is not None:
             entry.active = False

@@ -26,6 +26,7 @@ from functools import partial
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
+from ..obs.events import RequestArrive, WalkerDispatch, WalkerRetire
 from ..sim import Component, Simulator
 
 __all__ = ["WalkStep", "ThreadController"]
@@ -52,6 +53,7 @@ class WalkStep:
 class _Walk:
     steps: Tuple[WalkStep, ...]
     submitted_at: int
+    uid: int = 0
     started_at: int = -1
     step_index: int = 0
     # persistent per-walk callbacks (armed once at start, reused every
@@ -79,6 +81,7 @@ class ThreadController(Component):
         self.num_pipelines = num_pipelines
         self.context_bytes = context_bytes
         self._pending: Deque[_Walk] = deque()
+        self._next_uid = 0
         self._resident = 0
         self.occupancy_byte_cycles = 0
         self._last_update = 0
@@ -101,7 +104,14 @@ class ThreadController(Component):
     # ------------------------------------------------------------------
     def submit(self, steps: Sequence[WalkStep]) -> None:
         """Queue one walk; it runs when a pipeline frees up."""
-        self._pending.append(_Walk(tuple(steps), submitted_at=self.sim.now))
+        uid = self._next_uid
+        self._next_uid = uid + 1
+        self._pending.append(_Walk(tuple(steps), submitted_at=self.sim.now,
+                                   uid=uid))
+        if self.bus is not None:
+            self.bus.publish(RequestArrive(cycle=self.sim.now,
+                                           component=self.name,
+                                           tag=(uid,), op="walk"))
         self._try_start()
 
     def _try_start(self) -> None:
@@ -113,6 +123,11 @@ class ThreadController(Component):
             walk.on_fill = partial(self._resume_after_fill, walk)
             self._resident += 1
             self.stats.inc("walks_started")
+            if self.bus is not None:
+                self.bus.publish(WalkerDispatch(cycle=self.sim.now,
+                                                component=self.name,
+                                                tag=(walk.uid,),
+                                                routine="thread-walk"))
             self._step(walk)
 
     def _resume_after_fill(self, walk: _Walk, resp: MemResponse) -> None:
@@ -140,6 +155,10 @@ class ThreadController(Component):
         self.stats.histogram("walk_turnaround").add(
             self.sim.now - walk.submitted_at
         )
+        if self.bus is not None:
+            self.bus.publish(WalkerRetire(
+                cycle=self.sim.now, component=self.name, tag=(walk.uid,),
+                found=True, lifetime=self.sim.now - walk.started_at))
         self._try_start()
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..mem.dram import DRAMConfig, DRAMModel
 from ..mem.layout import MemoryImage
+from ..obs import capture as obs_capture
 from ..sim import new_simulator
 from .config import XCacheConfig
 from .controller import Controller, MetaResponse
@@ -47,6 +48,39 @@ class XCacheSystem:
         self.responses: List[MetaResponse] = []
         self._user_handler: Optional[Callable[[MetaResponse], None]] = None
         self.controller.set_response_handler(self._collect)
+        # harness-level observation (--events/--perfetto/--metrics-summary):
+        # systems built inside an active capture scope self-register
+        active_capture = obs_capture.current_capture()
+        if active_capture is not None:
+            active_capture.attach_system(self)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def ensure_bus(self):
+        """One shared event bus across controller, DRAM, and kernel.
+
+        The controller's bus is authoritative (a legacy ``tracer``
+        assignment may already have created it); DRAM and the simulation
+        kernel are pointed at the same instance so one subscription sees
+        the whole system.
+        """
+        bus = self.controller.ensure_bus()
+        self.dram.bus = bus
+        self.sim.bus = bus
+        return bus
+
+    def observe(self, processor):
+        """Attach an event processor to the whole system; returns it.
+
+        ::
+
+            metrics = system.observe(MetricsProcessor())
+            system.run()
+            print(metrics.summary())
+        """
+        self.ensure_bus().attach(processor)
+        return processor
 
     def _collect(self, resp: MetaResponse) -> None:
         self.responses.append(resp)

@@ -5,6 +5,20 @@ Runs the requested experiments (default: all) and prints each report.
 output is printed in request order either way, so serial and parallel
 runs produce byte-identical reports. Exits non-zero if any paper
 expectation missed.
+
+Observability (the ``repro.obs`` plane; all three compose with
+``--parallel`` — each experiment's capture lives in its worker):
+
+* ``--events t.jsonl`` streams every typed event as JSON lines, one
+  file per experiment (``t.fig04.jsonl``, ...);
+* ``--perfetto t.json`` writes a Chrome-trace file per experiment
+  (walker contexts as tracks, DRAM transactions as async slices) for
+  https://ui.perfetto.dev;
+* ``--metrics-summary`` appends a hit-rate / load-to-use /
+  miss-latency percentile summary to each report.
+
+Experiments that reload the memoized fig-14 suite from a warm cache
+export events only for the systems actually simulated in-process.
 """
 
 from __future__ import annotations
@@ -12,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs.capture import CaptureSpec
 from . import EXPERIMENTS
 from .parallel import run_parallel, run_serial
 
@@ -29,6 +44,15 @@ def main(argv=None) -> int:
     parser.add_argument("--parallel", type=int, default=1, metavar="N",
                         help="fan experiments over N worker processes "
                              "(default: 1, serial)")
+    parser.add_argument("--events", default=None, metavar="PATH.jsonl",
+                        help="stream typed obs events as JSON lines "
+                             "(per experiment: PATH.<exp_id>.jsonl)")
+    parser.add_argument("--perfetto", default=None, metavar="PATH.json",
+                        help="write a Chrome-trace/Perfetto file "
+                             "(per experiment: PATH.<exp_id>.json)")
+    parser.add_argument("--metrics-summary", action="store_true",
+                        help="append an obs metrics summary (hit-rate, "
+                             "latency percentiles) to each report")
     args = parser.parse_args(argv)
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
@@ -38,10 +62,17 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
 
+    capture = CaptureSpec(events_path=args.events,
+                          perfetto_path=args.perfetto,
+                          metrics=args.metrics_summary)
+    if not capture.active:
+        capture = None
+
     if args.parallel > 1:
-        results = run_parallel(targets, args.profile, args.parallel)
+        results = run_parallel(targets, args.profile, args.parallel,
+                               capture=capture)
     else:
-        results = run_serial(targets, args.profile)
+        results = run_serial(targets, args.profile, capture)
 
     all_ok = True
     for rendered, ok in results:

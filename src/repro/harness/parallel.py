@@ -22,6 +22,7 @@ import shutil
 import tempfile
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.capture import CaptureSpec, capture_scope
 from .suite import SUITE_CACHE_ENV, run_fig14_suite
 
 __all__ = ["run_serial", "run_parallel", "SHARED_SUITE_EXPERIMENTS"]
@@ -30,13 +31,30 @@ __all__ = ["run_serial", "run_parallel", "SHARED_SUITE_EXPERIMENTS"]
 SHARED_SUITE_EXPERIMENTS = ("fig14", "fig15", "fig16")
 
 
-def _run_one(job: Tuple[str, str]) -> Tuple[str, bool]:
-    """Pool worker: run one experiment, return (rendered report, all_ok)."""
+def _run_one(job: Tuple[str, str, Optional[CaptureSpec]]) -> Tuple[str, bool]:
+    """Pool worker: run one experiment, return (rendered report, all_ok).
+
+    When a :class:`CaptureSpec` rides along, the experiment runs inside
+    a capture scope: every system it builds streams onto the obs bus,
+    exports land in per-experiment files (``t.jsonl`` →
+    ``t.<exp_id>.jsonl``), and the metrics summary — aggregated across
+    the experiment's runs via ``StatGroup.merge`` — is appended to the
+    rendered report. This works identically in serial and ``--parallel``
+    runs because each worker owns its experiment's capture end to end.
+    """
     from . import run_experiment
 
-    exp_id, profile = job
-    report = run_experiment(exp_id, profile)
-    return report.render(), report.all_ok
+    exp_id, profile, spec = (job if len(job) == 3 else (*job, None))
+    if spec is None or not spec.active:
+        report = run_experiment(exp_id, profile)
+        return report.render(), report.all_ok
+    with capture_scope(spec.for_experiment(exp_id)) as cap:
+        report = run_experiment(exp_id, profile)
+    rendered = report.render()
+    summary = cap.finish() if cap is not None else None
+    if summary:
+        rendered = f"{rendered}\n{summary}"
+    return rendered, report.all_ok
 
 
 def _warm_suite(profile: str) -> None:
@@ -44,14 +62,16 @@ def _warm_suite(profile: str) -> None:
     run_fig14_suite(profile)
 
 
-def run_serial(targets: Sequence[str], profile: str
+def run_serial(targets: Sequence[str], profile: str,
+               capture: Optional[CaptureSpec] = None
                ) -> List[Tuple[str, bool]]:
     """Run experiments in order in this process."""
-    return [_run_one((exp_id, profile)) for exp_id in targets]
+    return [_run_one((exp_id, profile, capture)) for exp_id in targets]
 
 
 def run_parallel(targets: Sequence[str], profile: str, jobs: int,
-                 cache_dir: Optional[str] = None
+                 cache_dir: Optional[str] = None,
+                 capture: Optional[CaptureSpec] = None
                  ) -> List[Tuple[str, bool]]:
     """Fan experiments out over ``jobs`` worker processes.
 
@@ -61,7 +81,7 @@ def run_parallel(targets: Sequence[str], profile: str, jobs: int,
     removed) when not given.
     """
     if jobs <= 1 or len(targets) <= 1:
-        return run_serial(targets, profile)
+        return run_serial(targets, profile, capture)
 
     own_cache = cache_dir is None
     if own_cache:
@@ -76,12 +96,13 @@ def run_parallel(targets: Sequence[str], profile: str, jobs: int,
             # lands on disk, then reload it instead of re-simulating.
             warm = (pool.apply_async(_warm_suite, (profile,))
                     if suite_targets else None)
-            pending = {t: pool.apply_async(_run_one, ((t, profile),))
+            pending = {t: pool.apply_async(_run_one, ((t, profile, capture),))
                        for t in targets if t not in SHARED_SUITE_EXPERIMENTS}
             if warm is not None:
                 warm.get()
                 for t in suite_targets:
-                    pending[t] = pool.apply_async(_run_one, ((t, profile),))
+                    pending[t] = pool.apply_async(
+                        _run_one, ((t, profile, capture),))
             return [pending[t].get() for t in targets]
     finally:
         if previous is None:

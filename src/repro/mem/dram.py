@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from functools import partial
+
+from ..obs.events import DRAMComplete, DRAMIssue
 from ..sim import Component, Simulator
 from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .layout import MemoryImage
@@ -166,7 +169,8 @@ class DRAMModel(Component):
         """
         cfg = self.config
         block = self.block_of(req.addr)
-        bank = self._banks[self.bank_of(block)]
+        bank_index = self.bank_of(block)
+        bank = self._banks[bank_index]
         row = self.row_of(block)
         now = self.sim.now
         req.issued_at = now
@@ -216,6 +220,18 @@ class DRAMModel(Component):
         resp._callback = callback
         resp._pool = pool
         self.sim.call_at(done, resp)
+        bus = self.bus
+        if bus is not None:
+            bus.publish(DRAMIssue(cycle=now, component=self.name,
+                                  addr=block, is_write=req.is_write,
+                                  bank=bank_index, row_result=row_stat,
+                                  complete_at=done))
+            # the completion event is scheduled (not published eagerly)
+            # so stream exporters see a chronological event order
+            self.sim.call_at(done, partial(
+                bus.publish,
+                DRAMComplete(cycle=done, component=self.name, addr=block,
+                             latency=done - now)))
         return done
 
     # ------------------------------------------------------------------

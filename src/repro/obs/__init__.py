@@ -1,0 +1,74 @@
+"""`repro.obs` — the observability plane.
+
+A zero-cost-when-off telemetry subsystem: typed events
+(:mod:`repro.obs.events`), a per-type-subscription bus
+(:mod:`repro.obs.bus`), processors that fold the stream into metrics or
+forward it to the legacy tracer (:mod:`repro.obs.processors`), and
+exporters for JSONL and Perfetto/Chrome-trace output
+(:mod:`repro.obs.export`). :mod:`repro.obs.capture` wires it into the
+experiment harness (``--events`` / ``--perfetto`` /
+``--metrics-summary``).
+
+Quick start::
+
+    from repro.obs import MetricsProcessor
+
+    system = XCacheSystem(config, program)
+    metrics = system.observe(MetricsProcessor())
+    ...issue requests...
+    system.run()
+    print(metrics.summary())
+"""
+
+from .events import (
+    ALL_EVENT_TYPES,
+    EVENT_TYPES,
+    DRAMComplete,
+    DRAMIssue,
+    Event,
+    Evict,
+    Fill,
+    Hit,
+    Merge,
+    Miss,
+    QueueStall,
+    Reclaim,
+    RequestArrive,
+    RunEnd,
+    RunStart,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+    WalkerYield,
+    event_fields,
+)
+from .bus import EventBus
+from .processors import (
+    EventProcessor,
+    LegacyTraceProcessor,
+    MetricsProcessor,
+    NullProcessor,
+    ProgressProcessor,
+    TypedEventProcessor,
+    summarize_metrics,
+)
+from .export import JsonlExporter, PerfettoExporter, event_to_dict
+from .capture import Capture, CaptureSpec, capture_scope, current_capture
+
+__all__ = [
+    # events
+    "Event", "RunStart", "RunEnd", "RequestArrive", "Hit", "Miss", "Merge",
+    "WalkerDispatch", "WalkerWake", "WalkerYield", "WalkerRetire",
+    "DRAMIssue", "DRAMComplete", "Fill", "Evict", "Reclaim", "QueueStall",
+    "EVENT_TYPES", "ALL_EVENT_TYPES", "event_fields",
+    # bus
+    "EventBus",
+    # processors
+    "EventProcessor", "TypedEventProcessor", "MetricsProcessor",
+    "ProgressProcessor", "LegacyTraceProcessor", "NullProcessor",
+    "summarize_metrics",
+    # export
+    "JsonlExporter", "PerfettoExporter", "event_to_dict",
+    # capture
+    "Capture", "CaptureSpec", "capture_scope", "current_capture",
+]

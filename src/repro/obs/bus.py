@@ -1,0 +1,114 @@
+"""The per-type-subscription event bus.
+
+A component publishes behind a single ``bus is None`` check::
+
+    bus = self.bus
+    if bus is not None:
+        bus.publish(Hit(cycle=now, component=self.name, tag=tag, ...))
+
+so an un-observed run pays one attribute load per instrumentation site
+and never constructs an event. When armed, :meth:`EventBus.publish`
+fans the event to catch-all subscribers first (attachment order), then
+to subscribers of the event's exact type — delivery order within each
+list is attachment order, which keeps multi-processor runs (e.g. a
+legacy-trace bridge plus a metrics processor) deterministic.
+
+Processors attach via :meth:`EventBus.attach`; anything with a
+``handle(event)`` method works, and a ``subscriptions()`` method
+returning event classes narrows delivery to those types (``None``
+means everything).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from .events import Event
+
+__all__ = ["EventBus"]
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Routes published events to per-type and catch-all subscribers."""
+
+    __slots__ = ("_by_type", "_catch_all", "_processors")
+
+    def __init__(self) -> None:
+        self._by_type: Dict[Type[Event], List[Handler]] = {}
+        self._catch_all: List[Handler] = []
+        self._processors: List[object] = []
+
+    # ------------------------------------------------------------------
+    # subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, handler: Handler,
+                  types: Optional[Iterable[Type[Event]]] = None) -> None:
+        """Register a bare callable for ``types`` (None = every event)."""
+        if types is None:
+            self._catch_all.append(handler)
+            return
+        for cls in types:
+            if not (isinstance(cls, type) and issubclass(cls, Event)):
+                raise TypeError(f"not an Event class: {cls!r}")
+            self._by_type.setdefault(cls, []).append(handler)
+
+    def attach(self, processor) -> object:
+        """Attach a processor (``handle(event)`` + optional
+        ``subscriptions()``); returns it for chaining."""
+        handle = processor.handle
+        subs = getattr(processor, "subscriptions", None)
+        types = subs() if subs is not None else None
+        self.subscribe(handle, types)
+        self._processors.append(processor)
+        return processor
+
+    def detach(self, processor) -> None:
+        """Remove an attached processor from every subscription list."""
+        if processor in self._processors:
+            self._processors.remove(processor)
+        handle = getattr(processor, "handle", None)
+        targets = (handle, processor)
+        self._catch_all[:] = [h for h in self._catch_all
+                              if h not in targets]
+        for cls in list(self._by_type):
+            kept = [h for h in self._by_type[cls] if h not in targets]
+            if kept:
+                self._by_type[cls] = kept
+            else:
+                del self._by_type[cls]
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    def publish(self, event: Event) -> None:
+        for handler in self._catch_all:
+            handler(event)
+        subs = self._by_type.get(event.__class__)
+        if subs is not None:
+            for handler in subs:
+                handler(event)
+
+    # ------------------------------------------------------------------
+    # lifecycle / inspection
+    # ------------------------------------------------------------------
+    @property
+    def processors(self) -> Tuple[object, ...]:
+        return tuple(self._processors)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._catch_all) + sum(
+            len(v) for v in self._by_type.values())
+
+    def close(self) -> None:
+        """Flush/close every attached processor that supports it."""
+        for processor in self._processors:
+            closer = getattr(processor, "close", None)
+            if closer is not None:
+                closer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EventBus({len(self._processors)} processors, "
+                f"{self.subscriber_count} subscriptions)")

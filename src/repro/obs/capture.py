@@ -1,0 +1,140 @@
+"""Harness-level capture: observe every system an experiment builds.
+
+``python -m repro.harness fig07 --events t.jsonl --perfetto t.json
+--metrics-summary`` needs to attach processors to systems constructed
+deep inside experiment drivers. The drivers don't take a bus argument —
+instead :class:`~repro.core.xcache.XCacheSystem` checks the *current
+capture* at construction (one module-global lookup, ``None`` on every
+un-observed run) and self-registers.
+
+:class:`CaptureSpec` is the picklable request (paths + flags) that the
+parallel harness ships to worker processes; :class:`Capture` is the live
+per-process state (open files, per-system processors, merged metrics).
+Output paths are namespaced per experiment (``t.jsonl`` →
+``t.fig07.jsonl``) so a multi-experiment or ``--parallel`` run never has
+two writers on one file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import IO, Iterator, List, Optional
+
+from repro.sim.stats import StatGroup
+
+from .export import JsonlExporter, PerfettoExporter
+from .processors import MetricsProcessor, summarize_metrics
+
+__all__ = ["CaptureSpec", "Capture", "capture_scope", "current_capture"]
+
+
+def _with_exp_id(path: str, exp_id: str) -> str:
+    p = pathlib.Path(path)
+    return str(p.with_name(f"{p.stem}.{exp_id}{p.suffix or ''}"))
+
+
+@dataclass(frozen=True)
+class CaptureSpec:
+    """What to capture (picklable; crosses process boundaries)."""
+
+    events_path: Optional[str] = None
+    perfetto_path: Optional[str] = None
+    metrics: bool = False
+
+    @property
+    def active(self) -> bool:
+        return bool(self.events_path or self.perfetto_path or self.metrics)
+
+    def for_experiment(self, exp_id: str) -> "CaptureSpec":
+        """Namespace the output paths for one experiment run."""
+        return replace(
+            self,
+            events_path=(_with_exp_id(self.events_path, exp_id)
+                         if self.events_path else None),
+            perfetto_path=(_with_exp_id(self.perfetto_path, exp_id)
+                           if self.perfetto_path else None),
+        )
+
+
+class Capture:
+    """Live capture state for one experiment in one process."""
+
+    def __init__(self, spec: CaptureSpec) -> None:
+        self.spec = spec
+        self.systems_observed = 0
+        self._events_stream: Optional[IO[str]] = None
+        self._perfetto: Optional[PerfettoExporter] = None
+        self._metrics: List[MetricsProcessor] = []
+        self._closed = False
+        self.summary_text: Optional[str] = None
+        if spec.perfetto_path:
+            self._perfetto = PerfettoExporter(spec.perfetto_path)
+
+    # ------------------------------------------------------------------
+    # system registration (called from XCacheSystem.__init__)
+    # ------------------------------------------------------------------
+    def attach_system(self, system) -> None:
+        """Arm a freshly built system's bus with this capture's sinks."""
+        run = self.systems_observed
+        self.systems_observed += 1
+        bus = system.ensure_bus()
+        if self.spec.events_path:
+            if self._events_stream is None:
+                self._events_stream = open(self.spec.events_path, "w")
+            bus.attach(JsonlExporter(self._events_stream,
+                                     extra={"run": run}))
+        if self._perfetto is not None:
+            self._perfetto.new_run()
+            bus.attach(self._perfetto)
+        if self.spec.metrics:
+            self._metrics.append(bus.attach(MetricsProcessor()))
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def merged_metrics(self) -> StatGroup:
+        merged = StatGroup("obs-merged")
+        for proc in self._metrics:
+            merged.merge(proc.stats)
+        return merged
+
+    def finish(self) -> Optional[str]:
+        """Close outputs; returns the metrics summary text (if asked)."""
+        if self._closed:
+            return self.summary_text
+        self._closed = True
+        if self._perfetto is not None:
+            self._perfetto.close()
+        if self._events_stream is not None:
+            self._events_stream.close()
+            self._events_stream = None
+        if self.spec.metrics:
+            self.summary_text = summarize_metrics(self.merged_metrics())
+        return self.summary_text
+
+
+_current: Optional[Capture] = None
+
+
+def current_capture() -> Optional[Capture]:
+    """The capture systems should self-register with (None = off)."""
+    return _current
+
+
+@contextmanager
+def capture_scope(spec: Optional[CaptureSpec]) -> Iterator[Optional[Capture]]:
+    """Install ``spec`` as the current capture for the enclosed run."""
+    global _current
+    if spec is None or not spec.active:
+        yield None
+        return
+    previous = _current
+    capture = Capture(spec)
+    _current = capture
+    try:
+        yield capture
+    finally:
+        _current = previous
+        capture.finish()

@@ -1,0 +1,245 @@
+"""Typed observability events (the `repro.obs` taxonomy).
+
+Every architecturally meaningful milestone in a run — a request landing
+at the controller, a meta-tag hit, a walker waking or retiring, a DRAM
+transaction issuing or completing — has one frozen dataclass here.
+Components publish instances on their :class:`~repro.obs.bus.EventBus`
+behind a single ``bus is None`` check, so an un-observed run constructs
+no event objects at all.
+
+Design rules:
+
+* Events are **frozen** (processors may fan one instance out to many
+  subscribers; nobody may mutate it in flight) and carry only plain
+  values (ints, strs, bools, tag tuples) so they serialize to JSON
+  without translation.
+* Every event stamps ``cycle`` (simulation time) and ``component`` (the
+  publishing model element); subclass fields describe the milestone.
+* ``Event.name`` is a stable snake_case wire name used by the JSONL
+  exporter and by :class:`~repro.obs.processors.TypedEventProcessor`
+  auto-dispatch (``on_<name>`` methods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Tuple, Type
+
+__all__ = [
+    "Event",
+    "RunStart",
+    "RunEnd",
+    "RequestArrive",
+    "Hit",
+    "Miss",
+    "Merge",
+    "WalkerDispatch",
+    "WalkerWake",
+    "WalkerYield",
+    "WalkerRetire",
+    "DRAMIssue",
+    "DRAMComplete",
+    "Fill",
+    "Evict",
+    "Reclaim",
+    "QueueStall",
+    "EVENT_TYPES",
+    "ALL_EVENT_TYPES",
+    "event_fields",
+]
+
+Tag = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base of every observability event."""
+
+    name: ClassVar[str] = "event"
+
+    cycle: int
+    component: str
+
+
+@dataclass(frozen=True)
+class RunStart(Event):
+    """The simulation kernel entered ``run()``."""
+
+    name: ClassVar[str] = "run_start"
+
+
+@dataclass(frozen=True)
+class RunEnd(Event):
+    """The simulation kernel drained (or hit ``until``)."""
+
+    name: ClassVar[str] = "run_end"
+
+    events_executed: int = 0
+
+
+@dataclass(frozen=True)
+class RequestArrive(Event):
+    """A MetaIO request entered the controller (or a walk was submitted)."""
+
+    name: ClassVar[str] = "request_arrive"
+
+    tag: Tag = ()
+    op: str = "load"          # "load" | "store" | "walk"
+
+
+@dataclass(frozen=True)
+class Hit(Event):
+    """A meta-tag hit served by the pipelined read port."""
+
+    name: ClassVar[str] = "hit"
+
+    tag: Tag = ()
+    store: bool = False       # store hit (insert-or-merge) vs load hit
+    take: bool = False        # read-and-invalidate (GraphPulse pop)
+    load_to_use: int = 0      # issue -> data-back, in cycles
+
+
+@dataclass(frozen=True)
+class Miss(Event):
+    """A true miss admitted a new walker (the legacy ``walk_start``)."""
+
+    name: ClassVar[str] = "miss"
+
+    tag: Tag = ()
+    op: str = ""              # the triggering MetaIO event name
+
+
+@dataclass(frozen=True)
+class Merge(Event):
+    """A request merged into an in-flight walker (active-bitmap hit)."""
+
+    name: ClassVar[str] = "merge"
+
+    tag: Tag = ()
+
+
+@dataclass(frozen=True)
+class WalkerDispatch(Event):
+    """A routine entered the back-end execution pipeline."""
+
+    name: ClassVar[str] = "walker_dispatch"
+
+    tag: Tag = ()
+    routine: str = ""
+
+
+@dataclass(frozen=True)
+class WalkerWake(Event):
+    """A dormant walker resumed on a pending internal event."""
+
+    name: ClassVar[str] = "walker_wake"
+
+    tag: Tag = ()
+    event: str = ""
+
+
+@dataclass(frozen=True)
+class WalkerYield(Event):
+    """A routine ran to completion and the walker went dormant."""
+
+    name: ClassVar[str] = "walker_yield"
+
+    tag: Tag = ()
+    routine: str = ""
+
+
+@dataclass(frozen=True)
+class WalkerRetire(Event):
+    """A walker terminated (STATE done / deallocM) and freed its context."""
+
+    name: ClassVar[str] = "walker_retire"
+
+    tag: Tag = ()
+    found: bool = False
+    lifetime: int = 0         # admission -> retire, in cycles
+
+
+@dataclass(frozen=True)
+class DRAMIssue(Event):
+    """A block request entered the DRAM model."""
+
+    name: ClassVar[str] = "dram_issue"
+
+    addr: int = 0
+    is_write: bool = False
+    bank: int = 0
+    row_result: str = ""      # "row_hits" | "row_misses" | "row_conflicts"
+    complete_at: int = 0      # analytically known at issue time
+
+
+@dataclass(frozen=True)
+class DRAMComplete(Event):
+    """A DRAM transaction's data crossed the bus."""
+
+    name: ClassVar[str] = "dram_complete"
+
+    addr: int = 0
+    latency: int = 0
+
+
+@dataclass(frozen=True)
+class Fill(Event):
+    """A DRAM fill was delivered back to a waiting walker."""
+
+    name: ClassVar[str] = "fill"
+
+    tag: Tag = ()
+    addr: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class Evict(Event):
+    """A servable entry was evicted to free data-RAM sectors."""
+
+    name: ClassVar[str] = "evict"
+
+    tag: Tag = ()
+    sectors: int = 0
+
+
+@dataclass(frozen=True)
+class Reclaim(Event):
+    """A walker asked the controller to reclaim sector capacity."""
+
+    name: ClassVar[str] = "reclaim"
+
+    nsectors: int = 0
+
+
+@dataclass(frozen=True)
+class QueueStall(Event):
+    """The front-end could not admit a dispatchable miss this cycle."""
+
+    name: ClassVar[str] = "queue_stall"
+
+    tag: Tag = ()
+    reason: str = ""          # "no_context" | "set_conflict"
+
+
+ALL_EVENT_TYPES: Tuple[Type[Event], ...] = (
+    RunStart, RunEnd, RequestArrive, Hit, Miss, Merge,
+    WalkerDispatch, WalkerWake, WalkerYield, WalkerRetire,
+    DRAMIssue, DRAMComplete, Fill, Evict, Reclaim, QueueStall,
+)
+
+#: wire-name -> event class (drives TypedEventProcessor auto-dispatch)
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.name: cls for cls in ALL_EVENT_TYPES
+}
+
+_FIELD_CACHE: Dict[Type[Event], Tuple[str, ...]] = {}
+
+
+def event_fields(cls: Type[Event]) -> Tuple[str, ...]:
+    """Field names of an event class, cached (exporter hot path)."""
+    cached = _FIELD_CACHE.get(cls)
+    if cached is None:
+        cached = tuple(f.name for f in fields(cls))
+        _FIELD_CACHE[cls] = cached
+    return cached

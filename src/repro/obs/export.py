@@ -1,0 +1,248 @@
+"""Trace export: JSONL streaming and Chrome-trace (Perfetto) rendering.
+
+* :class:`JsonlExporter` streams one JSON object per event — cheap,
+  append-only, greppable, and trivially mergeable across runs.
+* :class:`PerfettoExporter` renders the run as a Chrome-trace JSON file
+  (load it at https://ui.perfetto.dev or ``chrome://tracing``): each
+  component is a *process*, walker contexts are *tracks* (threads)
+  carrying dispatch→retire walk spans with per-routine slices inside,
+  and DRAM transactions are *async slices* on the DRAM process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+from .events import (
+    DRAMComplete,
+    DRAMIssue,
+    Event,
+    Miss,
+    RunEnd,
+    RunStart,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+    WalkerYield,
+    event_fields,
+)
+from .processors import EventProcessor
+
+__all__ = ["JsonlExporter", "PerfettoExporter", "event_to_dict"]
+
+
+def event_to_dict(event: Event, extra: Optional[dict] = None) -> dict:
+    """Flatten an event into a JSON-ready dict (``event`` = wire name)."""
+    out = {"event": event.__class__.name}
+    if extra:
+        out.update(extra)
+    for name in event_fields(event.__class__):
+        value = getattr(event, name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[name] = value
+    return out
+
+
+class JsonlExporter(EventProcessor):
+    """Streams every event as one JSON line.
+
+    ``dest`` is a path or an open text stream. ``extra`` is folded into
+    every line (the capture layer stamps ``{"run": n}`` so multi-system
+    experiments stay distinguishable in one file). When given a path
+    the file opens lazily on the first event and closes with the bus.
+    """
+
+    def __init__(self, dest: Union[str, IO[str]],
+                 extra: Optional[dict] = None) -> None:
+        self._path: Optional[str] = dest if isinstance(dest, str) else None
+        self._stream: Optional[IO[str]] = (
+            None if isinstance(dest, str) else dest)
+        self._owns_stream = isinstance(dest, str)
+        self.extra = extra
+        self.events_written = 0
+
+    def handle(self, event: Event) -> None:
+        stream = self._stream
+        if stream is None:
+            stream = self._stream = open(self._path, "w")
+        json.dump(event_to_dict(event, self.extra), stream,
+                  separators=(",", ":"))
+        stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        stream = self._stream
+        if stream is None:
+            return
+        if self._owns_stream:
+            self._stream = None
+            stream.close()
+        else:
+            flush = getattr(stream, "flush", None)
+            if flush is not None:
+                flush()
+
+
+class PerfettoExporter(EventProcessor):
+    """Collects the run into Chrome-trace JSON.
+
+    Track model (all timestamps are cycles, rendered as trace ``ts``):
+
+    * one *process* per publishing component (``pid``), named via
+      ``process_name`` metadata;
+    * walker contexts are *threads* of their controller's process: a
+      live walker claims the lowest free lane (exactly like an
+      X-register context) and frees it at retire. The walk itself is a
+      complete-event span (``ph":"X"``) from admission to retire, and
+      each routine execution is a nested slice (dispatch→yield/retire);
+    * DRAM transactions are async slices (``ph":"b"``/``"e"``) on the
+      DRAM component's process, correlated by id;
+    * kernel ``run()`` entry/exit become instant events.
+
+    ``new_run()`` namespaces a subsequent system's components so one
+    trace file can hold a whole experiment.
+    """
+
+    def __init__(self, dest: Union[str, IO[str]]) -> None:
+        self._path: Optional[str] = dest if isinstance(dest, str) else None
+        self._stream: Optional[IO[str]] = (
+            None if isinstance(dest, str) else dest)
+        self.trace_events: List[dict] = []
+        self._run = 0
+        self._pids: Dict[str, int] = {}
+        # per (pid, tag): lane + span bookkeeping
+        self._lanes_free: Dict[int, List[int]] = {}
+        self._lanes_next: Dict[int, int] = {}
+        self._walks: Dict[Tuple[int, Tuple[int, ...]], dict] = {}
+        self._dram_seq = 0
+        self._dram_open: Dict[Tuple[int, int], List[int]] = {}
+        self._closed = False
+
+    # -- capture plumbing ---------------------------------------------
+    def new_run(self) -> None:
+        """Namespace the components of the next attached system."""
+        self._run += 1
+
+    def _pid(self, component: str) -> int:
+        key = (f"run{self._run}/{component}" if self._run else component)
+        pid = self._pids.get(key)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[key] = pid
+            self.trace_events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": key},
+            })
+        return pid
+
+    def _claim_lane(self, pid: int) -> int:
+        free = self._lanes_free.setdefault(pid, [])
+        if free:
+            free.sort()
+            return free.pop(0)
+        lane = self._lanes_next.get(pid, 1)
+        self._lanes_next[pid] = lane + 1
+        self.trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": lane,
+            "args": {"name": f"walker ctx {lane - 1}"},
+        })
+        return lane
+
+    # -- event ingestion ----------------------------------------------
+    def handle(self, event: Event) -> None:
+        cls = event.__class__
+        if cls is Miss:
+            pid = self._pid(event.component)
+            lane = self._claim_lane(pid)
+            self._walks[(pid, event.tag)] = {
+                "lane": lane, "start": event.cycle, "routine": None,
+            }
+        elif cls is WalkerDispatch or cls is WalkerWake:
+            pid = self._pid(event.component)
+            walk = self._walks.get((pid, event.tag))
+            if walk is not None and cls is WalkerDispatch:
+                walk["routine"] = (event.routine, event.cycle)
+        elif cls is WalkerYield:
+            pid = self._pid(event.component)
+            self._end_routine(pid, event.tag, event.cycle)
+        elif cls is WalkerRetire:
+            pid = self._pid(event.component)
+            self._end_routine(pid, event.tag, event.cycle)
+            walk = self._walks.pop((pid, event.tag), None)
+            if walk is None:
+                return
+            start = event.cycle - event.lifetime
+            self.trace_events.append({
+                "ph": "X", "name": f"walk {list(event.tag)}",
+                "cat": "walker", "pid": pid, "tid": walk["lane"],
+                "ts": start, "dur": max(event.lifetime, 1),
+                "args": {"tag": list(event.tag), "found": event.found},
+            })
+            self._lanes_free.setdefault(pid, []).append(walk["lane"])
+        elif cls is DRAMIssue:
+            pid = self._pid(event.component)
+            self._dram_seq += 1
+            slice_id = self._dram_seq
+            self._dram_open.setdefault((pid, event.addr), []).append(slice_id)
+            self.trace_events.append({
+                "ph": "b", "cat": "dram",
+                "name": "write" if event.is_write else "read",
+                "pid": pid, "tid": 0, "ts": event.cycle,
+                "id": slice_id,
+                "args": {"addr": event.addr, "bank": event.bank,
+                         "row": event.row_result},
+            })
+        elif cls is DRAMComplete:
+            pid = self._pid(event.component)
+            open_ids = self._dram_open.get((pid, event.addr))
+            if open_ids:
+                slice_id = open_ids.pop(0)
+                self.trace_events.append({
+                    "ph": "e", "cat": "dram", "name": "txn",
+                    "pid": pid, "tid": 0, "ts": event.cycle,
+                    "id": slice_id,
+                })
+        elif cls is RunStart or cls is RunEnd:
+            pid = self._pid(event.component)
+            self.trace_events.append({
+                "ph": "i", "s": "p", "cat": "kernel",
+                "name": cls.name, "pid": pid, "tid": 0,
+                "ts": event.cycle,
+            })
+
+    def _end_routine(self, pid: int, tag: Tuple[int, ...],
+                     cycle: int) -> None:
+        walk = self._walks.get((pid, tag))
+        if walk is None or walk["routine"] is None:
+            return
+        name, started = walk["routine"]
+        walk["routine"] = None
+        self.trace_events.append({
+            "ph": "X", "name": name, "cat": "routine",
+            "pid": pid, "tid": walk["lane"],
+            "ts": started, "dur": max(cycle - started, 1),
+            "args": {"tag": list(tag)},
+        })
+
+    # -- output --------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        return {
+            "traceEvents": self.trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {"exporter": "repro.obs", "time_unit": "cycle"},
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        payload = self.to_chrome_trace()
+        if self._path is not None:
+            with open(self._path, "w") as fh:
+                json.dump(payload, fh, indent=1)
+                fh.write("\n")
+        elif self._stream is not None:
+            json.dump(payload, self._stream, indent=1)
+            self._stream.write("\n")

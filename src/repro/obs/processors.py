@@ -1,0 +1,255 @@
+"""Event processors: the consumers attached to an :class:`EventBus`.
+
+* :class:`EventProcessor` — the base protocol (``handle`` + optional
+  ``subscriptions``/``close``).
+* :class:`TypedEventProcessor` — auto-dispatches to ``on_<event-name>``
+  methods (``on_hit``, ``on_walker_retire``, ...) and subscribes only
+  to the event types it actually handles.
+* :class:`MetricsProcessor` — folds the event stream into the existing
+  :class:`~repro.sim.stats.StatGroup` containers (counters plus
+  load-to-use / miss-latency / DRAM-latency histograms with
+  p50/p95/p99), mergeable across runs and workers via
+  ``StatGroup.merge``.
+* :class:`ProgressProcessor` — a low-frequency heartbeat for long runs.
+* :class:`LegacyTraceProcessor` — the seed's ring-buffer
+  :class:`~repro.sim.trace.Tracer` reimplemented as one bus subscriber,
+  emitting byte-identical ``(cycle, component, kind, detail)`` tuples
+  so golden-trace digests are unchanged.
+* :class:`NullProcessor` — a no-op sink for overhead benchmarking.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.sim.stats import StatGroup
+
+from .events import (
+    EVENT_TYPES,
+    Event,
+    Fill,
+    Hit,
+    Merge,
+    Miss,
+    WalkerDispatch,
+    WalkerRetire,
+)
+
+__all__ = [
+    "EventProcessor",
+    "TypedEventProcessor",
+    "MetricsProcessor",
+    "ProgressProcessor",
+    "LegacyTraceProcessor",
+    "NullProcessor",
+    "summarize_metrics",
+]
+
+
+class EventProcessor:
+    """Base class for bus subscribers."""
+
+    def subscriptions(self) -> Optional[Tuple[Type[Event], ...]]:
+        """Event classes to receive; ``None`` subscribes to everything."""
+        return None
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush any buffered output (called by ``EventBus.close()``)."""
+
+
+class NullProcessor(EventProcessor):
+    """Receives everything, does nothing (overhead measurement)."""
+
+    def handle(self, event: Event) -> None:
+        pass
+
+
+class TypedEventProcessor(EventProcessor):
+    """Dispatches each event to an ``on_<event-name>`` method.
+
+    Subclasses define handlers named after the event's wire name::
+
+        class HitLogger(TypedEventProcessor):
+            def on_hit(self, ev):
+                print(ev.cycle, ev.tag)
+
+    Only the event types with a matching handler are subscribed, so the
+    bus never delivers events the processor would drop.
+    """
+
+    def __init__(self) -> None:
+        dispatch: Dict[Type[Event], object] = {}
+        for name, cls in EVENT_TYPES.items():
+            method = getattr(self, f"on_{name}", None)
+            if method is not None:
+                dispatch[cls] = method
+        self._dispatch = dispatch
+
+    def subscriptions(self) -> Tuple[Type[Event], ...]:
+        return tuple(self._dispatch)
+
+    def handle(self, event: Event) -> None:
+        method = self._dispatch.get(event.__class__)
+        if method is not None:
+            method(event)
+
+
+class MetricsProcessor(TypedEventProcessor):
+    """Folds the event stream into counters and latency histograms.
+
+    The containers are the same :class:`~repro.sim.stats.StatGroup`
+    machinery every component already uses, so per-run groups merge
+    losslessly (``StatGroup.merge`` accumulates histogram buckets) —
+    that is how ``--metrics-summary`` aggregates an experiment that
+    builds many systems, and how parallel workers fold their runs.
+    """
+
+    def __init__(self, group: Optional[StatGroup] = None) -> None:
+        super().__init__()
+        self.stats = group if group is not None else StatGroup("obs")
+        self._load_to_use = self.stats.histogram("load_to_use")
+        self._miss_latency = self.stats.histogram("miss_latency")
+        self._dram_latency = self.stats.histogram("dram_latency")
+
+    # -- handlers ------------------------------------------------------
+    def on_request_arrive(self, ev) -> None:
+        self.stats.inc("requests")
+
+    def on_hit(self, ev) -> None:
+        self.stats.inc("store_hits" if ev.store else "hits")
+        self._load_to_use.add(ev.load_to_use)
+
+    def on_miss(self, ev) -> None:
+        self.stats.inc("misses")
+
+    def on_merge(self, ev) -> None:
+        self.stats.inc("merges")
+
+    def on_walker_retire(self, ev) -> None:
+        self.stats.inc("walks_completed")
+        self._miss_latency.add(ev.lifetime)
+
+    def on_fill(self, ev) -> None:
+        self.stats.inc("fills")
+
+    def on_dram_issue(self, ev) -> None:
+        self.stats.inc("dram_writes" if ev.is_write else "dram_reads")
+        self._dram_latency.add(ev.complete_at - ev.cycle)
+
+    def on_evict(self, ev) -> None:
+        self.stats.inc("evictions")
+
+    def on_queue_stall(self, ev) -> None:
+        self.stats.inc("stalls")
+
+    # -- reporting -----------------------------------------------------
+    def hit_rate(self) -> float:
+        return _hit_rate(self.stats)
+
+    def summary(self) -> str:
+        return summarize_metrics(self.stats)
+
+
+def _hit_rate(stats: StatGroup) -> float:
+    hits = stats.get("hits") + stats.get("store_hits")
+    total = hits + stats.get("misses")
+    return hits / total if total else 0.0
+
+
+def _hist_line(label: str, hist) -> str:
+    return (f"{label}: mean={hist.mean:.1f} "
+            f"p50={hist.percentile(0.50)} "
+            f"p95={hist.percentile(0.95)} "
+            f"p99={hist.percentile(0.99)} (n={hist.count})")
+
+
+def summarize_metrics(stats: StatGroup) -> str:
+    """Render one metrics StatGroup (possibly merged) as report text."""
+    hits = stats.get("hits") + stats.get("store_hits")
+    lines = [
+        "-- metrics summary (repro.obs) --",
+        (f"requests={stats.get('requests')} hits={hits} "
+         f"misses={stats.get('misses')} merges={stats.get('merges')} "
+         f"hit-rate={_hit_rate(stats):.4f}"),
+        _hist_line("load-to-use", stats.histogram("load_to_use")),
+        _hist_line("miss-latency", stats.histogram("miss_latency")),
+        (f"dram: reads={stats.get('dram_reads')} "
+         f"writes={stats.get('dram_writes')} fills={stats.get('fills')}; "
+         + _hist_line("latency", stats.histogram("dram_latency"))),
+    ]
+    extras = []
+    if stats.get("evictions"):
+        extras.append(f"evictions={stats.get('evictions')}")
+    if stats.get("stalls"):
+        extras.append(f"stalls={stats.get('stalls')}")
+    if extras:
+        lines.append(" ".join(extras))
+    return "\n".join(lines)
+
+
+class ProgressProcessor(EventProcessor):
+    """Writes a heartbeat line every ``interval`` events."""
+
+    def __init__(self, interval: int = 100_000, stream=None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self.seen = 0
+
+    def handle(self, event: Event) -> None:
+        self.seen += 1
+        if self.seen % self.interval == 0:
+            self.stream.write(
+                f"[obs] {self.seen} events, cycle {event.cycle}\n")
+
+    def close(self) -> None:
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+
+
+class LegacyTraceProcessor(EventProcessor):
+    """Feeds a ring-buffer :class:`~repro.sim.trace.Tracer` from the bus.
+
+    Maps the typed events back onto the seed tracer's string kinds with
+    the exact detail tuples the old inline ``tracer.emit`` calls built,
+    so ``Tracer.digest()`` over a bridged run equals the seed's digest
+    for the same simulation. Events with no legacy kind (wake, yield,
+    DRAM, stalls, ...) are not subscribed and never reach the tracer.
+    """
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+
+    def subscriptions(self) -> Tuple[Type[Event], ...]:
+        return (Hit, Merge, Miss, WalkerDispatch, WalkerRetire, Fill)
+
+    def handle(self, event: Event) -> None:
+        emit = self.tracer.emit
+        cls = event.__class__
+        if cls is Hit:
+            if event.store:
+                emit(event.cycle, event.component, "store_hit",
+                     tag=event.tag)
+            else:
+                emit(event.cycle, event.component, "hit", tag=event.tag,
+                     take=event.take)
+        elif cls is Fill:
+            emit(event.cycle, event.component, "fill", tag=event.tag,
+                 addr=event.addr)
+        elif cls is WalkerDispatch:
+            emit(event.cycle, event.component, "dispatch", tag=event.tag,
+                 routine=event.routine)
+        elif cls is Miss:
+            emit(event.cycle, event.component, "walk_start", tag=event.tag,
+                 event=event.op)
+        elif cls is WalkerRetire:
+            emit(event.cycle, event.component, "retire", tag=event.tag,
+                 found=event.found, lifetime=event.lifetime)
+        elif cls is Merge:
+            emit(event.cycle, event.component, "merge", tag=event.tag)

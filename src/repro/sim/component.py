@@ -27,8 +27,22 @@ class Component:
         self.name = name
         self.stats = StatGroup(name)
         self.stats_level = stats_level()
+        # observability: publish sites test `self.bus is not None` and
+        # pay one attribute load when nobody is listening
+        self.bus = None
         self._tick_armed = False
         self._tick_cb = self._run_tick  # persistent: no per-arm allocation
+
+    def ensure_bus(self):
+        """The component's event bus, created on first use.
+
+        Imported lazily so the sim substrate never depends on
+        :mod:`repro.obs` at import time (obs imports sim.stats).
+        """
+        if self.bus is None:
+            from ..obs.bus import EventBus
+            self.bus = EventBus()
+        return self.bus
 
     # ------------------------------------------------------------------
     # activity-driven ticking

@@ -72,8 +72,9 @@ class Simulator:
     in append order, reproduces global FIFO-within-cycle order exactly.
     """
 
-    __slots__ = ("now", "events_executed", "_horizon", "_mask", "_ring",
-                 "_ring_count", "_far", "_far_seq", "_running", "_stopped")
+    __slots__ = ("now", "events_executed", "bus", "_horizon", "_mask",
+                 "_ring", "_ring_count", "_far", "_far_seq", "_running",
+                 "_stopped")
 
     def __init__(self, horizon: int = 128) -> None:
         if horizon <= 0:
@@ -83,6 +84,8 @@ class Simulator:
             horizon += 1
         self.now: int = 0
         self.events_executed: int = 0
+        # observability bus (repro.obs); None = no run_start/run_end events
+        self.bus = None
         self._horizon = horizon
         self._mask = horizon - 1
         self._ring: List[List[Callable[[], None]]] = [
@@ -187,6 +190,10 @@ class Simulator:
         far = self._far
         horizon = self._horizon
         mask = self._mask
+        bus = self.bus
+        if bus is not None:
+            from ..obs.events import RunStart
+            bus.publish(RunStart(cycle=self.now, component="kernel"))
         try:
             while not self._stopped:
                 # -- idle fast-forward: jump now to the next populated cycle
@@ -244,6 +251,10 @@ class Simulator:
         finally:
             self._running = False
             self.events_executed += events
+            if bus is not None:
+                from ..obs.events import RunEnd
+                bus.publish(RunEnd(cycle=self.now, component="kernel",
+                                   events_executed=self.events_executed))
         return self.now
 
     def stop(self) -> None:
@@ -270,6 +281,7 @@ class HeapSimulator:
     def __init__(self) -> None:
         self.now: int = 0
         self.events_executed: int = 0
+        self.bus = None
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._running = False
@@ -324,6 +336,10 @@ class HeapSimulator:
         self._running = True
         self._stopped = False
         events = 0
+        bus = self.bus
+        if bus is not None:
+            from ..obs.events import RunStart
+            bus.publish(RunStart(cycle=self.now, component="kernel"))
         try:
             while self._queue and not self._stopped:
                 cycle = self._queue[0][0]
@@ -342,6 +358,10 @@ class HeapSimulator:
         finally:
             self._running = False
             self.events_executed += events
+            if bus is not None:
+                from ..obs.events import RunEnd
+                bus.publish(RunEnd(cycle=self.now, component="kernel",
+                                   events_executed=self.events_executed))
         return self.now
 
     def stop(self) -> None:

@@ -131,7 +131,16 @@ class Tracer:
         return "\n".join(e.render() for e in events)
 
     def clear(self) -> None:
+        """Reset to a fresh tracer: events, emit total, and drop count.
+
+        A cleared tracer must be indistinguishable from a new one — the
+        digest mixes in ``total_emitted``/``dropped``, so leaving them
+        stale would make post-clear digests diverge across otherwise
+        identical runs.
+        """
         self._events.clear()
+        self.total_emitted = 0
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,192 @@
+"""Tests for JSONL and Chrome-trace (Perfetto) export."""
+
+import io
+import json
+
+from repro.obs import (
+    DRAMComplete,
+    DRAMIssue,
+    EventBus,
+    Hit,
+    JsonlExporter,
+    Miss,
+    PerfettoExporter,
+    RunEnd,
+    RunStart,
+    WalkerDispatch,
+    WalkerRetire,
+    event_to_dict,
+)
+
+
+def test_event_to_dict_flattens_and_names():
+    d = event_to_dict(Hit(cycle=5, component="ctl", tag=(1, 2),
+                          take=True, load_to_use=3))
+    assert d == {"event": "hit", "cycle": 5, "component": "ctl",
+                 "tag": [1, 2], "store": False, "take": True,
+                 "load_to_use": 3}
+
+
+def test_event_to_dict_extra_keys():
+    d = event_to_dict(RunStart(cycle=0, component="kernel"),
+                      extra={"run": 3})
+    assert d["run"] == 3 and d["event"] == "run_start"
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def test_jsonl_exporter_to_stream():
+    out = io.StringIO()
+    bus = EventBus()
+    exporter = bus.attach(JsonlExporter(out, extra={"run": 0}))
+    bus.publish(Hit(cycle=1, component="ctl", tag=(1,)))
+    bus.publish(Miss(cycle=2, component="ctl", tag=(2,), op="MetaLoad"))
+    bus.close()
+    lines = out.getvalue().strip().splitlines()
+    assert exporter.events_written == 2
+    records = [json.loads(line) for line in lines]
+    assert [r["event"] for r in records] == ["hit", "miss"]
+    assert all(r["run"] == 0 for r in records)
+
+
+def test_jsonl_exporter_to_path(tmp_path):
+    path = tmp_path / "events.jsonl"
+    bus = EventBus()
+    bus.attach(JsonlExporter(str(path)))
+    bus.publish(Hit(cycle=1, component="ctl", tag=(1,)))
+    bus.close()
+    [record] = [json.loads(l) for l in path.read_text().splitlines()]
+    assert record["event"] == "hit" and record["tag"] == [1]
+
+
+def test_jsonl_exporter_lazy_open(tmp_path):
+    path = tmp_path / "never.jsonl"
+    exporter = JsonlExporter(str(path))
+    exporter.close()
+    assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# Perfetto: synthetic stream
+# ----------------------------------------------------------------------
+def _walk_stream(bus):
+    bus.publish(RunStart(cycle=0, component="kernel"))
+    bus.publish(Miss(cycle=1, component="ctl", tag=(7,), op="MetaLoad"))
+    bus.publish(WalkerDispatch(cycle=1, component="ctl", tag=(7,),
+                               routine="Default@MetaLoad"))
+    bus.publish(DRAMIssue(cycle=3, component="dram", addr=4096,
+                          is_write=False, bank=2, row_result="row_misses",
+                          complete_at=29))
+    bus.publish(DRAMComplete(cycle=29, component="dram", addr=4096,
+                             latency=26))
+    bus.publish(WalkerRetire(cycle=31, component="ctl", tag=(7,),
+                             found=True, lifetime=30))
+    bus.publish(RunEnd(cycle=31, component="kernel", events_executed=42))
+
+
+def test_perfetto_structure_synthetic(tmp_path):
+    path = tmp_path / "trace.json"
+    bus = EventBus()
+    bus.attach(PerfettoExporter(str(path)))
+    _walk_stream(bus)
+    bus.close()
+
+    payload = json.loads(path.read_text())
+    assert isinstance(payload["traceEvents"], list)
+    events = payload["traceEvents"]
+
+    walk_spans = [e for e in events
+                  if e["ph"] == "X" and e["cat"] == "walker"]
+    assert len(walk_spans) == 1
+    span = walk_spans[0]
+    assert span["ts"] == 1 and span["dur"] == 30
+    assert span["args"]["found"] is True
+
+    routine_slices = [e for e in events
+                      if e["ph"] == "X" and e["cat"] == "routine"]
+    assert len(routine_slices) == 1
+    assert routine_slices[0]["name"] == "Default@MetaLoad"
+    assert routine_slices[0]["tid"] == span["tid"]
+
+    begins = [e for e in events if e["ph"] == "b"]
+    ends = [e for e in events if e["ph"] == "e"]
+    assert len(begins) == len(ends) == 1
+    assert begins[0]["id"] == ends[0]["id"]
+    assert begins[0]["args"]["bank"] == 2
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in instants} == {"run_start", "run_end"}
+
+    # every X event carries a duration; every pid is named
+    assert all("dur" in e for e in events if e["ph"] == "X")
+    named = {e["pid"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    used = {e["pid"] for e in events if e["ph"] != "M"}
+    assert used <= named
+
+
+def test_perfetto_lane_reuse():
+    exporter = PerfettoExporter(io.StringIO())
+    bus = EventBus()
+    bus.attach(exporter)
+    # two concurrent walks -> two lanes; after both retire a third
+    # walk reclaims the lowest lane
+    for tag in ((1,), (2,)):
+        bus.publish(Miss(cycle=0, component="ctl", tag=tag, op="L"))
+    for tag in ((1,), (2,)):
+        bus.publish(WalkerRetire(cycle=10, component="ctl", tag=tag,
+                                 found=True, lifetime=10))
+    bus.publish(Miss(cycle=20, component="ctl", tag=(3,), op="L"))
+    bus.publish(WalkerRetire(cycle=25, component="ctl", tag=(3,),
+                             found=False, lifetime=5))
+    spans = [e for e in exporter.trace_events
+             if e["ph"] == "X" and e["cat"] == "walker"]
+    assert sorted(e["tid"] for e in spans) == [1, 1, 2]
+
+
+def test_perfetto_new_run_namespaces_pids():
+    exporter = PerfettoExporter(io.StringIO())
+    bus = EventBus()
+    bus.attach(exporter)
+    bus.publish(RunStart(cycle=0, component="kernel"))
+    exporter.new_run()
+    bus.publish(RunStart(cycle=0, component="kernel"))
+    names = [e["args"]["name"] for e in exporter.trace_events
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert names == ["kernel", "run1/kernel"]
+
+
+# ----------------------------------------------------------------------
+# Perfetto: a real system run
+# ----------------------------------------------------------------------
+def test_perfetto_real_run_structurally_valid(tmp_path, mini_system):
+    path = tmp_path / "trace.json"
+    exporter = mini_system.observe(PerfettoExporter(str(path)))
+    addr = mini_system.image.alloc_u64_array(list(range(4)))
+    for i in range(4):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    exporter.close()
+
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert payload["otherData"]["time_unit"] == "cycle"
+
+    walk_spans = [e for e in events
+                  if e["ph"] == "X" and e["cat"] == "walker"]
+    assert len(walk_spans) == 4
+    assert all(e["dur"] >= 1 for e in walk_spans)
+
+    begins = [e for e in events if e["ph"] == "b"]
+    ends = [e for e in events if e["ph"] == "e"]
+    assert len(begins) == 4 and len(ends) == 4
+    assert sorted(e["id"] for e in begins) == sorted(e["id"] for e in ends)
+
+    # dispatch->retire span contains its routine slices
+    for span in walk_spans:
+        inner = [e for e in events
+                 if e["ph"] == "X" and e["cat"] == "routine"
+                 and e["pid"] == span["pid"] and e["tid"] == span["tid"]
+                 and span["ts"] <= e["ts"] <= span["ts"] + span["dur"]]
+        assert inner, f"walk span without routine slices: {span}"

@@ -1,0 +1,120 @@
+"""End-to-end tests for the harness observability flags."""
+
+import json
+
+import pytest
+
+from repro.harness.__main__ import main
+from repro.obs.capture import CaptureSpec, capture_scope, current_capture
+
+
+# ----------------------------------------------------------------------
+# CaptureSpec plumbing
+# ----------------------------------------------------------------------
+def test_capture_spec_activity():
+    assert not CaptureSpec().active
+    assert CaptureSpec(metrics=True).active
+    assert CaptureSpec(events_path="x.jsonl").active
+    assert CaptureSpec(perfetto_path="x.json").active
+
+
+def test_capture_spec_namespaces_paths():
+    spec = CaptureSpec(events_path="out/t.jsonl", perfetto_path="t.json")
+    scoped = spec.for_experiment("fig07")
+    assert scoped.events_path.endswith("t.fig07.jsonl")
+    assert scoped.perfetto_path == "t.fig07.json"
+
+
+def test_capture_scope_inactive_spec_yields_none():
+    with capture_scope(CaptureSpec()) as cap:
+        assert cap is None
+        assert current_capture() is None
+
+
+def test_capture_scope_restores_previous():
+    assert current_capture() is None
+    with capture_scope(CaptureSpec(metrics=True)) as cap:
+        assert current_capture() is cap
+    assert current_capture() is None
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+def _run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_metrics_summary_flag_fig07(capsys):
+    code, out = _run_cli(capsys, "fig07", "--profile", "ci",
+                         "--metrics-summary")
+    assert code == 0
+    assert "-- metrics summary (repro.obs) --" in out
+    assert "hit-rate=" in out
+    miss_line = next(l for l in out.splitlines()
+                     if l.startswith("miss-latency"))
+    assert "p50=" in miss_line and "p95=" in miss_line
+
+
+def test_events_and_perfetto_flags(capsys, tmp_path):
+    events = tmp_path / "t.jsonl"
+    trace = tmp_path / "t.json"
+    code, out = _run_cli(capsys, "fig07", "--profile", "ci",
+                         "--events", str(events),
+                         "--perfetto", str(trace))
+    assert code == 0
+
+    events_file = tmp_path / "t.fig07.jsonl"
+    assert events_file.exists()
+    lines = events_file.read_text().splitlines()
+    assert lines
+    kinds = set()
+    for line in lines[:2000]:
+        record = json.loads(line)
+        assert "cycle" in record and "component" in record
+        kinds.add(record["event"])
+    assert {"request_arrive", "hit", "miss"} <= kinds
+
+    payload = json.loads((tmp_path / "t.fig07.json").read_text())
+    assert isinstance(payload["traceEvents"], list)
+    assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+def test_flags_compose_with_parallel(capsys, tmp_path):
+    events = tmp_path / "p.jsonl"
+    code, out = _run_cli(capsys, "fig04", "fig07", "--profile", "ci",
+                         "--parallel", "2", "--metrics-summary",
+                         "--events", str(events))
+    assert code == 0
+    assert out.count("-- metrics summary (repro.obs) --") == 2
+    assert (tmp_path / "p.fig04.jsonl").exists()
+    assert (tmp_path / "p.fig07.jsonl").exists()
+
+
+def test_parallel_and_serial_metrics_agree(capsys):
+    code, serial = _run_cli(capsys, "fig07", "--profile", "ci",
+                            "--metrics-summary")
+    assert code == 0
+    code, parallel = _run_cli(capsys, "fig07", "tab01", "--profile", "ci",
+                              "--parallel", "2", "--metrics-summary")
+    assert code == 0
+
+    def fig07_summary(text):
+        lines = text.splitlines()
+        start = lines.index("-- metrics summary (repro.obs) --")
+        return lines[start:start + 5]
+
+    assert fig07_summary(serial) == fig07_summary(parallel)
+
+
+def test_no_flags_means_no_capture(capsys, monkeypatch):
+    # the default path must not arm any bus
+    import repro.obs.capture as capture_mod
+
+    def boom(*a, **k):  # pragma: no cover - should never fire
+        raise AssertionError("capture created without flags")
+
+    monkeypatch.setattr(capture_mod.Capture, "attach_system", boom)
+    code, out = _run_cli(capsys, "tab01", "--profile", "ci")
+    assert code == 0

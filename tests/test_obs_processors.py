@@ -1,0 +1,217 @@
+"""Tests for obs processors: typed dispatch, metrics, the legacy bridge."""
+
+import io
+
+from repro.obs import (
+    EventBus,
+    Fill,
+    Hit,
+    Merge,
+    MetricsProcessor,
+    Miss,
+    ProgressProcessor,
+    TypedEventProcessor,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+)
+from repro.obs.processors import LegacyTraceProcessor
+from repro.sim import Tracer
+from repro.sim.stats import StatGroup
+
+
+def _hit(cycle=1, **kw):
+    kw.setdefault("tag", (1,))
+    return Hit(cycle=cycle, component="ctl", **kw)
+
+
+# ----------------------------------------------------------------------
+# TypedEventProcessor
+# ----------------------------------------------------------------------
+class _HitsOnly(TypedEventProcessor):
+    def __init__(self):
+        super().__init__()
+        self.hits = []
+        self.retires = []
+
+    def on_hit(self, ev):
+        self.hits.append(ev)
+
+    def on_walker_retire(self, ev):
+        self.retires.append(ev)
+
+
+def test_typed_processor_subscribes_only_handled_types():
+    p = _HitsOnly()
+    assert set(p.subscriptions()) == {Hit, WalkerRetire}
+
+
+def test_typed_processor_dispatches_by_class():
+    bus = EventBus()
+    p = bus.attach(_HitsOnly())
+    bus.publish(_hit())
+    bus.publish(Miss(cycle=2, component="ctl", tag=(1,), op="MetaLoad"))
+    bus.publish(WalkerRetire(cycle=9, component="ctl", tag=(1,),
+                             found=True, lifetime=7))
+    assert len(p.hits) == 1 and len(p.retires) == 1
+
+
+def test_typed_processor_with_no_handlers_subscribes_nothing():
+    class Empty(TypedEventProcessor):
+        pass
+
+    bus = EventBus()
+    bus.attach(Empty())
+    assert bus.subscriber_count == 0
+
+
+# ----------------------------------------------------------------------
+# MetricsProcessor
+# ----------------------------------------------------------------------
+def _feed_metrics(metrics):
+    bus = EventBus()
+    bus.attach(metrics)
+    from repro.obs import DRAMIssue, QueueStall, RequestArrive
+
+    for i in range(4):
+        bus.publish(RequestArrive(cycle=i, component="ctl",
+                                  tag=(i,), op="load"))
+    bus.publish(_hit(load_to_use=3))
+    bus.publish(_hit(load_to_use=5))
+    bus.publish(_hit(store=True, load_to_use=4))
+    bus.publish(Miss(cycle=4, component="ctl", tag=(9,), op="MetaLoad"))
+    bus.publish(Merge(cycle=5, component="ctl", tag=(9,)))
+    bus.publish(WalkerRetire(cycle=104, component="ctl", tag=(9,),
+                             found=True, lifetime=100))
+    bus.publish(DRAMIssue(cycle=10, component="dram", addr=64,
+                          is_write=False, bank=1, row_result="row_hits",
+                          complete_at=25))
+    bus.publish(QueueStall(cycle=11, component="ctl", tag=(9,),
+                           reason="no_context"))
+    return metrics
+
+
+def test_metrics_processor_counts_and_histograms():
+    m = _feed_metrics(MetricsProcessor())
+    assert m.stats.get("requests") == 4
+    assert m.stats.get("hits") == 2
+    assert m.stats.get("store_hits") == 1
+    assert m.stats.get("misses") == 1
+    assert m.stats.get("merges") == 1
+    assert m.stats.get("walks_completed") == 1
+    assert m.stats.get("dram_reads") == 1
+    assert m.stats.get("stalls") == 1
+    assert m.hit_rate() == 3 / 4
+    assert m.stats.histogram("load_to_use").count == 3
+    assert m.stats.histogram("miss_latency").percentile(0.5) == 100
+    assert m.stats.histogram("dram_latency").mean == 15.0
+
+
+def test_metrics_summary_text():
+    text = _feed_metrics(MetricsProcessor()).summary()
+    assert "hit-rate=0.7500" in text
+    assert "miss-latency" in text and "p95=100" in text
+    assert "load-to-use" in text and "p50=" in text
+
+
+def test_metrics_groups_merge_across_runs():
+    a = _feed_metrics(MetricsProcessor())
+    b = _feed_metrics(MetricsProcessor())
+    total = StatGroup("merged")
+    total.merge(a.stats)
+    total.merge(b.stats)
+    assert total.get("requests") == 8
+    assert total.histogram("load_to_use").count == 6
+    assert total.histogram("miss_latency").percentile(0.99) == 100
+
+
+# ----------------------------------------------------------------------
+# ProgressProcessor
+# ----------------------------------------------------------------------
+def test_progress_processor_heartbeats():
+    out = io.StringIO()
+    p = ProgressProcessor(interval=2, stream=out)
+    bus = EventBus()
+    bus.attach(p)
+    for i in range(5):
+        bus.publish(_hit(cycle=i))
+    bus.close()
+    lines = out.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    assert "2 events" in lines[0] and "4 events" in lines[1]
+
+
+# ----------------------------------------------------------------------
+# LegacyTraceProcessor: digest-identical to inline emits
+# ----------------------------------------------------------------------
+def test_legacy_bridge_matches_inline_emits():
+    inline = Tracer()
+    inline.emit(1, "ctl", "walk_start", tag=(7,), event="MetaLoad")
+    inline.emit(1, "ctl", "dispatch", tag=(7,), routine="Default@MetaLoad")
+    inline.emit(40, "ctl", "fill", tag=(7,), addr=4096)
+    inline.emit(41, "ctl", "retire", tag=(7,), found=True, lifetime=40)
+    inline.emit(50, "ctl", "hit", tag=(7,), take=False)
+    inline.emit(51, "ctl", "store_hit", tag=(7,))
+    inline.emit(52, "ctl", "merge", tag=(7,))
+
+    bridged = Tracer()
+    bus = EventBus()
+    bus.attach(LegacyTraceProcessor(bridged))
+    bus.publish(Miss(cycle=1, component="ctl", tag=(7,), op="MetaLoad"))
+    bus.publish(WalkerDispatch(cycle=1, component="ctl", tag=(7,),
+                               routine="Default@MetaLoad"))
+    bus.publish(Fill(cycle=40, component="ctl", tag=(7,), addr=4096,
+                     nbytes=64))
+    bus.publish(WalkerRetire(cycle=41, component="ctl", tag=(7,),
+                             found=True, lifetime=40))
+    bus.publish(Hit(cycle=50, component="ctl", tag=(7,)))
+    bus.publish(Hit(cycle=51, component="ctl", tag=(7,), store=True))
+    bus.publish(Merge(cycle=52, component="ctl", tag=(7,)))
+
+    assert bridged.digest() == inline.digest()
+
+
+def test_legacy_bridge_ignores_non_legacy_events():
+    tracer = Tracer()
+    bus = EventBus()
+    bus.attach(LegacyTraceProcessor(tracer))
+    bus.publish(WalkerWake(cycle=3, component="ctl", tag=(7,),
+                           event="Fill"))
+    assert len(tracer) == 0
+    assert tracer.total_emitted == 0
+
+
+# ----------------------------------------------------------------------
+# system integration: observe() + legacy tracer coexist
+# ----------------------------------------------------------------------
+def test_observe_and_tracer_share_one_bus(mini_system):
+    tracer = Tracer()
+    mini_system.controller.tracer = tracer
+    metrics = mini_system.observe(MetricsProcessor())
+    addr = mini_system.image.alloc_u64_array([1])
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    assert tracer.count("hit") == 1 and tracer.count("retire") == 1
+    assert metrics.stats.get("hits") == 1
+    assert metrics.stats.get("misses") == 1
+    assert metrics.stats.get("walks_completed") == 1
+    assert metrics.stats.histogram("miss_latency").count == 1
+    assert metrics.stats.get("dram_reads") == 1
+
+
+def test_tracer_swap_detaches_old_bridge(mini_system):
+    first, second = Tracer(), Tracer()
+    mini_system.controller.tracer = first
+    mini_system.controller.tracer = second
+    addr = mini_system.image.alloc_u64_array([1])
+    mini_system.load((1,), walk_fields={"addr": addr})
+    mini_system.run()
+    assert len(first) == 0
+    assert second.count("walk_start") == 1
+    mini_system.controller.tracer = None
+    assert mini_system.controller.tracer is None
+    mini_system.load((2,), walk_fields={"addr": addr})
+    mini_system.run()
+    assert second.count("walk_start") == 1  # detached, saw nothing new

@@ -6,6 +6,13 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim import Counter, Histogram, StatGroup, geomean
+from repro.sim.stats import (
+    STATS_COUNTERS,
+    STATS_FULL,
+    STATS_OFF,
+    stats_level,
+    stats_scope,
+)
 
 
 def test_counter_increments():
@@ -97,6 +104,83 @@ def test_statgroup_merge():
     assert g1.get("x") == 3
     assert g1.get("y") == 3
     assert g1.histogram("h").count == 1
+
+
+def test_statgroup_merge_histograms_both_sides():
+    # merge must combine overlapping buckets, preserve weights, and keep
+    # moments/percentiles consistent with feeding one histogram directly
+    g1 = StatGroup("g1")
+    g2 = StatGroup("g2")
+    for v in (10, 10, 20, 30):
+        g1.histogram("lat").add(v)
+    g1.histogram("only_left").add(1)
+    for v in (20, 40):
+        g2.histogram("lat").add(v)
+    g2.histogram("lat").add(40, weight=2)
+    g2.histogram("only_right").add(7)
+    g1.merge(g2)
+    merged = g1.histogram("lat")
+    reference = Histogram("ref")
+    for v in (10, 10, 20, 30, 20, 40, 40, 40):
+        reference.add(v)
+    assert merged.count == reference.count == 8
+    assert merged.total == reference.total
+    assert merged.items() == reference.items()
+    assert merged.mean == pytest.approx(reference.mean)
+    for p in (0.5, 0.95, 0.99):
+        assert merged.percentile(p) == reference.percentile(p)
+    assert merged.min_seen == 10 and merged.max_seen == 40
+    assert g1.histogram("only_left").count == 1
+    assert g1.histogram("only_right").count == 1
+    # the source group is untouched
+    assert g2.histogram("lat").count == 4
+
+
+def test_statgroup_merge_is_commutative_on_buckets():
+    a, b = StatGroup("a"), StatGroup("b")
+    for v in (1, 2, 2):
+        a.histogram("h").add(v)
+    for v in (2, 3):
+        b.histogram("h").add(v)
+    ab, ba = StatGroup("ab"), StatGroup("ba")
+    ab.merge(a), ab.merge(b)
+    ba.merge(b), ba.merge(a)
+    assert ab.histogram("h").items() == ba.histogram("h").items()
+    assert ab.histogram("h").total == ba.histogram("h").total
+
+
+def test_stats_scope_restores_level():
+    base = stats_level()
+    with stats_scope(STATS_OFF):
+        assert stats_level() == STATS_OFF
+    assert stats_level() == base
+
+
+def test_stats_scope_nesting():
+    base = stats_level()
+    with stats_scope(STATS_COUNTERS):
+        assert stats_level() == STATS_COUNTERS
+        with stats_scope(STATS_OFF):
+            assert stats_level() == STATS_OFF
+            with stats_scope(STATS_FULL):
+                assert stats_level() == STATS_FULL
+            assert stats_level() == STATS_OFF
+        assert stats_level() == STATS_COUNTERS
+    assert stats_level() == base
+
+
+def test_stats_scope_restores_on_exception():
+    base = stats_level()
+    with pytest.raises(RuntimeError):
+        with stats_scope(STATS_OFF):
+            raise RuntimeError("boom")
+    assert stats_level() == base
+
+
+def test_stats_scope_rejects_bad_level():
+    with pytest.raises(ValueError):
+        with stats_scope(9):
+            pass  # pragma: no cover
 
 
 def test_statgroup_reset():

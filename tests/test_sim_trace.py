@@ -51,6 +51,25 @@ def test_render_and_clear():
     assert len(tracer) == 0
 
 
+def test_clear_resets_counters_and_digest():
+    # regression: clear() used to empty the ring but leave total_emitted
+    # and dropped stale, so a cleared tracer's digest never matched a
+    # fresh tracer fed the identical trace
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.emit(i, "c", "k", n=i)
+    assert tracer.total_emitted == 5 and tracer.dropped == 3
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.total_emitted == 0
+    assert tracer.dropped == 0
+    assert tracer.digest() == Tracer(capacity=2).digest()
+    tracer.emit(0, "c", "k")
+    fresh = Tracer(capacity=2)
+    fresh.emit(0, "c", "k")
+    assert tracer.digest() == fresh.digest()
+
+
 def test_render_last_n():
     tracer = Tracer()
     for i in range(10):
