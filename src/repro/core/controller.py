@@ -32,6 +32,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
 from ..obs.events import (
+    ACTION_CATEGORIES,
     Evict,
     Fill,
     Hit,
@@ -49,6 +50,7 @@ from ..obs.processors import LegacyTraceProcessor
 from ..sim import Component, MessageQueue, Simulator
 from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .actions import ActionExecutor, ActionError
+from .isa import OPCODE_CATEGORY
 from .config import XCacheConfig
 from .dataram import DataRAM
 from .messages import (
@@ -67,6 +69,13 @@ from .xregs import XContext, XRegisterFile
 __all__ = ["Controller", "WalkerRun", "MetaResponse"]
 
 Tag = Tuple[int, ...]
+
+# opcode -> index into ACTION_CATEGORIES, for the profiler's per-category
+# cost counts (resolved once; Action.category does two dict hops)
+_OP_CAT_INDEX: Dict[str, int] = {
+    op: ACTION_CATEGORIES.index(cat.value)
+    for op, cat in OPCODE_CATEGORY.items()
+}
 
 
 def _drop_response(resp: MemResponse) -> None:
@@ -93,6 +102,9 @@ class _RoutineExec:
     msg: Message
     walker: "WalkerRun"
     pc: int = 0
+    # per-ACTION_CATEGORIES #Exe costs, allocated only when the bus is
+    # armed (the profiler apportions exec cycles across them)
+    costs: Optional[List[int]] = None
 
 
 @dataclass
@@ -600,6 +612,7 @@ class Controller(Component):
         if self._count_stats:
             self.stats.inc("routines_dispatched")
         if self.bus is not None:
+            walker.inflight.costs = [0] * len(ACTION_CATEGORIES)
             self.bus.publish(WalkerDispatch(cycle=self.sim.now,
                                             component=self.name,
                                             tag=walker.tag,
@@ -620,6 +633,8 @@ class Controller(Component):
             result = execute(ex.walker, action, ex.msg)
             budget -= result.cost
             charge(ex.walker.ctx, result.cost)
+            if ex.costs is not None:
+                ex.costs[_OP_CAT_INDEX[action.op]] += result.cost
             if result.terminated:
                 self._finish_routine(ex, terminated=True)
                 continue
@@ -632,24 +647,29 @@ class Controller(Component):
         walker = ex.walker
         walker.inflight = None
         if terminated:
-            self._complete_walker(walker)
+            self._complete_walker(walker, ex)
         elif self.bus is not None:
             self.bus.publish(WalkerYield(cycle=self.sim.now,
                                          component=self.name,
                                          tag=walker.tag,
-                                         routine=ex.routine.name))
+                                         routine=ex.routine.name,
+                                         action_costs=tuple(ex.costs or ()),
+                                         fills=walker.fills_outstanding))
 
-    def _complete_walker(self, walker: WalkerRun) -> None:
+    def _complete_walker(self, walker: WalkerRun,
+                         ex: Optional[_RoutineExec] = None) -> None:
         now = self.sim.now
         if self._count_stats:
             self.stats.inc("walks_completed")
         if self._hist_stats:
             self.stats.histogram("walk_latency").add(now - walker.started_at)
         if self.bus is not None:
+            costs = ex.costs if ex is not None else None
             self.bus.publish(WalkerRetire(cycle=now, component=self.name,
                                           tag=walker.tag,
                                           found=walker.found,
-                                          lifetime=now - walker.started_at))
+                                          lifetime=now - walker.started_at,
+                                          action_costs=tuple(costs or ())))
         entry = walker.entry
         if walker.found and entry is not None:
             entry.active = False

@@ -26,7 +26,13 @@ from functools import partial
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
-from ..obs.events import RequestArrive, WalkerDispatch, WalkerRetire
+from ..obs.events import (
+    RequestArrive,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+    WalkerYield,
+)
 from ..sim import Component, Simulator
 
 __all__ = ["WalkStep", "ThreadController"]
@@ -131,6 +137,10 @@ class ThreadController(Component):
             self._step(walk)
 
     def _resume_after_fill(self, walk: _Walk, resp: MemResponse) -> None:
+        if self.bus is not None:
+            self.bus.publish(WalkerWake(cycle=self.sim.now,
+                                        component=self.name,
+                                        tag=(walk.uid,), event="fill"))
         self._step(walk)
 
     def _step(self, walk: _Walk) -> None:
@@ -144,6 +154,14 @@ class ThreadController(Component):
             self.sim.call_after(max(1, step.cycles), walk.resume)
         else:
             self.stats.inc("dram_fetches")
+            if self.bus is not None:
+                # the thread blocks here: the profiler books the stall
+                # as dram_wait against the (only) thread-walk routine
+                self.bus.publish(WalkerYield(cycle=self.sim.now,
+                                             component=self.name,
+                                             tag=(walk.uid,),
+                                             routine="thread-walk",
+                                             fills=1))
             self.dram.request(MemRequest(step.addr), walk.on_fill)
 
     def _finish(self, walk: _Walk) -> None:

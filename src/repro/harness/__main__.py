@@ -6,7 +6,7 @@ output is printed in request order either way, so serial and parallel
 runs produce byte-identical reports. Exits non-zero if any paper
 expectation missed.
 
-Observability (the ``repro.obs`` plane; all three compose with
+Observability (the ``repro.obs`` plane; all flags compose with
 ``--parallel`` — each experiment's capture lives in its worker):
 
 * ``--events t.jsonl`` streams every typed event as JSON lines, one
@@ -15,7 +15,12 @@ Observability (the ``repro.obs`` plane; all three compose with
   (walker contexts as tracks, DRAM transactions as async slices) for
   https://ui.perfetto.dev;
 * ``--metrics-summary`` appends a hit-rate / load-to-use /
-  miss-latency percentile summary to each report.
+  miss-latency percentile summary to each report;
+* ``--prof cycles.folded`` runs the cycle-attribution profiler:
+  folded stacks per experiment (feed to flamegraph.pl) plus a per-DSA
+  cycles-breakdown table appended to the report;
+* ``--timeseries ts.csv`` samples hit-rate / occupancy / outstanding
+  DRAM / bandwidth over ``--timeseries-window`` cycle windows.
 
 Experiments that reload the memoized fig-14 suite from a warm cache
 export events only for the systems actually simulated in-process.
@@ -53,9 +58,21 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-summary", action="store_true",
                         help="append an obs metrics summary (hit-rate, "
                              "latency percentiles) to each report")
+    parser.add_argument("--prof", default=None, metavar="PATH.folded",
+                        help="attribute walker cycles to (DSA, routine, "
+                             "X-Action category): folded stacks per "
+                             "experiment plus a breakdown table")
+    parser.add_argument("--timeseries", default=None, metavar="PATH.csv",
+                        help="windowed time-series metrics CSV "
+                             "(per experiment: PATH.<exp_id>.csv)")
+    parser.add_argument("--timeseries-window", type=int, default=1000,
+                        metavar="CYCLES",
+                        help="time-series window width (default: 1000)")
     args = parser.parse_args(argv)
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
+    if args.timeseries_window < 1:
+        parser.error("--timeseries-window must be >= 1")
 
     targets = args.experiments or sorted(EXPERIMENTS)
     unknown = [t for t in targets if t not in EXPERIMENTS]
@@ -64,7 +81,10 @@ def main(argv=None) -> int:
 
     capture = CaptureSpec(events_path=args.events,
                           perfetto_path=args.perfetto,
-                          metrics=args.metrics_summary)
+                          metrics=args.metrics_summary,
+                          prof_path=args.prof,
+                          timeseries_path=args.timeseries,
+                          timeseries_window=args.timeseries_window)
     if not capture.active:
         capture = None
 

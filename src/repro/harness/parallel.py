@@ -36,11 +36,13 @@ def _run_one(job: Tuple[str, str, Optional[CaptureSpec]]) -> Tuple[str, bool]:
 
     When a :class:`CaptureSpec` rides along, the experiment runs inside
     a capture scope: every system it builds streams onto the obs bus,
-    exports land in per-experiment files (``t.jsonl`` →
-    ``t.<exp_id>.jsonl``), and the metrics summary — aggregated across
-    the experiment's runs via ``StatGroup.merge`` — is appended to the
-    rendered report. This works identically in serial and ``--parallel``
-    runs because each worker owns its experiment's capture end to end.
+    exports (JSONL, Perfetto, folded profiler stacks, time-series CSV)
+    land in per-experiment files (``t.jsonl`` → ``t.<exp_id>.jsonl``),
+    and the report text — metrics summary and/or per-DSA cycles
+    breakdown, aggregated across the experiment's runs — is appended to
+    the rendered report. This works identically in serial and
+    ``--parallel`` runs because each worker owns its experiment's
+    capture end to end.
     """
     from . import run_experiment
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-__all__ = ["Expectation", "ExperimentReport", "format_table"]
+__all__ = ["Expectation", "ExperimentReport", "format_table",
+           "cycles_breakdown_table"]
 
 
 @dataclass
@@ -49,6 +50,31 @@ def format_table(headers: Sequence[str],
     for row in str_rows:
         out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(out)
+
+
+def cycles_breakdown_table(breakdown) -> str:
+    """Render the profiler's per-DSA "where do the cycles go" table.
+
+    ``breakdown`` is ``{dsa: {kind: cycles}}`` (see
+    ``ProfileProcessor.component_breakdown``). Each row shows the DSA's
+    total attributed cycles and the percentage in each X-Action
+    category / wait kind; returns "" when there is nothing to show.
+    """
+    from repro.obs.prof import ALL_KINDS
+
+    if not breakdown:
+        return ""
+    rows = []
+    for dsa in sorted(breakdown):
+        kinds = breakdown[dsa]
+        total = sum(kinds.values())
+        row: List[object] = [dsa, total]
+        for kind in ALL_KINDS:
+            share = kinds.get(kind, 0) / total if total else 0.0
+            row.append(f"{100.0 * share:.1f}%")
+        rows.append(row)
+    headers = ["dsa", "cycles"] + list(ALL_KINDS)
+    return format_table(headers, rows)
 
 
 @dataclass

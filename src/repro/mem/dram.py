@@ -225,7 +225,8 @@ class DRAMModel(Component):
             bus.publish(DRAMIssue(cycle=now, component=self.name,
                                   addr=block, is_write=req.is_write,
                                   bank=bank_index, row_result=row_stat,
-                                  complete_at=done))
+                                  complete_at=done,
+                                  nbytes=cfg.block_bytes))
             # the completion event is scheduled (not published eagerly)
             # so stream exporters see a chronological event order
             self.sim.call_at(done, partial(

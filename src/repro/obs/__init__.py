@@ -5,9 +5,13 @@ A zero-cost-when-off telemetry subsystem: typed events
 (:mod:`repro.obs.bus`), processors that fold the stream into metrics or
 forward it to the legacy tracer (:mod:`repro.obs.processors`), and
 exporters for JSONL and Perfetto/Chrome-trace output
-(:mod:`repro.obs.export`). :mod:`repro.obs.capture` wires it into the
-experiment harness (``--events`` / ``--perfetto`` /
-``--metrics-summary``).
+(:mod:`repro.obs.export`). On top of the stream sit the
+cycle-attribution profiler (:mod:`repro.obs.prof`), windowed
+time-series sampling (:mod:`repro.obs.timeseries`), the pathology
+watchdog (:mod:`repro.obs.watchdog`), and a benchmark regression gate
+(``python -m repro.obs.regress``). :mod:`repro.obs.capture` wires it
+into the experiment harness (``--events`` / ``--perfetto`` /
+``--metrics-summary`` / ``--prof`` / ``--timeseries``).
 
 Quick start::
 
@@ -21,6 +25,7 @@ Quick start::
 """
 
 from .events import (
+    ACTION_CATEGORIES,
     ALL_EVENT_TYPES,
     EVENT_TYPES,
     DRAMComplete,
@@ -53,6 +58,9 @@ from .processors import (
     summarize_metrics,
 )
 from .export import JsonlExporter, PerfettoExporter, event_to_dict
+from .prof import ProfileProcessor, apportion, write_folded
+from .timeseries import TimeSeriesProcessor, write_csv
+from .watchdog import ObsWarning, WatchdogProcessor
 from .capture import Capture, CaptureSpec, capture_scope, current_capture
 
 __all__ = [
@@ -60,13 +68,17 @@ __all__ = [
     "Event", "RunStart", "RunEnd", "RequestArrive", "Hit", "Miss", "Merge",
     "WalkerDispatch", "WalkerWake", "WalkerYield", "WalkerRetire",
     "DRAMIssue", "DRAMComplete", "Fill", "Evict", "Reclaim", "QueueStall",
-    "EVENT_TYPES", "ALL_EVENT_TYPES", "event_fields",
+    "EVENT_TYPES", "ALL_EVENT_TYPES", "ACTION_CATEGORIES", "event_fields",
     # bus
     "EventBus",
     # processors
     "EventProcessor", "TypedEventProcessor", "MetricsProcessor",
     "ProgressProcessor", "LegacyTraceProcessor", "NullProcessor",
     "summarize_metrics",
+    # profiler / time-series / watchdog
+    "ProfileProcessor", "apportion", "write_folded",
+    "TimeSeriesProcessor", "write_csv",
+    "WatchdogProcessor", "ObsWarning",
     # export
     "JsonlExporter", "PerfettoExporter", "event_to_dict",
     # capture

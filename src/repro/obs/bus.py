@@ -13,6 +13,12 @@ to subscribers of the event's exact type — delivery order within each
 list is attachment order, which keeps multi-processor runs (e.g. a
 legacy-trace bridge plus a metrics processor) deterministic.
 
+``publish`` delivers through a per-type **resolved handler tuple**
+(catch-all + exact-type, pre-concatenated and cached on first publish
+of each event class) so the armed hot path is one dict probe and one
+tuple walk instead of two list scans. ``subscribe``/``detach``
+invalidate the cache, so late attachment keeps working.
+
 Processors attach via :meth:`EventBus.attach`; anything with a
 ``handle(event)`` method works, and a ``subscriptions()`` method
 returning event classes narrows delivery to those types (``None``
@@ -33,12 +39,14 @@ Handler = Callable[[Event], None]
 class EventBus:
     """Routes published events to per-type and catch-all subscribers."""
 
-    __slots__ = ("_by_type", "_catch_all", "_processors")
+    __slots__ = ("_by_type", "_catch_all", "_processors", "_resolved")
 
     def __init__(self) -> None:
         self._by_type: Dict[Type[Event], List[Handler]] = {}
         self._catch_all: List[Handler] = []
         self._processors: List[object] = []
+        # event class -> pre-concatenated (catch-all + per-type) handlers
+        self._resolved: Dict[Type[Event], Tuple[Handler, ...]] = {}
 
     # ------------------------------------------------------------------
     # subscription
@@ -48,11 +56,13 @@ class EventBus:
         """Register a bare callable for ``types`` (None = every event)."""
         if types is None:
             self._catch_all.append(handler)
+            self._resolved.clear()
             return
         for cls in types:
             if not (isinstance(cls, type) and issubclass(cls, Event)):
                 raise TypeError(f"not an Event class: {cls!r}")
             self._by_type.setdefault(cls, []).append(handler)
+        self._resolved.clear()
 
     def attach(self, processor) -> object:
         """Attach a processor (``handle(event)`` + optional
@@ -78,17 +88,19 @@ class EventBus:
                 self._by_type[cls] = kept
             else:
                 del self._by_type[cls]
+        self._resolved.clear()
 
     # ------------------------------------------------------------------
     # publication
     # ------------------------------------------------------------------
     def publish(self, event: Event) -> None:
-        for handler in self._catch_all:
+        cls = event.__class__
+        handlers = self._resolved.get(cls)
+        if handlers is None:
+            handlers = self._resolved[cls] = (
+                tuple(self._catch_all) + tuple(self._by_type.get(cls, ())))
+        for handler in handlers:
             handler(event)
-        subs = self._by_type.get(event.__class__)
-        if subs is not None:
-            for handler in subs:
-                handler(event)
 
     # ------------------------------------------------------------------
     # lifecycle / inspection

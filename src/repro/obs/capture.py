@@ -13,6 +13,11 @@ per-process state (open files, per-system processors, merged metrics).
 Output paths are namespaced per experiment (``t.jsonl`` →
 ``t.fig07.jsonl``) so a multi-experiment or ``--parallel`` run never has
 two writers on one file.
+
+Beyond raw export, a capture can arm the cycle-attribution profiler
+(``prof_path`` → folded stacks + a per-DSA breakdown appended to the
+report) and windowed time-series sampling (``timeseries_path`` → CSV
+with one ``run`` column per observed system).
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ from repro.sim.stats import StatGroup
 
 from .export import JsonlExporter, PerfettoExporter
 from .processors import MetricsProcessor, summarize_metrics
+from .prof import ProfileProcessor, write_folded
+from .timeseries import TimeSeriesProcessor, write_csv
 
 __all__ = ["CaptureSpec", "Capture", "capture_scope", "current_capture"]
 
@@ -42,19 +49,26 @@ class CaptureSpec:
     events_path: Optional[str] = None
     perfetto_path: Optional[str] = None
     metrics: bool = False
+    prof_path: Optional[str] = None
+    timeseries_path: Optional[str] = None
+    timeseries_window: int = 1000
 
     @property
     def active(self) -> bool:
-        return bool(self.events_path or self.perfetto_path or self.metrics)
+        return bool(self.events_path or self.perfetto_path or self.metrics
+                    or self.prof_path or self.timeseries_path)
 
     def for_experiment(self, exp_id: str) -> "CaptureSpec":
         """Namespace the output paths for one experiment run."""
+        def scoped(path: Optional[str]) -> Optional[str]:
+            return _with_exp_id(path, exp_id) if path else None
+
         return replace(
             self,
-            events_path=(_with_exp_id(self.events_path, exp_id)
-                         if self.events_path else None),
-            perfetto_path=(_with_exp_id(self.perfetto_path, exp_id)
-                           if self.perfetto_path else None),
+            events_path=scoped(self.events_path),
+            perfetto_path=scoped(self.perfetto_path),
+            prof_path=scoped(self.prof_path),
+            timeseries_path=scoped(self.timeseries_path),
         )
 
 
@@ -67,6 +81,8 @@ class Capture:
         self._events_stream: Optional[IO[str]] = None
         self._perfetto: Optional[PerfettoExporter] = None
         self._metrics: List[MetricsProcessor] = []
+        self._profiles: List[ProfileProcessor] = []
+        self._timeseries: List[TimeSeriesProcessor] = []
         self._closed = False
         self.summary_text: Optional[str] = None
         if spec.perfetto_path:
@@ -90,18 +106,40 @@ class Capture:
             bus.attach(self._perfetto)
         if self.spec.metrics:
             self._metrics.append(bus.attach(MetricsProcessor()))
+        if self.spec.prof_path:
+            self._profiles.append(bus.attach(ProfileProcessor()))
+        if self.spec.timeseries_path:
+            self._timeseries.append(bus.attach(
+                TimeSeriesProcessor(self.spec.timeseries_window)))
 
     # ------------------------------------------------------------------
-    # finalization
+    # inspection
     # ------------------------------------------------------------------
+    @property
+    def profiles(self) -> List[ProfileProcessor]:
+        return list(self._profiles)
+
+    @property
+    def timeseries(self) -> List[TimeSeriesProcessor]:
+        return list(self._timeseries)
+
     def merged_metrics(self) -> StatGroup:
         merged = StatGroup("obs-merged")
         for proc in self._metrics:
             merged.merge(proc.stats)
         return merged
 
+    def merged_profile(self) -> ProfileProcessor:
+        merged = ProfileProcessor()
+        for proc in self._profiles:
+            merged.merge(proc)
+        return merged
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
     def finish(self) -> Optional[str]:
-        """Close outputs; returns the metrics summary text (if asked)."""
+        """Close outputs; returns the report text (if any was asked)."""
         if self._closed:
             return self.summary_text
         self._closed = True
@@ -110,8 +148,18 @@ class Capture:
         if self._events_stream is not None:
             self._events_stream.close()
             self._events_stream = None
+        pieces: List[str] = []
         if self.spec.metrics:
-            self.summary_text = summarize_metrics(self.merged_metrics())
+            pieces.append(summarize_metrics(self.merged_metrics()))
+        if self.spec.prof_path:
+            merged = self.merged_profile()
+            write_folded(self.spec.prof_path, merged)
+            pieces.append(merged.summary())
+        if self.spec.timeseries_path:
+            write_csv(self.spec.timeseries_path,
+                      [(i, proc) for i, proc in enumerate(self._timeseries)])
+        if pieces:
+            self.summary_text = "\n".join(pieces)
         return self.summary_text
 
 

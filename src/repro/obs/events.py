@@ -45,10 +45,19 @@ __all__ = [
     "QueueStall",
     "EVENT_TYPES",
     "ALL_EVENT_TYPES",
+    "ACTION_CATEGORIES",
     "event_fields",
 ]
 
 Tag = Tuple[int, ...]
+
+#: Canonical order of the paper's five X-Action categories (Figure 8).
+#: ``WalkerYield.action_costs`` / ``WalkerRetire.action_costs`` tuples are
+#: indexed by this order, so processors can attribute routine-execution
+#: cycles to hardware modules without importing the core ISA.
+ACTION_CATEGORIES: Tuple[str, ...] = (
+    "agen", "queue", "meta", "control", "data",
+)
 
 
 @dataclass(frozen=True)
@@ -146,6 +155,8 @@ class WalkerYield(Event):
 
     tag: Tag = ()
     routine: str = ""
+    action_costs: Tuple[int, ...] = ()   # per ACTION_CATEGORIES, this routine
+    fills: int = 0                       # DRAM fills outstanding at yield
 
 
 @dataclass(frozen=True)
@@ -157,6 +168,7 @@ class WalkerRetire(Event):
     tag: Tag = ()
     found: bool = False
     lifetime: int = 0         # admission -> retire, in cycles
+    action_costs: Tuple[int, ...] = ()   # per ACTION_CATEGORIES, final routine
 
 
 @dataclass(frozen=True)
@@ -170,6 +182,7 @@ class DRAMIssue(Event):
     bank: int = 0
     row_result: str = ""      # "row_hits" | "row_misses" | "row_conflicts"
     complete_at: int = 0      # analytically known at issue time
+    nbytes: int = 0           # transfer size (block_bytes)
 
 
 @dataclass(frozen=True)

@@ -161,6 +161,8 @@ def _hit_rate(stats: StatGroup) -> float:
 
 
 def _hist_line(label: str, hist) -> str:
+    if not hist.count:
+        return f"{label}: (no samples)"
     return (f"{label}: mean={hist.mean:.1f} "
             f"p50={hist.percentile(0.50)} "
             f"p95={hist.percentile(0.95)} "

@@ -1,0 +1,203 @@
+"""Perf-regression gate over ``BENCH_*.json`` records.
+
+Compares freshly produced benchmark records against the committed
+baselines and exits nonzero when any gated metric regressed past its
+threshold::
+
+    python -m repro.obs.regress --baseline . fresh/BENCH_kernel.json
+
+Metric policy is derived from the metric *name*, so new benchmarks
+gate themselves without registry edits:
+
+* ``*_per_sec``      — throughput, higher is better (tolerance 25%);
+* ``speedup`` / ``*_speedup`` — ratio, higher is better (25%);
+* ``*_overhead_x`` / ``*_x`` — ratio, lower is better (25%);
+* anything else (``events``, ``seed``, ``chains``, …) is workload
+  configuration: it must match the baseline exactly, because a record
+  measured on a different workload is not comparable.
+
+``--smoke`` relaxes the gate for shared-CI hardware, where absolute
+throughput is noise: ``*_per_sec`` metrics are only sanity-checked
+(> 0) and config keys may differ (CI runs a smaller event count),
+while machine-portable ratios stay gated with doubled tolerance.
+Per-metric overrides: ``--tolerance name=frac`` (repeatable).
+
+Exit codes: 0 ok, 1 regression, 2 usage/IO error (missing baseline,
+malformed record, mismatched benchmark name).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["MetricCheck", "compare_records", "load_record", "main"]
+
+DEFAULT_TOLERANCE = 0.25
+SMOKE_SCALE = 2.0          # smoke mode doubles ratio tolerances
+
+
+def _die(message: str) -> "SystemExit":
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of gating one metric."""
+
+    metric: str
+    baseline: float
+    fresh: float
+    limit: float           # the threshold `fresh` was held to
+    ok: bool
+    note: str              # "higher-better", "lower-better", ...
+
+
+def _kind(name: str) -> Optional[str]:
+    """Classify a metric name; None means workload configuration."""
+    if name.endswith("_per_sec"):
+        return "throughput"
+    if name == "speedup" or name.endswith("_speedup"):
+        return "higher"
+    if name.endswith("_x"):
+        return "lower"
+    return None
+
+
+def load_record(path: Path) -> Dict:
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise _die(f"regress: cannot read {path}: {exc}")
+    if not isinstance(record, dict) or "benchmark" not in record:
+        raise _die(f"regress: {path} is not a benchmark record "
+                   f"(missing 'benchmark' key)")
+    return record
+
+
+def compare_records(fresh: Dict, baseline: Dict, *,
+                    smoke: bool = False,
+                    tolerances: Optional[Dict[str, float]] = None,
+                    ) -> List[MetricCheck]:
+    """Gate every shared metric; returns one check per gated metric."""
+    tolerances = tolerances or {}
+    checks: List[MetricCheck] = []
+    for name in baseline:
+        if name == "benchmark" or name not in fresh:
+            continue
+        base, new = baseline[name], fresh[name]
+        kind = _kind(name)
+        if kind is None:
+            if not smoke and base != new:
+                checks.append(MetricCheck(
+                    name, _num(base), _num(new), _num(base), False,
+                    "config mismatch"))
+            continue
+        if not isinstance(base, (int, float)) or \
+                not isinstance(new, (int, float)):
+            continue
+        tol = tolerances.get(name, DEFAULT_TOLERANCE)
+        if smoke:
+            if kind == "throughput":
+                checks.append(MetricCheck(
+                    name, base, new, 0.0, new > 0,
+                    "smoke: sanity only"))
+                continue
+            tol *= SMOKE_SCALE
+        if kind == "lower":
+            limit = base * (1.0 + tol)
+            checks.append(MetricCheck(
+                name, base, new, limit, new <= limit, "lower-better"))
+        else:
+            limit = base * (1.0 - tol)
+            checks.append(MetricCheck(
+                name, base, new, limit, new >= limit, "higher-better"))
+    return checks
+
+
+def _num(value) -> float:
+    return value if isinstance(value, (int, float)) else float("nan")
+
+
+def _parse_tolerances(pairs: Sequence[str]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for pair in pairs:
+        name, _, frac = pair.partition("=")
+        try:
+            out[name] = float(frac)
+        except ValueError:
+            raise _die(f"regress: bad --tolerance {pair!r} "
+                       f"(want name=fraction)")
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Gate fresh BENCH_*.json records against baselines.")
+    parser.add_argument("fresh", nargs="+", metavar="BENCH.json",
+                        help="freshly produced benchmark record(s)")
+    parser.add_argument("--baseline", required=True, metavar="DIR",
+                        help="directory holding committed baselines "
+                             "(matched by file name)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shared-CI mode: gate ratios loosely, "
+                             "sanity-check throughput only")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="NAME=FRAC",
+                        help="per-metric tolerance override (repeatable)")
+    parser.add_argument("--report", metavar="PATH",
+                        help="also write the checks as JSON")
+    args = parser.parse_args(argv)
+
+    tolerances = _parse_tolerances(args.tolerance)
+    baseline_dir = Path(args.baseline)
+    all_checks: List[Dict] = []
+    failed = 0
+
+    for fresh_path in (Path(p) for p in args.fresh):
+        base_path = baseline_dir / fresh_path.name
+        if not base_path.is_file():
+            raise _die(
+                f"regress: no baseline {base_path} for {fresh_path}")
+        fresh = load_record(fresh_path)
+        baseline = load_record(base_path)
+        if fresh["benchmark"] != baseline["benchmark"]:
+            raise _die(
+                f"regress: benchmark mismatch for {fresh_path.name}: "
+                f"{fresh['benchmark']!r} vs {baseline['benchmark']!r}")
+
+        checks = compare_records(fresh, baseline, smoke=args.smoke,
+                                 tolerances=tolerances)
+        print(f"== {fresh['benchmark']} ({fresh_path.name}) ==")
+        for check in checks:
+            verdict = "ok  " if check.ok else "FAIL"
+            print(f"  [{verdict}] {check.metric}: "
+                  f"baseline={check.baseline:g} fresh={check.fresh:g} "
+                  f"limit={check.limit:g} ({check.note})")
+            if not check.ok:
+                failed += 1
+            all_checks.append(
+                {"benchmark": fresh["benchmark"], **asdict(check)})
+        if not checks:
+            print("  (no gated metrics in common)")
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps({"smoke": args.smoke, "failed": failed,
+                        "checks": all_checks}, indent=2) + "\n")
+
+    if failed:
+        print(f"regress: {failed} metric(s) regressed")
+        return 1
+    print(f"regress: {len(all_checks)} metric(s) within thresholds")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -122,11 +122,16 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> int:
-        """Return the smallest value covering fraction ``p`` of samples."""
-        if not self.count:
-            return 0
+        """Return the smallest value covering fraction ``p`` of samples.
+
+        An empty histogram reports 0 for any valid ``p`` (renderers show
+        a placeholder instead of a misleading zero); an out-of-range
+        ``p`` raises even when empty.
+        """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"percentile {p} outside [0, 1]")
+        if not self.count:
+            return 0
         need = p * self.count
         seen = 0
         for value in sorted(self.buckets):

@@ -161,3 +161,45 @@ def test_unarmed_publish_site_is_one_check():
     bus = None
     if bus is not None:  # pragma: no cover - the guarded site
         raise AssertionError("unreachable")
+
+
+# ----------------------------------------------------------------------
+# resolved-handler cache (the armed publish fast path)
+# ----------------------------------------------------------------------
+def test_resolved_cache_invalidated_by_late_subscribe():
+    bus = EventBus()
+    early, late = [], []
+    bus.subscribe(early.append, types=(Hit,))
+    bus.publish(_hit())            # primes the Hit handler cache
+    bus.subscribe(late.append, types=(Hit,))
+    bus.publish(_hit())
+    assert len(early) == 2 and len(late) == 1
+
+
+def test_resolved_cache_invalidated_by_detach():
+    bus = EventBus()
+    p = bus.attach(_Recorder(types=(Hit,)))
+    survivor = bus.attach(_Recorder(types=(Hit,)))
+    bus.publish(_hit())            # primes the cache with both handlers
+    bus.detach(p)
+    bus.publish(_hit())
+    assert len(p.got) == 1 and len(survivor.got) == 2
+
+
+def test_resolved_cache_preserves_delivery_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe(lambda ev: order.append("typed"), types=(Hit,))
+    bus.subscribe(lambda ev: order.append("catch_all"))
+    bus.publish(_hit())
+    bus.publish(_hit())            # second publish rides the cache
+    # catch-all always delivers before typed, cached or not
+    assert order == ["catch_all", "typed"] * 2
+
+
+def test_resolved_cache_handles_unsubscribed_types():
+    bus = EventBus()
+    bus.subscribe(lambda ev: None, types=(Hit,))
+    bus.publish(_miss())           # no Miss subscribers: cached empty
+    bus.publish(_miss())
+    assert bus.subscriber_count == 1

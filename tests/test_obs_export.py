@@ -158,6 +158,61 @@ def test_perfetto_new_run_namespaces_pids():
 
 
 # ----------------------------------------------------------------------
+# Perfetto: edge cases (empty runs, dropped events)
+# ----------------------------------------------------------------------
+def test_perfetto_empty_run_is_valid_json(tmp_path):
+    """A capture that saw no events still writes a loadable trace."""
+    path = tmp_path / "empty.json"
+    bus = EventBus()
+    bus.attach(PerfettoExporter(str(path)))
+    bus.close()
+    payload = json.loads(path.read_text())
+    assert payload["traceEvents"] == []
+    assert payload["otherData"]["time_unit"] == "cycle"
+
+
+def test_perfetto_tolerates_dropped_events():
+    """A ring buffer may drop the opening events of a walk (Miss /
+    Dispatch / DRAMIssue); the orphaned closers must be skipped, not
+    crash or emit dangling spans."""
+    exporter = PerfettoExporter(io.StringIO())
+    bus = EventBus()
+    bus.attach(exporter)
+    # retire without a miss, routine end without a dispatch,
+    # completion without an issue
+    bus.publish(WalkerRetire(cycle=31, component="ctl", tag=(7,),
+                             found=True, lifetime=30))
+    bus.publish(DRAMComplete(cycle=29, component="dram", addr=4096,
+                             latency=26))
+    events = exporter.trace_events
+    assert not [e for e in events if e["ph"] == "X"]
+    assert not [e for e in events if e["ph"] in ("b", "e")]
+    # ...and a subsequent intact walk still exports fully
+    _walk_stream(bus)
+    spans = [e for e in exporter.trace_events
+             if e["ph"] == "X" and e["cat"] == "walker"]
+    assert len(spans) == 1 and spans[0]["dur"] == 30
+
+
+def test_perfetto_dropped_opening_events_in_stream(tmp_path):
+    """Start mid-stream (as after ring-buffer wrap): valid output."""
+    path = tmp_path / "wrapped.json"
+    bus = EventBus()
+    bus.attach(PerfettoExporter(str(path)))
+    # wake/yield-ish closers for a walk whose opening was dropped
+    bus.publish(DRAMComplete(cycle=5, component="dram", addr=64,
+                             latency=20))
+    bus.publish(WalkerRetire(cycle=9, component="ctl", tag=(1,),
+                             found=False, lifetime=9))
+    bus.publish(RunEnd(cycle=9, component="kernel", events_executed=3))
+    bus.close()
+    payload = json.loads(path.read_text())
+    phases = {e["ph"] for e in payload["traceEvents"]}
+    assert "i" in phases          # the RunEnd instant survived
+    assert "X" not in phases      # no fabricated spans
+
+
+# ----------------------------------------------------------------------
 # Perfetto: a real system run
 # ----------------------------------------------------------------------
 def test_perfetto_real_run_structurally_valid(tmp_path, mini_system):

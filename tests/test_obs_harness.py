@@ -1,5 +1,6 @@
 """End-to-end tests for the harness observability flags."""
 
+import hashlib
 import json
 
 import pytest
@@ -16,13 +17,18 @@ def test_capture_spec_activity():
     assert CaptureSpec(metrics=True).active
     assert CaptureSpec(events_path="x.jsonl").active
     assert CaptureSpec(perfetto_path="x.json").active
+    assert CaptureSpec(prof_path="x.folded").active
+    assert CaptureSpec(timeseries_path="x.csv").active
 
 
 def test_capture_spec_namespaces_paths():
-    spec = CaptureSpec(events_path="out/t.jsonl", perfetto_path="t.json")
+    spec = CaptureSpec(events_path="out/t.jsonl", perfetto_path="t.json",
+                       prof_path="cycles.folded", timeseries_path="ts.csv")
     scoped = spec.for_experiment("fig07")
     assert scoped.events_path.endswith("t.fig07.jsonl")
     assert scoped.perfetto_path == "t.fig07.json"
+    assert scoped.prof_path == "cycles.fig07.folded"
+    assert scoped.timeseries_path == "ts.fig07.csv"
 
 
 def test_capture_scope_inactive_spec_yields_none():
@@ -106,6 +112,76 @@ def test_parallel_and_serial_metrics_agree(capsys):
         return lines[start:start + 5]
 
     assert fig07_summary(serial) == fig07_summary(parallel)
+
+
+def test_prof_flag_writes_folded_and_table(capsys, tmp_path):
+    folded = tmp_path / "cycles.folded"
+    code, out = _run_cli(capsys, "fig07", "--profile", "ci",
+                         "--prof", str(folded))
+    assert code == 0
+    assert "-- cycle attribution (repro.obs.prof) --" in out
+    assert "conservation=conserved" in out
+    assert "dram_wait" in out
+    lines = (tmp_path / "cycles.fig07.folded").read_text().splitlines()
+    assert lines
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert len(stack.split(";")) == 3 and int(count) > 0
+
+
+def test_timeseries_flag_writes_csv(capsys, tmp_path):
+    csv = tmp_path / "ts.csv"
+    code, out = _run_cli(capsys, "fig07", "--profile", "ci",
+                         "--timeseries", str(csv),
+                         "--timeseries-window", "250")
+    assert code == 0
+    lines = (tmp_path / "ts.fig07.csv").read_text().splitlines()
+    assert lines[0].startswith("run,window_start,window_end,")
+    assert len(lines) > 1
+    # window width honored
+    first = lines[1].split(",")
+    header = lines[0].split(",")
+    start = int(first[header.index("window_start")])
+    end = int(first[header.index("window_end")])
+    assert end - start == 250
+
+
+def test_timeseries_window_validation(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig07", "--profile", "ci", "--timeseries", "x.csv",
+              "--timeseries-window", "0"])
+    capsys.readouterr()
+
+
+def test_prof_and_timeseries_compose_with_parallel(capsys, tmp_path):
+    folded = tmp_path / "c.folded"
+    csv = tmp_path / "ts.csv"
+    code, out = _run_cli(capsys, "fig04", "fig07", "--profile", "ci",
+                         "--parallel", "2",
+                         "--prof", str(folded),
+                         "--timeseries", str(csv))
+    assert code == 0
+    assert out.count("-- cycle attribution (repro.obs.prof) --") == 2
+    for exp in ("fig04", "fig07"):
+        assert (tmp_path / f"c.{exp}.folded").exists()
+        assert (tmp_path / f"ts.{exp}.csv").exists()
+
+
+def test_parallel_metric_digest_independent_of_worker_count(capsys):
+    """Cross-system metric merging is deterministic: the rendered
+    reports (metrics summaries included) hash identically no matter
+    how many workers ran them."""
+    targets = ["fig04", "fig07", "tab01"]
+    digests = set()
+    for jobs in (1, 2, 3):
+        argv = targets + ["--profile", "ci", "--metrics-summary"]
+        if jobs > 1:
+            argv += ["--parallel", str(jobs)]
+        code = main(argv)
+        assert code == 0
+        out = capsys.readouterr().out
+        digests.add(hashlib.sha256(out.encode()).hexdigest())
+    assert len(digests) == 1
 
 
 def test_no_flags_means_no_capture(capsys, monkeypatch):

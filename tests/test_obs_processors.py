@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.obs import (
     EventBus,
     Fill,
@@ -14,10 +16,11 @@ from repro.obs import (
     WalkerDispatch,
     WalkerRetire,
     WalkerWake,
+    summarize_metrics,
 )
 from repro.obs.processors import LegacyTraceProcessor
 from repro.sim import Tracer
-from repro.sim.stats import StatGroup
+from repro.sim.stats import Histogram, StatGroup
 
 
 def _hit(cycle=1, **kw):
@@ -112,6 +115,30 @@ def test_metrics_summary_text():
     assert "hit-rate=0.7500" in text
     assert "miss-latency" in text and "p95=100" in text
     assert "load-to-use" in text and "p50=" in text
+
+
+def test_empty_histogram_renders_placeholder_not_zeros():
+    """Regression: an all-hits (or empty) run has no miss-latency
+    samples; the summary must say so instead of printing fake zeros."""
+    text = summarize_metrics(StatGroup("empty"))
+    assert "miss-latency: (no samples)" in text
+    assert "load-to-use: (no samples)" in text
+    assert "hit-rate=0.0000" in text
+    # populated histograms still render percentiles
+    populated = _feed_metrics(MetricsProcessor()).summary()
+    assert "(no samples)" not in populated
+
+
+def test_empty_histogram_percentile_contract():
+    h = Histogram("empty")
+    assert h.count == 0
+    assert h.percentile(0.5) == 0
+    assert h.percentile(1.0) == 0
+    # range validation applies even with no samples
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+    with pytest.raises(ValueError):
+        h.percentile(-0.1)
 
 
 def test_metrics_groups_merge_across_runs():

@@ -1,0 +1,235 @@
+"""Tests for the cycle-attribution profiler (`repro.obs.prof`)."""
+
+import io
+
+import pytest
+
+from repro.harness.report import cycles_breakdown_table
+from repro.obs import (
+    ACTION_CATEGORIES,
+    EventBus,
+    Miss,
+    ProfileProcessor,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+    WalkerYield,
+    apportion,
+    write_folded,
+)
+
+
+# ----------------------------------------------------------------------
+# apportionment
+# ----------------------------------------------------------------------
+def test_apportion_sums_exactly():
+    for duration in (1, 3, 7, 100, 9999):
+        for costs in ((2, 1, 1, 0, 0), (1, 1, 1, 1, 1), (0, 0, 5, 0, 3)):
+            shares = apportion(duration, costs)
+            assert sum(shares) == duration
+            assert all(s >= 0 for s in shares)
+            # zero-cost categories never receive cycles
+            assert all(s == 0 for s, c in zip(shares, costs) if c == 0)
+
+
+def test_apportion_proportionality():
+    shares = apportion(100, (3, 1, 0, 0, 0))
+    assert shares == [75, 25, 0, 0, 0]
+
+
+def test_apportion_largest_remainder_is_deterministic():
+    # 3 cycles over equal costs: the leftover lands on the earliest
+    # categories, same answer every call
+    assert apportion(3, (1, 1, 1, 1, 1)) == apportion(3, (1, 1, 1, 1, 1))
+    assert sum(apportion(3, (1, 1, 1, 1, 1))) == 3
+
+
+def test_apportion_degenerate_inputs():
+    assert apportion(5, ()) == []
+    assert apportion(5, (0, 0, 0, 0, 0)) == []
+    assert apportion(0, (1, 2, 3)) == []
+
+
+# ----------------------------------------------------------------------
+# synthetic event streams
+# ----------------------------------------------------------------------
+def _profiled_bus():
+    bus = EventBus()
+    return bus, bus.attach(ProfileProcessor())
+
+
+def test_conservation_on_synthetic_walk():
+    bus, prof = _profiled_bus()
+    bus.publish(Miss(cycle=10, component="ctl", tag=(1,), op="MetaLoad"))
+    bus.publish(WalkerDispatch(cycle=10, component="ctl", tag=(1,),
+                               routine="Default@MetaLoad"))
+    bus.publish(WalkerYield(cycle=13, component="ctl", tag=(1,),
+                            routine="Default@MetaLoad",
+                            action_costs=(2, 1, 1, 0, 0), fills=1))
+    bus.publish(WalkerWake(cycle=50, component="ctl", tag=(1,),
+                           event="Fill"))
+    bus.publish(WalkerDispatch(cycle=50, component="ctl", tag=(1,),
+                               routine="Wait@Fill"))
+    bus.publish(WalkerRetire(cycle=56, component="ctl", tag=(1,),
+                             found=True, lifetime=46,
+                             action_costs=(1, 0, 1, 0, 2)))
+    assert prof.conservation_ok
+    assert prof.contexts_retired == 1
+    assert prof.cycles_attributed == 46
+    assert prof.contexts_open == 0
+    # the 37-cycle sleep left a fill outstanding -> dram_wait
+    assert prof.stacks[("ctl", "Default@MetaLoad", "dram_wait")] == 37
+    # exec cycles went only to categories with nonzero cost
+    assert ("ctl", "Wait@Fill", "control") not in prof.stacks
+    assert sum(prof.stacks.values()) == 46
+
+
+def test_mismatched_lifetime_is_flagged():
+    bus, prof = _profiled_bus()
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    bus.publish(WalkerDispatch(cycle=0, component="ctl", tag=(1,),
+                               routine="R"))
+    # lifetime claims 99 but the stream only covers 10 cycles
+    bus.publish(WalkerRetire(cycle=10, component="ctl", tag=(1,),
+                             found=True, lifetime=99))
+    assert not prof.conservation_ok
+    assert prof.mismatches == [("ctl", (1,), 10, 99)]
+
+
+def test_costless_exec_books_as_busy():
+    bus, prof = _profiled_bus()
+    bus.publish(WalkerDispatch(cycle=0, component="t", tag=(1,),
+                               routine="thread-walk"))
+    bus.publish(WalkerYield(cycle=4, component="t", tag=(1,),
+                            routine="thread-walk", fills=1))
+    bus.publish(WalkerWake(cycle=30, component="t", tag=(1,),
+                           event="fill"))
+    bus.publish(WalkerRetire(cycle=33, component="t", tag=(1,),
+                             found=True, lifetime=33))
+    assert prof.conservation_ok
+    # compute before the fetch, and again after the wake (no dispatch)
+    assert prof.stacks[("t", "thread-walk", "busy")] == 7
+    assert prof.stacks[("t", "thread-walk", "dram_wait")] == 26
+
+
+def test_event_wait_vs_dram_wait_classification():
+    bus, prof = _profiled_bus()
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    bus.publish(WalkerDispatch(cycle=0, component="ctl", tag=(1,),
+                               routine="A"))
+    bus.publish(WalkerYield(cycle=0, component="ctl", tag=(1,),
+                            routine="A", fills=0))
+    bus.publish(WalkerWake(cycle=8, component="ctl", tag=(1,),
+                           event="MetaStore"))
+    bus.publish(WalkerDispatch(cycle=8, component="ctl", tag=(1,),
+                               routine="B"))
+    bus.publish(WalkerRetire(cycle=9, component="ctl", tag=(1,),
+                             found=True, lifetime=9))
+    assert prof.conservation_ok
+    assert prof.stacks[("ctl", "A", "event_wait")] == 8
+
+
+def test_orphan_events_are_ignored():
+    bus, prof = _profiled_bus()
+    bus.publish(WalkerYield(cycle=5, component="ctl", tag=(9,),
+                            routine="R", fills=1))
+    bus.publish(WalkerWake(cycle=9, component="ctl", tag=(9,), event="F"))
+    bus.publish(WalkerRetire(cycle=9, component="ctl", tag=(9,),
+                             found=False, lifetime=4))
+    assert prof.contexts_retired == 0
+    assert prof.stacks == {}
+    assert prof.conservation_ok
+
+
+def test_merge_accumulates_and_preserves_mismatches():
+    _, a = _profiled_bus()
+    bus, b = _profiled_bus()
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    bus.publish(WalkerDispatch(cycle=0, component="ctl", tag=(1,),
+                               routine="R"))
+    bus.publish(WalkerRetire(cycle=5, component="ctl", tag=(1,),
+                             found=True, lifetime=5))
+    a.merge(b)
+    assert a.contexts_retired == 1
+    assert a.stacks[("ctl", "R", "busy")] == 5
+    assert a.conservation_ok
+
+
+def test_folded_lines_format():
+    bus, prof = _profiled_bus()
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    bus.publish(WalkerDispatch(cycle=0, component="ctl", tag=(1,),
+                               routine="R"))
+    bus.publish(WalkerRetire(cycle=5, component="ctl", tag=(1,),
+                             found=True, lifetime=5))
+    out = io.StringIO()
+    assert write_folded(out, prof) == 1
+    assert out.getvalue() == "ctl;R;busy 5\n"
+
+
+def test_write_folded_to_path(tmp_path):
+    bus, prof = _profiled_bus()
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    bus.publish(WalkerDispatch(cycle=0, component="ctl", tag=(1,),
+                               routine="R"))
+    bus.publish(WalkerRetire(cycle=3, component="ctl", tag=(1,),
+                             found=True, lifetime=3))
+    path = tmp_path / "cycles.folded"
+    write_folded(str(path), prof)
+    assert path.read_text() == "ctl;R;busy 3\n"
+
+
+def test_breakdown_table_renders_percentages():
+    table = cycles_breakdown_table(
+        {"widx": {"agen": 25, "dram_wait": 75}})
+    assert "widx" in table and "100" in table
+    assert "25.0%" in table and "75.0%" in table
+    for cat in ACTION_CATEGORIES:
+        assert cat in table
+    assert cycles_breakdown_table({}) == ""
+
+
+# ----------------------------------------------------------------------
+# real systems
+# ----------------------------------------------------------------------
+def test_conservation_on_mini_system(mini_system):
+    prof = mini_system.observe(ProfileProcessor())
+    addr = mini_system.image.alloc_u64_array(list(range(8)))
+    for i in range(8):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    assert prof.contexts_retired == 8
+    assert prof.conservation_ok, prof.mismatches
+    assert prof.contexts_open == 0
+    # a real walk spends time in DRAM and in routine execution
+    kinds = {kind for (_, _, kind) in prof.stacks}
+    assert "dram_wait" in kinds
+
+
+def test_fig14_ci_conservation_invariant(tmp_path):
+    """Acceptance: attributed cycles == lifetime on the whole ci suite."""
+    from repro.harness.suite import clear_cache, run_fig14_suite
+    from repro.obs.capture import CaptureSpec, capture_scope
+
+    clear_cache()  # a memoized reload would publish no events
+    folded = tmp_path / "cycles.folded"
+    try:
+        with capture_scope(CaptureSpec(prof_path=str(folded))) as cap:
+            run_fig14_suite("ci")
+            profiles = cap.profiles
+    finally:
+        clear_cache()  # don't leak profiled results into other tests
+
+    assert profiles
+    assert sum(p.contexts_retired for p in profiles) > 100
+    for prof in profiles:
+        assert prof.conservation_ok, prof.mismatches[:5]
+        assert prof.contexts_open == 0
+
+    # capture_scope exit wrote the merged folded stacks
+    lines = folded.read_text().splitlines()
+    assert lines
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert len(stack.split(";")) == 3
+        assert int(count) > 0

@@ -1,0 +1,169 @@
+"""Tests for the perf-regression gate (`python -m repro.obs.regress`)."""
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.regress import compare_records, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BASELINES = [REPO_ROOT / "BENCH_kernel.json", REPO_ROOT / "BENCH_obs.json"]
+
+
+# ----------------------------------------------------------------------
+# metric classification / thresholds
+# ----------------------------------------------------------------------
+def test_throughput_gated_higher_better():
+    base = {"benchmark": "b", "x_per_sec": 1000}
+    ok = compare_records({"benchmark": "b", "x_per_sec": 800}, base)
+    bad = compare_records({"benchmark": "b", "x_per_sec": 700}, base)
+    assert ok[0].ok and not bad[0].ok
+
+
+def test_overhead_gated_lower_better():
+    base = {"benchmark": "b", "noop_overhead_x": 4.0}
+    ok = compare_records({"benchmark": "b", "noop_overhead_x": 4.9}, base)
+    bad = compare_records({"benchmark": "b", "noop_overhead_x": 5.5}, base)
+    assert ok[0].ok and not bad[0].ok
+    assert ok[0].note == "lower-better"
+
+
+def test_improvements_always_pass():
+    base = {"benchmark": "b", "x_per_sec": 1000, "speedup": 2.0,
+            "cost_x": 5.0}
+    checks = compare_records(
+        {"benchmark": "b", "x_per_sec": 9000, "speedup": 4.0,
+         "cost_x": 1.0}, base)
+    assert all(c.ok for c in checks)
+
+
+def test_config_keys_must_match_exactly():
+    base = {"benchmark": "b", "events": 500, "x_per_sec": 1000}
+    checks = compare_records(
+        {"benchmark": "b", "events": 100, "x_per_sec": 1000}, base)
+    config = [c for c in checks if c.note == "config mismatch"]
+    assert len(config) == 1 and not config[0].ok
+    # smoke mode runs a smaller workload on purpose
+    smoke = compare_records(
+        {"benchmark": "b", "events": 100, "x_per_sec": 1000}, base,
+        smoke=True)
+    assert all(c.ok for c in smoke)
+
+
+def test_smoke_sanity_checks_throughput_but_gates_ratios():
+    base = {"benchmark": "b", "x_per_sec": 1000, "speedup": 2.6}
+    # throughput collapse passes in smoke (different machine)...
+    slow = compare_records(
+        {"benchmark": "b", "x_per_sec": 3, "speedup": 2.5}, base,
+        smoke=True)
+    assert all(c.ok for c in slow)
+    # ...but a machine-portable ratio collapse still fails
+    degraded = compare_records(
+        {"benchmark": "b", "x_per_sec": 1000, "speedup": 0.9}, base,
+        smoke=True)
+    assert any(not c.ok for c in degraded)
+    # and a zero throughput is never ok
+    dead = compare_records(
+        {"benchmark": "b", "x_per_sec": 0, "speedup": 2.6}, base,
+        smoke=True)
+    assert any(not c.ok for c in dead)
+
+
+def test_tolerance_override():
+    base = {"benchmark": "b", "x_per_sec": 1000}
+    checks = compare_records(
+        {"benchmark": "b", "x_per_sec": 950}, base,
+        tolerances={"x_per_sec": 0.01})
+    assert not checks[0].ok
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_committed_baselines_self_compare_clean(capsys):
+    """Acceptance: the gate passes on the committed BENCH_*.json."""
+    code = main(["--baseline", str(REPO_ROOT)]
+                + [str(p) for p in BASELINES])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "within thresholds" in out
+    assert "FAIL" not in out
+
+
+def test_degraded_record_fails(tmp_path, capsys):
+    """Acceptance: a synthetically degraded record exits nonzero."""
+    record = json.loads((REPO_ROOT / "BENCH_kernel.json").read_text())
+    record["bucket_events_per_sec"] = int(
+        record["bucket_events_per_sec"] * 0.5)
+    record["speedup"] = 0.9
+    fresh = tmp_path / "BENCH_kernel.json"
+    fresh.write_text(json.dumps(record))
+
+    code = main(["--baseline", str(REPO_ROOT), str(fresh)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "regressed" in out
+    # the ratio regression also fails under the relaxed smoke gate
+    assert main(["--baseline", str(REPO_ROOT), "--smoke",
+                 str(fresh)]) == 1
+    capsys.readouterr()
+
+
+def test_report_json_written(tmp_path, capsys):
+    report = tmp_path / "regress.json"
+    code = main(["--baseline", str(REPO_ROOT),
+                 "--report", str(report),
+                 str(REPO_ROOT / "BENCH_kernel.json")])
+    assert code == 0
+    payload = json.loads(report.read_text())
+    assert payload["failed"] == 0
+    assert {c["metric"] for c in payload["checks"]} >= {
+        "heap_events_per_sec", "bucket_events_per_sec", "speedup"}
+    capsys.readouterr()
+
+
+def test_missing_baseline_is_usage_error(tmp_path, capsys):
+    fresh = tmp_path / "BENCH_unknown.json"
+    fresh.write_text(json.dumps({"benchmark": "unknown"}))
+    with pytest.raises(SystemExit) as exc:
+        main(["--baseline", str(REPO_ROOT), str(fresh)])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_benchmark_name_mismatch_is_usage_error(tmp_path, capsys):
+    fresh = tmp_path / "BENCH_kernel.json"
+    fresh.write_text(json.dumps({"benchmark": "other"}))
+    with pytest.raises(SystemExit) as exc:
+        main(["--baseline", str(REPO_ROOT), str(fresh)])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_malformed_record_is_usage_error(tmp_path, capsys):
+    fresh = tmp_path / "BENCH_kernel.json"
+    fresh.write_text("not json")
+    with pytest.raises(SystemExit) as exc:
+        main(["--baseline", str(REPO_ROOT), str(fresh)])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_module_entrypoint_runs(tmp_path):
+    """`python -m repro.obs.regress` works end to end."""
+    shutil.copy(REPO_ROOT / "BENCH_obs.json", tmp_path / "BENCH_obs.json")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs.regress",
+         "--baseline", str(REPO_ROOT),
+         str(tmp_path / "BENCH_obs.json")],
+        capture_output=True, text=True,
+        cwd=str(REPO_ROOT),
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "within thresholds" in proc.stdout

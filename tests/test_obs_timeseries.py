@@ -1,0 +1,169 @@
+"""Tests for windowed time-series metrics (`repro.obs.timeseries`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    DRAMComplete,
+    DRAMIssue,
+    EventBus,
+    Hit,
+    Miss,
+    RequestArrive,
+    TimeSeriesProcessor,
+    WalkerDispatch,
+    WalkerRetire,
+    write_csv,
+)
+from repro.obs.timeseries import CSV_COLUMNS
+
+
+def _sampled_bus(window=10):
+    bus = EventBus()
+    return bus, bus.attach(TimeSeriesProcessor(window))
+
+
+def _issue(cycle, addr=0, write=False):
+    return DRAMIssue(cycle=cycle, component="dram", addr=addr,
+                     is_write=write, bank=0, row_result="row_hits",
+                     complete_at=cycle + 20, nbytes=64)
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        TimeSeriesProcessor(0)
+
+
+def test_windows_tile_and_count():
+    bus, ts = _sampled_bus(window=10)
+    for cycle in (0, 3, 9):       # window [0, 10)
+        bus.publish(RequestArrive(cycle=cycle, component="ctl",
+                                  tag=(cycle,), op="load"))
+        bus.publish(Hit(cycle=cycle, component="ctl", tag=(cycle,)))
+    bus.publish(Miss(cycle=25, component="ctl", tag=(9,), op="L"))
+    ts.close()
+    assert [r["window_start"] for r in ts.rows] == [0, 10, 20]
+    first, gap, last = ts.rows
+    assert first["requests"] == 3 and first["hits"] == 3
+    assert first["hit_rate"] == 1.0
+    assert gap["requests"] == 0 and gap["hit_rate"] == 0.0
+    assert last["misses"] == 1 and last["hit_rate"] == 0.0
+
+
+def test_hit_rate_mixes_hits_and_misses():
+    bus, ts = _sampled_bus(window=100)
+    bus.publish(Hit(cycle=1, component="ctl", tag=(1,)))
+    bus.publish(Hit(cycle=2, component="ctl", tag=(2,)))
+    bus.publish(Miss(cycle=3, component="ctl", tag=(3,), op="L"))
+    bus.publish(Miss(cycle=4, component="ctl", tag=(4,), op="L"))
+    ts.close()
+    assert ts.rows[0]["hit_rate"] == 0.5
+
+
+def test_walker_occupancy_levels_cross_windows():
+    bus, ts = _sampled_bus(window=10)
+    bus.publish(Miss(cycle=1, component="ctl", tag=(1,), op="L"))
+    bus.publish(Miss(cycle=2, component="ctl", tag=(2,), op="L"))
+    # dispatch of an already-tracked walker is idempotent
+    bus.publish(WalkerDispatch(cycle=2, component="ctl", tag=(2,),
+                               routine="R"))
+    bus.publish(WalkerRetire(cycle=15, component="ctl", tag=(1,),
+                             found=True, lifetime=14))
+    bus.publish(WalkerRetire(cycle=25, component="ctl", tag=(2,),
+                             found=True, lifetime=23))
+    ts.close()
+    w0, w1, w2 = ts.rows
+    assert w0["walkers_peak"] == 2 and w0["walkers_end"] == 2
+    assert w1["walkers_peak"] == 2 and w1["walkers_end"] == 1
+    assert w2["walkers_end"] == 0 and w2["retires"] == 1
+
+
+def test_dram_bandwidth_and_outstanding():
+    bus, ts = _sampled_bus(window=100)
+    bus.publish(_issue(0, addr=0))
+    bus.publish(_issue(1, addr=64))
+    bus.publish(_issue(2, addr=128, write=True))
+    bus.publish(DRAMComplete(cycle=30, component="dram", addr=0,
+                             latency=30))
+    bus.publish(DRAMComplete(cycle=130, component="dram", addr=64,
+                             latency=129))
+    ts.close()
+    w0, w1 = ts.rows
+    assert w0["dram_reads"] == 2 and w0["dram_writes"] == 1
+    assert w0["dram_bytes"] == 192
+    assert w0["dram_bw"] == pytest.approx(1.92)
+    assert w0["mshr_peak"] == 3 and w0["mshr_end"] == 2
+    assert w1["mshr_peak"] == 2 and w1["mshr_end"] == 1
+
+
+def test_close_is_idempotent_and_flushes_partial_window():
+    bus, ts = _sampled_bus(window=1000)
+    bus.publish(Hit(cycle=42, component="ctl", tag=(1,)))
+    ts.close()
+    ts.close()
+    assert len(ts.rows) == 1
+    assert ts.rows[0]["window_end"] == 1000
+
+
+def test_no_events_no_rows():
+    _, ts = _sampled_bus()
+    ts.close()
+    assert ts.rows == []
+
+
+def test_json_export_roundtrip():
+    bus, ts = _sampled_bus(window=10)
+    bus.publish(Hit(cycle=1, component="ctl", tag=(1,)))
+    ts.close()
+    payload = json.loads(ts.to_json())
+    assert payload["window"] == 10
+    assert payload["rows"][0]["hits"] == 1
+
+
+def test_csv_export_multiple_runs():
+    bus_a, ts_a = _sampled_bus(window=10)
+    bus_b, ts_b = _sampled_bus(window=10)
+    bus_a.publish(Hit(cycle=1, component="ctl", tag=(1,)))
+    bus_b.publish(Miss(cycle=11, component="ctl", tag=(2,), op="L"))
+    out = io.StringIO()
+    rows = write_csv(out, [("0", ts_a), ("1", ts_b)])
+    lines = out.getvalue().strip().splitlines()
+    # one window per run (the series starts at each run's first event)
+    assert rows == 2
+    assert lines[0] == "run," + ",".join(CSV_COLUMNS)
+    assert all(len(line.split(",")) == len(CSV_COLUMNS) + 1
+               for line in lines[1:])
+    assert lines[1].startswith("0,0,10,")
+    assert lines[-1].startswith("1,10,20,")
+
+
+def test_csv_export_to_path(tmp_path):
+    bus, ts = _sampled_bus(window=10)
+    bus.publish(Hit(cycle=1, component="ctl", tag=(1,)))
+    path = tmp_path / "ts.csv"
+    write_csv(str(path), [(0, ts)])
+    assert path.read_text().startswith("run,window_start")
+
+
+def test_real_run_totals_match_aggregates(mini_system):
+    ts = mini_system.observe(TimeSeriesProcessor(window=50))
+    addr = mini_system.image.alloc_u64_array(list(range(8)))
+    for i in range(8):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    for i in range(8):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    ts.close()
+    assert ts.rows
+    assert sum(r["misses"] for r in ts.rows) == 8
+    assert sum(r["hits"] for r in ts.rows) == 8
+    assert sum(r["retires"] for r in ts.rows) == 8
+    assert sum(r["dram_reads"] for r in ts.rows) >= 8
+    assert ts.rows[-1]["walkers_end"] == 0
+    assert ts.rows[-1]["mshr_end"] == 0
+    # windows are contiguous
+    for prev, cur in zip(ts.rows, ts.rows[1:]):
+        assert cur["window_start"] == prev["window_end"]

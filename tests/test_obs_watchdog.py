@@ -1,0 +1,122 @@
+"""Tests for the pathology watchdog (`repro.obs.watchdog`)."""
+
+import io
+
+from repro.obs import (
+    DRAMComplete,
+    DRAMIssue,
+    EventBus,
+    Hit,
+    Miss,
+    WalkerDispatch,
+    WalkerRetire,
+    WalkerWake,
+    WalkerYield,
+    WatchdogProcessor,
+)
+
+
+def _watched_bus(**kw):
+    bus = EventBus()
+    return bus, bus.attach(WatchdogProcessor(**kw))
+
+
+def _issue(cycle, addr=0):
+    return DRAMIssue(cycle=cycle, component="dram", addr=addr,
+                     is_write=False, bank=0, row_result="row_hits",
+                     complete_at=cycle + 20, nbytes=64)
+
+
+def test_livelock_flagged_once_per_episode():
+    bus, dog = _watched_bus(livelock_cycles=100)
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    # in-flight walker churns yields with no retire for > 100 cycles
+    for cycle in (50, 120, 180, 260):
+        bus.publish(WalkerYield(cycle=cycle, component="ctl", tag=(1,),
+                                routine="R", fills=1))
+    assert dog.count("livelock") == 1
+    assert "no retire for" in dog.warnings[0].detail
+
+
+def test_retire_resets_livelock_window():
+    bus, dog = _watched_bus(livelock_cycles=100)
+    bus.publish(Miss(cycle=0, component="ctl", tag=(1,), op="L"))
+    bus.publish(WalkerRetire(cycle=90, component="ctl", tag=(1,),
+                             found=True, lifetime=90))
+    bus.publish(Miss(cycle=95, component="ctl", tag=(2,), op="L"))
+    bus.publish(WalkerYield(cycle=150, component="ctl", tag=(2,),
+                            routine="R", fills=1))
+    assert dog.count("livelock") == 0  # only 60 cycles since progress
+
+
+def test_no_livelock_without_active_walkers():
+    bus, dog = _watched_bus(livelock_cycles=10)
+    bus.publish(Hit(cycle=5000, component="ctl", tag=(1,)))
+    bus.publish(_issue(9000))
+    assert dog.count("livelock") == 0
+
+
+def test_mshr_saturation_episodes():
+    bus, dog = _watched_bus(mshr_limit=4)
+    for i in range(4):
+        bus.publish(_issue(i, addr=64 * i))
+    assert dog.count("mshr_saturation") == 1
+    # staying saturated does not re-warn
+    bus.publish(_issue(5, addr=640))
+    assert dog.count("mshr_saturation") == 1
+    # drain below half the limit re-arms the episode
+    for i in range(4):
+        bus.publish(DRAMComplete(cycle=10 + i, component="dram",
+                                 addr=64 * i, latency=10))
+    for i in range(4):
+        bus.publish(_issue(20 + i, addr=1024 + 64 * i))
+    assert dog.count("mshr_saturation") == 2
+
+
+def test_starvation_on_wake_and_retire():
+    bus, dog = _watched_bus(starvation_cycles=100)
+    bus.publish(WalkerYield(cycle=0, component="ctl", tag=(1,),
+                            routine="R", fills=1))
+    bus.publish(WalkerWake(cycle=500, component="ctl", tag=(1,),
+                           event="Fill"))
+    assert dog.count("starvation") == 1
+    # a walker that dies dormant is caught at retire
+    bus.publish(WalkerYield(cycle=600, component="ctl", tag=(2,),
+                            routine="R", fills=0))
+    bus.publish(WalkerRetire(cycle=900, component="ctl", tag=(2,),
+                             found=False, lifetime=300))
+    assert dog.count("starvation") == 2
+
+
+def test_prompt_wake_is_not_starvation():
+    bus, dog = _watched_bus(starvation_cycles=100)
+    bus.publish(WalkerYield(cycle=0, component="ctl", tag=(1,),
+                            routine="R", fills=1))
+    bus.publish(WalkerWake(cycle=40, component="ctl", tag=(1,),
+                           event="Fill"))
+    # dispatch clears any dormant bookkeeping too
+    bus.publish(WalkerYield(cycle=41, component="ctl", tag=(1,),
+                            routine="R", fills=1))
+    bus.publish(WalkerDispatch(cycle=80, component="ctl", tag=(1,),
+                               routine="R2"))
+    bus.publish(WalkerRetire(cycle=999, component="ctl", tag=(1,),
+                             found=True, lifetime=999))
+    assert dog.count("starvation") == 0
+
+
+def test_stream_mirrors_warnings():
+    out = io.StringIO()
+    bus, dog = _watched_bus(mshr_limit=1, stream=out)
+    bus.publish(_issue(7))
+    assert dog.count("mshr_saturation") == 1
+    line = out.getvalue()
+    assert line.startswith("[obs] WARNING mshr_saturation @7 dram:")
+
+
+def test_healthy_real_run_stays_quiet(mini_system):
+    dog = mini_system.observe(WatchdogProcessor())
+    addr = mini_system.image.alloc_u64_array(list(range(8)))
+    for i in range(8):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    assert dog.warnings == []
