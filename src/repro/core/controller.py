@@ -114,6 +114,7 @@ class WalkerRun:
     tag: Tag
     ctx: XContext
     origin: Optional[Message]
+    walk_id: int = -1
     state: str = DEFAULT_STATE
     entry: Optional[MetaTagEntry] = None
     waiters: List[Message] = field(default_factory=list)
@@ -164,6 +165,10 @@ class Controller(Component):
         self._internal: Deque[Message] = deque()
         self._execq: Deque[_RoutineExec] = deque()
         self._walkers: Dict[Tag, WalkerRun] = {}
+        # monotonically increasing walk-episode id: unlike the tag, it
+        # is never reused, so obs events can correlate a whole
+        # request → walker → DRAM journey unambiguously
+        self._walk_seq = 0
         # Ways promised to dispatched walkers whose ALLOCM has not yet
         # executed, per set — dispatch must not over-commit a set.
         self._pending_allocs: Dict[int, int] = {}
@@ -231,7 +236,7 @@ class Controller(Component):
         if bus is not None:
             bus.publish(RequestArrive(cycle=self.sim.now,
                                       component=self.name,
-                                      tag=tag, op="load"))
+                                      tag=tag, op="load", req_id=msg.uid))
         return msg
 
     def meta_store(self, tag: Tag, payload_bits: int,
@@ -251,7 +256,7 @@ class Controller(Component):
         if bus is not None:
             bus.publish(RequestArrive(cycle=self.sim.now,
                                       component=self.name,
-                                      tag=tag, op="store"))
+                                      tag=tag, op="store", req_id=msg.uid))
         return msg
 
     # ------------------------------------------------------------------
@@ -279,8 +284,10 @@ class Controller(Component):
             if write:
                 if count_stats:
                     self.stats.inc("dram_writes")
-                self.dram.request(MemRequest(block, is_write=True),
-                                  _drop_response)
+                self.dram.request(
+                    MemRequest(block, is_write=True,
+                               walk_id=walker.walk_id),
+                    _drop_response)
             else:
                 if count_stats:
                     self.stats.inc("dram_fills")
@@ -291,7 +298,8 @@ class Controller(Component):
                 else:
                     lo, hi = 0, bb
                 self.dram.request(
-                    MemRequest(block, tag=(walker.tag, lo, hi)),
+                    MemRequest(block, tag=(walker.tag, lo, hi),
+                               walk_id=walker.walk_id),
                     self._fill_cb,
                 )
             block += bb
@@ -307,7 +315,8 @@ class Controller(Component):
         bus = self.bus
         if bus is not None:
             bus.publish(Fill(cycle=self.sim.now, component=self.name,
-                             tag=tag, addr=resp.addr, nbytes=hi - lo))
+                             tag=tag, addr=resp.addr, nbytes=hi - lo,
+                             walk_id=walker.walk_id))
         data = resp.data[lo:hi]
         self._internal.append(
             Message(EV_FILL, tag=tag,
@@ -412,7 +421,7 @@ class Controller(Component):
                 bus.publish(Hit(
                     cycle=now, component=self.name, tag=msg.tag, take=take,
                     load_to_use=now + self.config.hit_latency
-                    - msg.issued_at))
+                    - msg.issued_at, req_id=msg.uid))
             self._respond(msg, 1, b"", self.config.hit_latency)
             return
         data = b""
@@ -423,7 +432,8 @@ class Controller(Component):
         if bus is not None:
             bus.publish(Hit(cycle=now, component=self.name, tag=msg.tag,
                             take=take,
-                            load_to_use=now + latency - msg.issued_at))
+                            load_to_use=now + latency - msg.issued_at,
+                            req_id=msg.uid))
         self._respond(msg, 1, data, latency)
         if msg.fields.get("take"):
             released = self.metatags.deallocate(entry.tag)
@@ -441,7 +451,7 @@ class Controller(Component):
             bus.publish(Hit(cycle=now, component=self.name, tag=msg.tag,
                             store=True,
                             load_to_use=now + self.config.hit_latency
-                            - msg.issued_at))
+                            - msg.issued_at, req_id=msg.uid))
         self._apply_store(entry, msg.fields["payload"])
         self._respond(msg, 1, b"", self.config.hit_latency)
 
@@ -504,7 +514,8 @@ class Controller(Component):
                 if self.bus is not None:
                     self.bus.publish(Merge(cycle=self.sim.now,
                                            component=self.name,
-                                           tag=msg.tag))
+                                           tag=msg.tag, req_id=msg.uid,
+                                           walk_id=walker.walk_id))
                 served += 1
                 continue
             entry = self.metatags.lookup(msg.tag)
@@ -521,6 +532,15 @@ class Controller(Component):
             if msg.event == EV_META_LOAD and msg.fields.get("nowalk"):
                 self.metaio_in.remove(msg)
                 self.stats.inc("nowalk_misses")
+                if self.bus is not None:
+                    # status=0: answered without a walk (not a hit) —
+                    # closes the request's journey for span assembly
+                    now = self.sim.now
+                    self.bus.publish(Hit(
+                        cycle=now, component=self.name, tag=msg.tag,
+                        take=bool(msg.fields.get("take")),
+                        load_to_use=now + self.config.hit_latency
+                        - msg.issued_at, req_id=msg.uid, status=0))
                 self._respond(msg, 0, b"", self.config.hit_latency)
                 served += 1
                 continue
@@ -548,7 +568,8 @@ class Controller(Component):
                     self.bus.publish(WalkerWake(cycle=self.sim.now,
                                                 component=self.name,
                                                 tag=walker.tag,
-                                                event=msg.event))
+                                                reason=msg.event,
+                                                walk_id=walker.walk_id))
                 self._dispatch(walker, routine, msg)
                 return
         # 2) admit a new walker for the oldest dispatchable miss
@@ -579,7 +600,8 @@ class Controller(Component):
                     self.bus.publish(QueueStall(cycle=self.sim.now,
                                                 component=self.name,
                                                 tag=msg.tag,
-                                                reason="set_conflict"))
+                                                reason="set_conflict",
+                                                req_id=msg.uid))
                 continue
             ctx = self.xregs.allocate(self.sim.now)
             if ctx is None:
@@ -588,11 +610,14 @@ class Controller(Component):
                     self.bus.publish(QueueStall(cycle=self.sim.now,
                                                 component=self.name,
                                                 tag=msg.tag,
-                                                reason="no_context"))
+                                                reason="no_context",
+                                                req_id=msg.uid))
                 return
             self.metaio_in.remove(msg)
             self._pending_allocs[set_index] = pending + 1
+            self._walk_seq += 1
             walker = WalkerRun(tag=msg.tag, ctx=ctx, origin=msg,
+                               walk_id=self._walk_seq,
                                started_at=self.sim.now)
             self._walkers[msg.tag] = walker
             self.stats.inc("misses")
@@ -600,7 +625,9 @@ class Controller(Component):
             if self.bus is not None:
                 self.bus.publish(Miss(cycle=self.sim.now,
                                       component=self.name,
-                                      tag=msg.tag, op=msg.event))
+                                      tag=msg.tag, op=msg.event,
+                                      req_id=msg.uid,
+                                      walk_id=walker.walk_id))
             self._dispatch(walker, routine, msg)
             return
 
@@ -616,7 +643,8 @@ class Controller(Component):
             self.bus.publish(WalkerDispatch(cycle=self.sim.now,
                                             component=self.name,
                                             tag=walker.tag,
-                                            routine=routine.name))
+                                            routine=routine.name,
+                                            walk_id=walker.walk_id))
 
     def _back_end_execute(self) -> None:
         budget = self.config.num_exe
@@ -654,7 +682,8 @@ class Controller(Component):
                                          tag=walker.tag,
                                          routine=ex.routine.name,
                                          action_costs=tuple(ex.costs or ()),
-                                         fills=walker.fills_outstanding))
+                                         fills=walker.fills_outstanding,
+                                         walk_id=walker.walk_id))
 
     def _complete_walker(self, walker: WalkerRun,
                          ex: Optional[_RoutineExec] = None) -> None:
@@ -663,13 +692,11 @@ class Controller(Component):
             self.stats.inc("walks_completed")
         if self._hist_stats:
             self.stats.histogram("walk_latency").add(now - walker.started_at)
-        if self.bus is not None:
-            costs = ex.costs if ex is not None else None
-            self.bus.publish(WalkerRetire(cycle=now, component=self.name,
-                                          tag=walker.tag,
-                                          found=walker.found,
-                                          lifetime=now - walker.started_at,
-                                          action_costs=tuple(costs or ())))
+        bus = self.bus
+        # req_ids answered by this retire (replayed stores excluded:
+        # their journey continues through MetaIO); only tracked when a
+        # bus is armed, so the unarmed path allocates nothing
+        served: Optional[List[int]] = [] if bus is not None else None
         entry = walker.entry
         if walker.found and entry is not None:
             entry.active = False
@@ -693,8 +720,12 @@ class Controller(Component):
                     self.stats.inc("store_replays")
                     self.metaio_in.enq(msg)
                 else:
+                    if served is not None:
+                        served.append(msg.uid)
                     self._respond(msg, 0, b"", self.config.hit_latency)
                 continue
+            if served is not None:
+                served.append(msg.uid)
             if msg.event == EV_META_STORE:
                 if msg is not walker.origin:
                     self._apply_store(entry, msg.fields["payload"])
@@ -717,6 +748,15 @@ class Controller(Component):
                     )
                 self.stats.inc("takes")
                 consumed = True
+        if bus is not None:
+            costs = ex.costs if ex is not None else None
+            bus.publish(WalkerRetire(cycle=now, component=self.name,
+                                     tag=walker.tag,
+                                     found=walker.found,
+                                     lifetime=now - walker.started_at,
+                                     action_costs=tuple(costs or ()),
+                                     walk_id=walker.walk_id,
+                                     served=tuple(served or ())))
 
     # ------------------------------------------------------------------
     # warm-up

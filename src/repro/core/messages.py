@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 
 __all__ = [
     "Message",
+    "reset_ids",
     "EV_META_LOAD",
     "EV_META_STORE",
     "EV_FILL",
@@ -36,6 +37,22 @@ DEFAULT_STATE = "Default"
 VALID_STATE = "Valid"
 
 _ids = itertools.count(1)
+
+
+def reset_ids() -> None:
+    """Restart message uid numbering from 1.
+
+    uids double as the observability plane's request/walk correlation
+    ids, and they surface in user-facing output (``--explain-top``
+    drilldowns, span summaries, traces). The harness resets the counter
+    at the start of every experiment so numbering depends only on the
+    experiment itself — a serial multi-experiment run and a
+    ``--parallel`` run (one experiment per worker process) print
+    byte-identical reports. Systems never exchange messages across
+    experiments, so restarting cannot alias live traffic.
+    """
+    global _ids
+    _ids = itertools.count(1)
 
 
 @dataclass

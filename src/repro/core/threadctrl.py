@@ -27,6 +27,7 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..mem.dram import DRAMModel, MemRequest, MemResponse
 from ..obs.events import (
+    Miss,
     RequestArrive,
     WalkerDispatch,
     WalkerRetire,
@@ -117,7 +118,8 @@ class ThreadController(Component):
         if self.bus is not None:
             self.bus.publish(RequestArrive(cycle=self.sim.now,
                                            component=self.name,
-                                           tag=(uid,), op="walk"))
+                                           tag=(uid,), op="walk",
+                                           req_id=uid))
         self._try_start()
 
     def _try_start(self) -> None:
@@ -130,17 +132,26 @@ class ThreadController(Component):
             self._resident += 1
             self.stats.inc("walks_started")
             if self.bus is not None:
+                # a blocking thread's walk IS its request: uid doubles
+                # as req_id and walk_id (the paper's point — the whole
+                # journey pins one pipeline)
+                self.bus.publish(Miss(cycle=self.sim.now,
+                                      component=self.name,
+                                      tag=(walk.uid,), op="walk",
+                                      req_id=walk.uid, walk_id=walk.uid))
                 self.bus.publish(WalkerDispatch(cycle=self.sim.now,
                                                 component=self.name,
                                                 tag=(walk.uid,),
-                                                routine="thread-walk"))
+                                                routine="thread-walk",
+                                                walk_id=walk.uid))
             self._step(walk)
 
     def _resume_after_fill(self, walk: _Walk, resp: MemResponse) -> None:
         if self.bus is not None:
             self.bus.publish(WalkerWake(cycle=self.sim.now,
                                         component=self.name,
-                                        tag=(walk.uid,), event="fill"))
+                                        tag=(walk.uid,), reason="fill",
+                                        walk_id=walk.uid))
         self._step(walk)
 
     def _step(self, walk: _Walk) -> None:
@@ -161,8 +172,9 @@ class ThreadController(Component):
                                              component=self.name,
                                              tag=(walk.uid,),
                                              routine="thread-walk",
-                                             fills=1))
-            self.dram.request(MemRequest(step.addr), walk.on_fill)
+                                             fills=1, walk_id=walk.uid))
+            self.dram.request(MemRequest(step.addr, walk_id=walk.uid),
+                              walk.on_fill)
 
     def _finish(self, walk: _Walk) -> None:
         self._advance()
@@ -176,7 +188,8 @@ class ThreadController(Component):
         if self.bus is not None:
             self.bus.publish(WalkerRetire(
                 cycle=self.sim.now, component=self.name, tag=(walk.uid,),
-                found=True, lifetime=self.sim.now - walk.started_at))
+                found=True, lifetime=self.sim.now - walk.started_at,
+                walk_id=walk.uid, served=(walk.uid,)))
         self._try_start()
 
     # ------------------------------------------------------------------

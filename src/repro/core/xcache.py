@@ -82,6 +82,25 @@ class XCacheSystem:
         self.ensure_bus().attach(processor)
         return processor
 
+    def observe_spans(self, top_k: int = 5):
+        """Arm request-span assembly with critical-path blame; returns
+        ``(assembler, aggregator)``.
+
+        ::
+
+            asm, agg = system.observe_spans(top_k=3)
+            ...issue requests...
+            system.run()
+            for span, blame in agg.slowest():
+                print(span.req_id, span.latency, blame)
+        """
+        from ..obs.critpath import CritPathAggregator
+        from ..obs.spans import SpanAssembler
+
+        agg = CritPathAggregator(top_k=top_k, verify=True)
+        asm = self.observe(SpanAssembler(sink=agg.add))
+        return asm, agg
+
     def _collect(self, resp: MetaResponse) -> None:
         self.responses.append(resp)
         if self._user_handler is not None:

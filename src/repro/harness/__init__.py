@@ -29,6 +29,7 @@ from . import (
     tab03,
     tab04,
 )
+from ..core.messages import reset_ids
 from .profiles import PROFILES, Profile, get_profile
 from .report import ExperimentReport, Expectation, format_table
 from .suite import SUITE_WORKLOADS, VariantSet, clear_cache, run_fig14_suite
@@ -56,6 +57,10 @@ def run_experiment(exp_id: str, profile: str = "full") -> ExperimentReport:
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; "
                        f"have {sorted(EXPERIMENTS)}")
+    # Message uids (= request/walk correlation ids) restart per
+    # experiment so serial and --parallel runs number requests
+    # identically; see core.messages.reset_ids.
+    reset_ids()
     return EXPERIMENTS[exp_id](profile)
 
 

@@ -20,7 +20,15 @@ Observability (the ``repro.obs`` plane; all flags compose with
   folded stacks per experiment (feed to flamegraph.pl) plus a per-DSA
   cycles-breakdown table appended to the report;
 * ``--timeseries ts.csv`` samples hit-rate / occupancy / outstanding
-  DRAM / bandwidth over ``--timeseries-window`` cycle windows.
+  DRAM / bandwidth over ``--timeseries-window`` cycle windows;
+* ``--spans s.json`` assembles per-request span trees and writes the
+  SLO-gate summary (per experiment: ``s.fig14.json``; feed to
+  ``python -m repro.obs.regress --slo``) plus the why-slow blame table
+  in the report;
+* ``--explain-top K`` drills down the K slowest requests in each
+  report (implies span assembly);
+* ``--watchdog`` appends livelock / MSHR-saturation / starvation
+  warnings to each report.
 
 Experiments that reload the memoized fig-14 suite from a warm cache
 export events only for the systems actually simulated in-process.
@@ -68,11 +76,24 @@ def main(argv=None) -> int:
     parser.add_argument("--timeseries-window", type=int, default=1000,
                         metavar="CYCLES",
                         help="time-series window width (default: 1000)")
+    parser.add_argument("--spans", default=None, metavar="PATH.json",
+                        help="assemble request span trees; write the "
+                             "SLO-gate summary (per experiment: "
+                             "PATH.<exp_id>.json) and append the "
+                             "why-slow blame table to each report")
+    parser.add_argument("--explain-top", type=int, default=0, metavar="K",
+                        help="drill down the K slowest requests in each "
+                             "report (implies span assembly)")
+    parser.add_argument("--watchdog", action="store_true",
+                        help="append pathology warnings (livelock, MSHR "
+                             "saturation, starvation) to each report")
     args = parser.parse_args(argv)
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
     if args.timeseries_window < 1:
         parser.error("--timeseries-window must be >= 1")
+    if args.explain_top < 0:
+        parser.error("--explain-top must be >= 0")
 
     targets = args.experiments or sorted(EXPERIMENTS)
     unknown = [t for t in targets if t not in EXPERIMENTS]
@@ -84,7 +105,10 @@ def main(argv=None) -> int:
                           metrics=args.metrics_summary,
                           prof_path=args.prof,
                           timeseries_path=args.timeseries,
-                          timeseries_window=args.timeseries_window)
+                          timeseries_window=args.timeseries_window,
+                          spans_path=args.spans,
+                          explain_top=args.explain_top,
+                          watchdog=args.watchdog)
     if not capture.active:
         capture = None
 

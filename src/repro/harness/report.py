@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 __all__ = ["Expectation", "ExperimentReport", "format_table",
-           "cycles_breakdown_table"]
+           "cycles_breakdown_table", "why_slow_table"]
 
 
 @dataclass
@@ -74,6 +74,34 @@ def cycles_breakdown_table(breakdown) -> str:
             row.append(f"{100.0 * share:.1f}%")
         rows.append(row)
     headers = ["dsa", "cycles"] + list(ALL_KINDS)
+    return format_table(headers, rows)
+
+
+def why_slow_table(summary) -> str:
+    """Render the critical-path per-DSA request-latency blame table.
+
+    ``summary`` is ``{dsa: {requests, latency_p50, latency_p99, blame}}``
+    (see ``CritPathAggregator.summary_dict``). Blame columns show the
+    share of total request cycles each bucket is responsible for;
+    returns "" when there is nothing to show.
+    """
+    from repro.obs.critpath import BLAME_BUCKETS
+
+    if not summary:
+        return ""
+    rows = []
+    for dsa in sorted(summary):
+        entry = summary[dsa]
+        blame = entry.get("blame", {})
+        total = sum(blame.values())
+        row: List[object] = [dsa, entry.get("requests", 0),
+                             entry.get("latency_p50", 0),
+                             entry.get("latency_p99", 0)]
+        for bucket in BLAME_BUCKETS:
+            share = blame.get(bucket, 0) / total if total else 0.0
+            row.append(f"{100.0 * share:.1f}%")
+        rows.append(row)
+    headers = ["dsa", "requests", "p50", "p99"] + list(BLAME_BUCKETS)
     return format_table(headers, rows)
 
 

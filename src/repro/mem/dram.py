@@ -62,16 +62,17 @@ class DRAMConfig:
 class MemRequest:
     """A block-granular DRAM request."""
 
-    __slots__ = ("addr", "is_write", "data", "tag", "issued_at")
+    __slots__ = ("addr", "is_write", "data", "tag", "issued_at", "walk_id")
 
     def __init__(self, addr: int, is_write: bool = False,
                  data: Optional[bytes] = None, tag: object = None,
-                 issued_at: int = 0) -> None:
+                 issued_at: int = 0, walk_id: int = -1) -> None:
         self.addr = addr
         self.is_write = is_write
         self.data = data          # payload for writes
         self.tag = tag            # opaque requester cookie
         self.issued_at = issued_at
+        self.walk_id = walk_id    # owning walk episode (obs correlation)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "write" if self.is_write else "read"
@@ -226,13 +227,14 @@ class DRAMModel(Component):
                                   addr=block, is_write=req.is_write,
                                   bank=bank_index, row_result=row_stat,
                                   complete_at=done,
-                                  nbytes=cfg.block_bytes))
+                                  nbytes=cfg.block_bytes,
+                                  walk_id=req.walk_id))
             # the completion event is scheduled (not published eagerly)
             # so stream exporters see a chronological event order
             self.sim.call_at(done, partial(
                 bus.publish,
                 DRAMComplete(cycle=done, component=self.name, addr=block,
-                             latency=done - now)))
+                             latency=done - now, walk_id=req.walk_id)))
         return done
 
     # ------------------------------------------------------------------

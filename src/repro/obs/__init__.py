@@ -6,12 +6,15 @@ A zero-cost-when-off telemetry subsystem: typed events
 forward it to the legacy tracer (:mod:`repro.obs.processors`), and
 exporters for JSONL and Perfetto/Chrome-trace output
 (:mod:`repro.obs.export`). On top of the stream sit the
-cycle-attribution profiler (:mod:`repro.obs.prof`), windowed
-time-series sampling (:mod:`repro.obs.timeseries`), the pathology
-watchdog (:mod:`repro.obs.watchdog`), and a benchmark regression gate
-(``python -m repro.obs.regress``). :mod:`repro.obs.capture` wires it
-into the experiment harness (``--events`` / ``--perfetto`` /
-``--metrics-summary`` / ``--prof`` / ``--timeseries``).
+cycle-attribution profiler (:mod:`repro.obs.prof`), per-request span
+trees (:mod:`repro.obs.spans`) with critical-path why-slow analysis
+(:mod:`repro.obs.critpath`, CLI ``python -m repro.obs.explain``),
+windowed time-series sampling (:mod:`repro.obs.timeseries`), the
+pathology watchdog (:mod:`repro.obs.watchdog`), and a benchmark
+regression + SLO gate (``python -m repro.obs.regress``).
+:mod:`repro.obs.capture` wires it into the experiment harness
+(``--events`` / ``--perfetto`` / ``--metrics-summary`` / ``--prof`` /
+``--timeseries`` / ``--spans`` / ``--explain-top`` / ``--watchdog``).
 
 Quick start::
 
@@ -46,6 +49,7 @@ from .events import (
     WalkerWake,
     WalkerYield,
     event_fields,
+    event_from_json,
 )
 from .bus import EventBus
 from .processors import (
@@ -59,6 +63,19 @@ from .processors import (
 )
 from .export import JsonlExporter, PerfettoExporter, event_to_dict
 from .prof import ProfileProcessor, apportion, write_folded
+from .spans import (
+    EpisodeRef,
+    RequestSpan,
+    SpanAssembler,
+    WalkPhase,
+    WalkSpan,
+)
+from .critpath import (
+    BLAME_BUCKETS,
+    CritPathAggregator,
+    blame_request,
+    verify_request,
+)
 from .timeseries import TimeSeriesProcessor, write_csv
 from .watchdog import ObsWarning, WatchdogProcessor
 from .capture import Capture, CaptureSpec, capture_scope, current_capture
@@ -69,12 +86,16 @@ __all__ = [
     "WalkerDispatch", "WalkerWake", "WalkerYield", "WalkerRetire",
     "DRAMIssue", "DRAMComplete", "Fill", "Evict", "Reclaim", "QueueStall",
     "EVENT_TYPES", "ALL_EVENT_TYPES", "ACTION_CATEGORIES", "event_fields",
+    "event_from_json",
     # bus
     "EventBus",
     # processors
     "EventProcessor", "TypedEventProcessor", "MetricsProcessor",
     "ProgressProcessor", "LegacyTraceProcessor", "NullProcessor",
     "summarize_metrics",
+    # spans / critical path
+    "SpanAssembler", "RequestSpan", "WalkSpan", "WalkPhase", "EpisodeRef",
+    "CritPathAggregator", "BLAME_BUCKETS", "blame_request", "verify_request",
     # profiler / time-series / watchdog
     "ProfileProcessor", "apportion", "write_folded",
     "TimeSeriesProcessor", "write_csv",

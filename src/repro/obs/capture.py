@@ -16,12 +16,17 @@ two writers on one file.
 
 Beyond raw export, a capture can arm the cycle-attribution profiler
 (``prof_path`` → folded stacks + a per-DSA breakdown appended to the
-report) and windowed time-series sampling (``timeseries_path`` → CSV
-with one ``run`` column per observed system).
+report), windowed time-series sampling (``timeseries_path`` → CSV with
+one ``run`` column per observed system), per-request span assembly and
+critical-path blame (``spans``/``spans_path``/``explain_top`` → the
+why-slow table in the report, the K slowest requests drilled down, and
+the SLO-gate summary JSON), and the pathology watchdog (``watchdog`` →
+livelock / MSHR-saturation / starvation warnings in the report).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -29,10 +34,13 @@ from typing import IO, Iterator, List, Optional
 
 from repro.sim.stats import StatGroup
 
+from .critpath import CritPathAggregator
 from .export import JsonlExporter, PerfettoExporter
 from .processors import MetricsProcessor, summarize_metrics
 from .prof import ProfileProcessor, write_folded
+from .spans import SpanAssembler
 from .timeseries import TimeSeriesProcessor, write_csv
+from .watchdog import WatchdogProcessor
 
 __all__ = ["CaptureSpec", "Capture", "capture_scope", "current_capture"]
 
@@ -52,14 +60,32 @@ class CaptureSpec:
     prof_path: Optional[str] = None
     timeseries_path: Optional[str] = None
     timeseries_window: int = 1000
+    spans: bool = False                   # span assembly, report-only
+    spans_path: Optional[str] = None      # SLO summary JSON (implies spans)
+    explain_top: int = 0                  # drill down K slowest (implies spans)
+    watchdog: bool = False                # pathology warnings in the report
+    exp_id: Optional[str] = None          # set by for_experiment()
+
+    @property
+    def wants_spans(self) -> bool:
+        return bool(self.spans or self.spans_path or self.explain_top)
 
     @property
     def active(self) -> bool:
         return bool(self.events_path or self.perfetto_path or self.metrics
-                    or self.prof_path or self.timeseries_path)
+                    or self.prof_path or self.timeseries_path
+                    or self.wants_spans or self.watchdog)
 
     def for_experiment(self, exp_id: str) -> "CaptureSpec":
-        """Namespace the output paths for one experiment run."""
+        """Namespace the output paths for one experiment run.
+
+        Idempotent: a spec already scoped (``exp_id`` set) is returned
+        unchanged, so accidentally scoping twice cannot produce
+        double-suffixed paths (``t.fig04.fig04.jsonl``).
+        """
+        if self.exp_id is not None:
+            return self
+
         def scoped(path: Optional[str]) -> Optional[str]:
             return _with_exp_id(path, exp_id) if path else None
 
@@ -69,6 +95,8 @@ class CaptureSpec:
             perfetto_path=scoped(self.perfetto_path),
             prof_path=scoped(self.prof_path),
             timeseries_path=scoped(self.timeseries_path),
+            spans_path=scoped(self.spans_path),
+            exp_id=exp_id,
         )
 
 
@@ -83,6 +111,9 @@ class Capture:
         self._metrics: List[MetricsProcessor] = []
         self._profiles: List[ProfileProcessor] = []
         self._timeseries: List[TimeSeriesProcessor] = []
+        self._assemblers: List[SpanAssembler] = []
+        self._critpaths: List[CritPathAggregator] = []
+        self._watchdogs: List[WatchdogProcessor] = []
         self._closed = False
         self.summary_text: Optional[str] = None
         if spec.perfetto_path:
@@ -111,6 +142,14 @@ class Capture:
         if self.spec.timeseries_path:
             self._timeseries.append(bus.attach(
                 TimeSeriesProcessor(self.spec.timeseries_window)))
+        if self.spec.wants_spans:
+            agg = CritPathAggregator(top_k=max(self.spec.explain_top, 1),
+                                     verify=True)
+            self._critpaths.append(agg)
+            self._assemblers.append(bus.attach(
+                SpanAssembler(sink=agg.add, max_kept=0)))
+        if self.spec.watchdog:
+            self._watchdogs.append(bus.attach(WatchdogProcessor()))
 
     # ------------------------------------------------------------------
     # inspection
@@ -135,6 +174,21 @@ class Capture:
             merged.merge(proc)
         return merged
 
+    def merged_critpath(self) -> CritPathAggregator:
+        merged = CritPathAggregator(top_k=max(self.spec.explain_top, 1),
+                                    verify=True)
+        for agg in self._critpaths:
+            merged.merge(agg)
+        return merged
+
+    @property
+    def spans_dropped(self) -> int:
+        return sum(asm.dropped for asm in self._assemblers)
+
+    @property
+    def watchdog_warnings(self) -> List:
+        return [w for dog in self._watchdogs for w in dog.warnings]
+
     # ------------------------------------------------------------------
     # finalization
     # ------------------------------------------------------------------
@@ -158,6 +212,28 @@ class Capture:
         if self.spec.timeseries_path:
             write_csv(self.spec.timeseries_path,
                       [(i, proc) for i, proc in enumerate(self._timeseries)])
+        if self.spec.wants_spans:
+            from .explain import explain_report, slo_summary
+
+            merged = self.merged_critpath()
+            if self.spec.spans_path:
+                suite = self.spec.exp_id or "run"
+                with open(self.spec.spans_path, "w",
+                          encoding="utf-8") as fh:
+                    json.dump(slo_summary(merged, suite), fh, indent=1,
+                              sort_keys=True)
+                    fh.write("\n")
+            pieces.append(explain_report(merged,
+                                         dropped=self.spans_dropped,
+                                         top=self.spec.explain_top))
+        if self._watchdogs:
+            warnings = self.watchdog_warnings
+            lines = ["-- watchdog (repro.obs.watchdog) --",
+                     f"warnings={len(warnings)}"]
+            lines.extend(
+                f"  [{w.kind}] @{w.cycle} {w.component}: {w.detail}"
+                for w in warnings)
+            pieces.append("\n".join(lines))
         if pieces:
             self.summary_text = "\n".join(pieces)
         return self.summary_text

@@ -18,12 +18,19 @@ Design rules:
 * ``Event.name`` is a stable snake_case wire name used by the JSONL
   exporter and by :class:`~repro.obs.processors.TypedEventProcessor`
   auto-dispatch (``on_<name>`` methods).
+* **Causal IDs.** Request-path events carry a ``req_id`` (the MetaIO
+  message uid) and walker/DRAM events carry a ``walk_id`` (a
+  per-controller walk-episode sequence number), so downstream
+  processors can rebuild the full request → miss/merge → walker →
+  DRAM-fill → retire journey without guessing from tags (a tag can be
+  walked twice; an episode id cannot). ``-1`` means "not correlated"
+  (e.g. DRAM traffic that no walker owns).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import ClassVar, Dict, Tuple, Type
+from typing import Any, ClassVar, Dict, Mapping, Tuple, Type
 
 __all__ = [
     "Event",
@@ -47,6 +54,7 @@ __all__ = [
     "ALL_EVENT_TYPES",
     "ACTION_CATEGORIES",
     "event_fields",
+    "event_from_json",
 ]
 
 Tag = Tuple[int, ...]
@@ -94,11 +102,19 @@ class RequestArrive(Event):
 
     tag: Tag = ()
     op: str = "load"          # "load" | "store" | "walk"
+    req_id: int = -1          # correlation id (MetaIO message uid)
 
 
 @dataclass(frozen=True)
 class Hit(Event):
-    """A meta-tag hit served by the pipelined read port."""
+    """A meta-tag hit served by the pipelined read port.
+
+    ``status=0`` marks a *nowalk miss*: a lookup answered negatively by
+    the front-end without admitting a walker (``nowalk``/``take``
+    probes). It closes the request's journey through the same event so
+    span assembly never leaks, but it is not a hit — metrics and the
+    legacy trace bridge treat it separately.
+    """
 
     name: ClassVar[str] = "hit"
 
@@ -106,6 +122,8 @@ class Hit(Event):
     store: bool = False       # store hit (insert-or-merge) vs load hit
     take: bool = False        # read-and-invalidate (GraphPulse pop)
     load_to_use: int = 0      # issue -> data-back, in cycles
+    req_id: int = -1          # the request this hit answers
+    status: int = 1           # 1 = served; 0 = nowalk miss (not found)
 
 
 @dataclass(frozen=True)
@@ -116,6 +134,8 @@ class Miss(Event):
 
     tag: Tag = ()
     op: str = ""              # the triggering MetaIO event name
+    req_id: int = -1          # the request whose miss started the walk
+    walk_id: int = -1         # the admitted walk episode
 
 
 @dataclass(frozen=True)
@@ -125,6 +145,8 @@ class Merge(Event):
     name: ClassVar[str] = "merge"
 
     tag: Tag = ()
+    req_id: int = -1          # the merging request
+    walk_id: int = -1         # the in-flight walk it joined
 
 
 @dataclass(frozen=True)
@@ -135,16 +157,24 @@ class WalkerDispatch(Event):
 
     tag: Tag = ()
     routine: str = ""
+    walk_id: int = -1
 
 
 @dataclass(frozen=True)
 class WalkerWake(Event):
-    """A dormant walker resumed on a pending internal event."""
+    """A dormant walker resumed on a pending internal event.
+
+    ``reason`` names what woke it (``"fill"`` or the internal MetaIO
+    event). It is deliberately *not* called ``event``: a field of that
+    name would collide with the wire-name key in the JSONL record and
+    make the line unparseable on replay.
+    """
 
     name: ClassVar[str] = "walker_wake"
 
     tag: Tag = ()
-    event: str = ""
+    reason: str = ""
+    walk_id: int = -1
 
 
 @dataclass(frozen=True)
@@ -157,11 +187,17 @@ class WalkerYield(Event):
     routine: str = ""
     action_costs: Tuple[int, ...] = ()   # per ACTION_CATEGORIES, this routine
     fills: int = 0                       # DRAM fills outstanding at yield
+    walk_id: int = -1
 
 
 @dataclass(frozen=True)
 class WalkerRetire(Event):
-    """A walker terminated (STATE done / deallocM) and freed its context."""
+    """A walker terminated (STATE done / deallocM) and freed its context.
+
+    ``served`` lists the req_ids answered by this retire — the origin
+    miss plus every merged waiter, minus stores replayed through MetaIO
+    (their journeys continue into a later walk or hit).
+    """
 
     name: ClassVar[str] = "walker_retire"
 
@@ -169,6 +205,8 @@ class WalkerRetire(Event):
     found: bool = False
     lifetime: int = 0         # admission -> retire, in cycles
     action_costs: Tuple[int, ...] = ()   # per ACTION_CATEGORIES, final routine
+    walk_id: int = -1
+    served: Tuple[int, ...] = ()         # req_ids completed at this retire
 
 
 @dataclass(frozen=True)
@@ -183,6 +221,7 @@ class DRAMIssue(Event):
     row_result: str = ""      # "row_hits" | "row_misses" | "row_conflicts"
     complete_at: int = 0      # analytically known at issue time
     nbytes: int = 0           # transfer size (block_bytes)
+    walk_id: int = -1         # owning walk episode (-1: unowned traffic)
 
 
 @dataclass(frozen=True)
@@ -193,6 +232,7 @@ class DRAMComplete(Event):
 
     addr: int = 0
     latency: int = 0
+    walk_id: int = -1
 
 
 @dataclass(frozen=True)
@@ -204,6 +244,7 @@ class Fill(Event):
     tag: Tag = ()
     addr: int = 0
     nbytes: int = 0
+    walk_id: int = -1
 
 
 @dataclass(frozen=True)
@@ -233,6 +274,7 @@ class QueueStall(Event):
 
     tag: Tag = ()
     reason: str = ""          # "no_context" | "set_conflict"
+    req_id: int = -1          # the request that could not be admitted
 
 
 ALL_EVENT_TYPES: Tuple[Type[Event], ...] = (
@@ -256,3 +298,29 @@ def event_fields(cls: Type[Event]) -> Tuple[str, ...]:
         cached = tuple(f.name for f in fields(cls))
         _FIELD_CACHE[cls] = cached
     return cached
+
+
+def event_from_json(record: Mapping[str, Any]) -> Event:
+    """Rebuild a typed event from one JSONL record (inverse of
+    :func:`~repro.obs.export.event_to_dict`).
+
+    ``record["event"]`` selects the class via :data:`EVENT_TYPES`;
+    JSON lists come back as the tuples the frozen dataclasses expect
+    (``tag``, ``action_costs``, ``served``). Keys the class does not
+    declare (e.g. the capture layer's ``run`` stamp) are ignored, and
+    absent keys fall back to the field defaults, so records written by
+    older taxonomies still load.
+
+    Raises ``KeyError`` on an unknown wire name — the caller decides
+    whether to skip or abort.
+    """
+    cls = EVENT_TYPES[record["event"]]
+    kwargs: Dict[str, Any] = {}
+    for name in event_fields(cls):
+        if name not in record:
+            continue
+        value = record[name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)

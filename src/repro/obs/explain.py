@@ -1,0 +1,246 @@
+"""Explain *why a request was slow* (``python -m repro.obs.explain``).
+
+Two modes:
+
+* **Replay** — point it at a JSONL event trace captured earlier::
+
+      python -m repro.harness fig04 --events t.jsonl
+      python -m repro.obs.explain t.fig04.jsonl --top 5
+
+  Records are rebuilt with :func:`~repro.obs.events.event_from_json`;
+  the capture layer's ``run`` stamp keeps multi-system files separable
+  (components are namespaced ``run{n}/`` exactly like the Perfetto
+  exporter).
+
+* **Live** — run an experiment under a span capture and explain it in
+  one step::
+
+      python -m repro.obs.explain --run fig04 --profile ci --top 3
+
+Either way the output is the per-DSA blame table (which bucket of
+{hit_path, sched_wait, exec, dram, queue_stall} owns the request
+cycles) followed by a drill-down of the K slowest requests: arrival,
+admission stalls, each walk episode with its phase timeline and DRAM
+children, and the exact blame split — the numbers sum to the request's
+latency by construction.
+
+``--json`` additionally writes the machine-readable summary the SLO
+gate (``python -m repro.obs.regress --slo``) consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .critpath import BLAME_BUCKETS, CritPathAggregator
+from .events import event_from_json
+from .spans import RequestSpan, SpanAssembler
+
+__all__ = [
+    "replay_events",
+    "format_drilldown",
+    "explain_report",
+    "slo_summary",
+    "main",
+]
+
+
+def replay_events(source, top: int = 5, verify: bool = True
+                  ) -> Tuple[CritPathAggregator, Dict[int, SpanAssembler]]:
+    """Rebuild spans from a JSONL trace (path or line iterable).
+
+    Returns the filled aggregator plus the per-``run`` assemblers (one
+    per system observed by the original capture). Unknown wire names —
+    records from a newer taxonomy — are skipped, not fatal.
+    """
+    agg = CritPathAggregator(top_k=top, verify=verify)
+    assemblers: Dict[int, SpanAssembler] = {}
+    if isinstance(source, str):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh, close = source, False
+    try:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                event = event_from_json(record)
+            except KeyError:
+                continue
+            run = record.get("run", 0)
+            asm = assemblers.get(run)
+            if asm is None:
+                asm = assemblers[run] = SpanAssembler(
+                    sink=agg.add, max_kept=0,
+                    namespace=f"run{run}/" if run else "")
+            asm.handle(event)
+    finally:
+        if close:
+            fh.close()
+    return agg, assemblers
+
+
+def _blame_line(blame: Dict[str, int]) -> str:
+    total = sum(blame.values())
+    parts = []
+    for bucket in BLAME_BUCKETS:
+        cycles = blame.get(bucket, 0)
+        if not cycles:
+            continue
+        share = 100.0 * cycles / total if total else 0.0
+        parts.append(f"{bucket}={cycles} ({share:.1f}%)")
+    return " | ".join(parts) if parts else "(zero latency)"
+
+
+def format_drilldown(span: RequestSpan, blame: Dict[str, int],
+                     rank: Optional[int] = None) -> str:
+    """Multi-line why-slow story for one completed request."""
+    head = f"#{rank} " if rank is not None else ""
+    lines = [
+        (f"{head}req {span.req_id} ({span.op} tag={span.tag} "
+         f"@ {span.component}) — {span.latency} cycles, "
+         f"outcome={span.outcome}"),
+        f"    blame: {_blame_line(blame)}",
+    ]
+    stalls = (f"  ({span.stall_cycles} admission-stall cycles)"
+              if span.stall_cycles else "")
+    lines.append(f"    arrive @{span.arrive}{stalls}")
+    if span.outcome in ("hit", "nowalk"):
+        verb = ("answered by the pipelined read port"
+                if span.outcome == "hit"
+                else "answered not-found without a walk")
+        lines.append(f"    {verb} @{span.close} "
+                     f"(load-to-use {span.load_to_use})")
+    for ep in span.episodes:
+        walk = ep.walk
+        left = ep.left if ep.left >= 0 else span.close
+        lines.append(
+            f"    walk {walk.walk_id} join @{ep.join} as {ep.role}: "
+            f"retired @{left} found={walk.found} "
+            f"routines={walk.routines} fills={walk.fills}")
+        phases = walk.phase_cycles()
+        if phases:
+            lines.append("      phases: " + " ".join(
+                f"{kind}={phases[kind]}"
+                for kind in ("sched_wait", "exec", "dram_wait",
+                             "event_wait") if kind in phases))
+        if walk.dram:
+            reads = [d for d in walk.dram if not d.is_write]
+            writes = len(walk.dram) - len(reads)
+            row_hits = sum(1 for d in reads if d.row_result == "row_hits")
+            first = min(d.issue for d in walk.dram)
+            last = max(d.complete for d in walk.dram)
+            detail = f"      dram: {len(reads)} reads ({row_hits} row hits)"
+            if writes:
+                detail += f", {writes} writes"
+            lines.append(f"{detail} spanning @{first}..@{last}")
+    return "\n".join(lines)
+
+
+def explain_report(agg: CritPathAggregator, dropped: int = 0,
+                   top: Optional[int] = None) -> str:
+    """Full text report: header, blame table, top-K drilldowns.
+
+    ``top`` caps the drilldown count (``0`` = table only, ``None`` =
+    everything the aggregator kept).
+    """
+    from repro.harness.report import why_slow_table
+
+    status = ("ok" if agg.conservation_ok
+              else f"{len(agg.mismatches)} PROBLEMS")
+    lines = [
+        "-- why-slow (repro.obs.critpath) --",
+        f"requests={agg.requests} conservation={status}",
+    ]
+    if dropped:
+        lines.append(f"note: {dropped} span(s) dropped at the retention "
+                     f"cap (aggregates still include them)")
+    for problem in agg.mismatches[:10]:
+        lines.append(f"  !! {problem}")
+    table = why_slow_table(agg.summary_dict())
+    if table:
+        lines.append(table)
+    slowest = agg.slowest()
+    if top is not None:
+        slowest = slowest[:top]
+    if slowest:
+        lines.append(f"slowest {len(slowest)} request(s):")
+        for rank, (span, blame) in enumerate(slowest, start=1):
+            lines.append(format_drilldown(span, blame, rank))
+    return "\n".join(lines)
+
+
+def slo_summary(agg: CritPathAggregator, suite: str) -> dict:
+    """The machine-readable summary ``repro.obs.regress --slo`` reads."""
+    return {"suite": suite, "components": agg.summary_dict()}
+
+
+def _run_live(exp_id: str, profile: str, top: int
+              ) -> Tuple[CritPathAggregator, int, str]:
+    """Run one experiment under a span capture; explain it."""
+    from repro.harness import run_experiment
+    from repro.harness.suite import clear_cache
+    from .capture import CaptureSpec, capture_scope
+
+    clear_cache()   # a warm memoized suite would publish no events
+    spec = CaptureSpec(spans=True, explain_top=max(top, 1))
+    with capture_scope(spec) as cap:
+        report = run_experiment(exp_id, profile)
+    assert cap is not None
+    agg = cap.merged_critpath()
+    return agg, cap.spans_dropped, report.render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.explain",
+        description="Critical-path why-slow analysis for captured "
+                    "(or live) runs.")
+    parser.add_argument("events", nargs="?", default=None,
+                        metavar="PATH.jsonl",
+                        help="JSONL event trace to replay "
+                             "(from --events captures)")
+    parser.add_argument("--run", default=None, metavar="EXP",
+                        help="run this experiment live instead of "
+                             "replaying a trace")
+    parser.add_argument("--profile", default="ci",
+                        choices=("ci", "quick", "full"),
+                        help="profile for --run (default: ci)")
+    parser.add_argument("--top", type=int, default=5, metavar="K",
+                        help="slowest requests to drill into "
+                             "(default: 5)")
+    parser.add_argument("--json", default=None, metavar="PATH.json",
+                        help="also write the SLO-gate summary JSON")
+    parser.add_argument("--suite", default=None,
+                        help="suite label for --json (default: the "
+                             "experiment id or trace stem)")
+    args = parser.parse_args(argv)
+    if args.top < 0:
+        parser.error("--top must be >= 0")
+    if (args.events is None) == (args.run is None):
+        parser.error("give exactly one of PATH.jsonl or --run EXP")
+
+    if args.run is not None:
+        agg, dropped, _report = _run_live(args.run, args.profile, args.top)
+        suite = args.suite or args.run
+    else:
+        agg, _assemblers = replay_events(args.events, top=args.top)
+        suite = args.suite or args.events.rsplit("/", 1)[-1]
+        dropped = 0
+
+    print(explain_report(agg, dropped=dropped, top=args.top))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(slo_summary(agg, suite), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return 0 if agg.conservation_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

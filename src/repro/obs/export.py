@@ -18,6 +18,7 @@ from .events import (
     DRAMComplete,
     DRAMIssue,
     Event,
+    Merge,
     Miss,
     RunEnd,
     RunStart,
@@ -99,7 +100,17 @@ class PerfettoExporter(EventProcessor):
       each routine execution is a nested slice (dispatch→yield/retire);
     * DRAM transactions are async slices (``ph":"b"``/``"e"``) on the
       DRAM component's process, correlated by id;
-    * kernel ``run()`` entry/exit become instant events.
+    * kernel ``run()`` entry/exit become instant events;
+    * request journeys are *flow arrows* (``ph":"s"/"t"/"f"``): each
+      correlated request (``req_id >= 0``) gets a 1-cycle marker slice
+      on the controller's scheduler track when it misses or merges, a
+      flow start there, a step on the walk span it joined, and the
+      finish at the retire that served it — so N merged requests
+      visibly point at the one walker that answered them.
+
+    Walk bookkeeping keys on ``walk_id`` when the stream carries one (a
+    tag can be walked twice; an episode id cannot) and falls back to
+    the tag for legacy/synthetic streams.
 
     ``new_run()`` namespaces a subsequent system's components so one
     trace file can hold a whole experiment.
@@ -115,9 +126,12 @@ class PerfettoExporter(EventProcessor):
         # per (pid, tag): lane + span bookkeeping
         self._lanes_free: Dict[int, List[int]] = {}
         self._lanes_next: Dict[int, int] = {}
-        self._walks: Dict[Tuple[int, Tuple[int, ...]], dict] = {}
+        self._walks: Dict[Tuple[int, object], dict] = {}
         self._dram_seq = 0
         self._dram_open: Dict[Tuple[int, int], List[int]] = {}
+        # request-journey flow arrows: req_id -> flow id
+        self._flow_seq = 0
+        self._flows: Dict[int, int] = {}
         self._closed = False
 
     # -- capture plumbing ---------------------------------------------
@@ -150,28 +164,47 @@ class PerfettoExporter(EventProcessor):
         })
         return lane
 
+    @staticmethod
+    def _walk_key(pid: int, event: Event) -> Tuple[int, object]:
+        walk_id = getattr(event, "walk_id", -1)
+        if walk_id >= 0:
+            return (pid, walk_id)
+        return (pid, ("tag",) + tuple(event.tag))
+
     # -- event ingestion ----------------------------------------------
     def handle(self, event: Event) -> None:
         cls = event.__class__
         if cls is Miss:
             pid = self._pid(event.component)
             lane = self._claim_lane(pid)
-            self._walks[(pid, event.tag)] = {
-                "lane": lane, "start": event.cycle, "routine": None,
-            }
+            walk = {"lane": lane, "start": event.cycle, "routine": None,
+                    "tag": list(event.tag)}
+            self._walks[self._walk_key(pid, event)] = walk
+            if event.req_id >= 0:
+                self._flow_point(pid, walk, event.cycle, event.req_id,
+                                 "miss")
+        elif cls is Merge:
+            pid = self._pid(event.component)
+            walk = self._walks.get(self._walk_key(pid, event))
+            if walk is not None and event.req_id >= 0:
+                self._flow_point(pid, walk, event.cycle, event.req_id,
+                                 "merge")
         elif cls is WalkerDispatch or cls is WalkerWake:
             pid = self._pid(event.component)
-            walk = self._walks.get((pid, event.tag))
+            walk = self._walks.get(self._walk_key(pid, event))
             if walk is not None and cls is WalkerDispatch:
                 walk["routine"] = (event.routine, event.cycle)
         elif cls is WalkerYield:
             pid = self._pid(event.component)
-            self._end_routine(pid, event.tag, event.cycle)
+            self._end_routine(self._walk_key(pid, event), pid, event.cycle)
         elif cls is WalkerRetire:
             pid = self._pid(event.component)
-            self._end_routine(pid, event.tag, event.cycle)
-            walk = self._walks.pop((pid, event.tag), None)
+            key = self._walk_key(pid, event)
+            self._end_routine(key, pid, event.cycle)
+            walk = self._walks.pop(key, None)
             if walk is None:
+                for rid in event.served:
+                    self._flows.pop(rid, None)
                 return
             start = event.cycle - event.lifetime
             self.trace_events.append({
@@ -180,6 +213,14 @@ class PerfettoExporter(EventProcessor):
                 "ts": start, "dur": max(event.lifetime, 1),
                 "args": {"tag": list(event.tag), "found": event.found},
             })
+            for rid in event.served:
+                fid = self._flows.pop(rid, None)
+                if fid is not None:
+                    self.trace_events.append({
+                        "ph": "f", "bp": "e", "cat": "request",
+                        "name": f"req {rid}", "id": fid, "pid": pid,
+                        "tid": walk["lane"], "ts": event.cycle,
+                    })
             self._lanes_free.setdefault(pid, []).append(walk["lane"])
         elif cls is DRAMIssue:
             pid = self._pid(event.component)
@@ -212,9 +253,9 @@ class PerfettoExporter(EventProcessor):
                 "ts": event.cycle,
             })
 
-    def _end_routine(self, pid: int, tag: Tuple[int, ...],
+    def _end_routine(self, key: Tuple[int, object], pid: int,
                      cycle: int) -> None:
-        walk = self._walks.get((pid, tag))
+        walk = self._walks.get(key)
         if walk is None or walk["routine"] is None:
             return
         name, started = walk["routine"]
@@ -223,7 +264,31 @@ class PerfettoExporter(EventProcessor):
             "ph": "X", "name": name, "cat": "routine",
             "pid": pid, "tid": walk["lane"],
             "ts": started, "dur": max(cycle - started, 1),
-            "args": {"tag": list(tag)},
+            "args": {"tag": walk["tag"]},
+        })
+
+    def _flow_point(self, pid: int, walk: dict, cycle: int, req_id: int,
+                    kind: str) -> None:
+        """Marker slice + flow start/step for one request joining a walk."""
+        fid = self._flows.get(req_id)
+        fresh = fid is None
+        if fresh:
+            self._flow_seq += 1
+            fid = self._flows[req_id] = self._flow_seq
+        name = f"req {req_id}"
+        self.trace_events.append({
+            "ph": "X", "name": f"{name} {kind}", "cat": "request",
+            "pid": pid, "tid": 0, "ts": cycle, "dur": 1,
+            "args": {"req_id": req_id},
+        })
+        # a replayed request keeps its flow id: "s" once, then steps
+        self.trace_events.append({
+            "ph": "s" if fresh else "t", "cat": "request", "name": name,
+            "id": fid, "pid": pid, "tid": 0, "ts": cycle,
+        })
+        self.trace_events.append({
+            "ph": "t", "cat": "request", "name": name, "id": fid,
+            "pid": pid, "tid": walk["lane"], "ts": cycle,
         })
 
     # -- output --------------------------------------------------------

@@ -120,6 +120,10 @@ class MetricsProcessor(TypedEventProcessor):
         self.stats.inc("requests")
 
     def on_hit(self, ev) -> None:
+        if not ev.status:
+            # nowalk miss: answered negatively without a walk
+            self.stats.inc("nowalk_misses")
+            return
         self.stats.inc("store_hits" if ev.store else "hits")
         self._load_to_use.add(ev.load_to_use)
 
@@ -235,6 +239,8 @@ class LegacyTraceProcessor(EventProcessor):
         emit = self.tracer.emit
         cls = event.__class__
         if cls is Hit:
+            if not event.status:
+                return  # nowalk miss: the seed tracer never emitted it
             if event.store:
                 emit(event.cycle, event.component, "store_hit",
                      tag=event.tag)

@@ -22,8 +22,19 @@ throughput is noise: ``*_per_sec`` metrics are only sanity-checked
 while machine-portable ratios stay gated with doubled tolerance.
 Per-metric overrides: ``--tolerance name=frac`` (repeatable).
 
-Exit codes: 0 ok, 1 regression, 2 usage/IO error (missing baseline,
-malformed record, mismatched benchmark name).
+**SLO mode** (``--slo SLO.json``) gates *request-latency* budgets
+instead of benchmark records: the positional files are span summaries
+(written by ``--spans`` captures or ``python -m repro.obs.explain
+--json``), and the policy file holds per-suite p50/p99 cycle budgets::
+
+    python -m repro.obs.regress --slo SLO.json spans.fig14.json
+
+Latencies are deterministic *simulated* cycles, so SLO budgets are
+machine-portable: ``--smoke`` does not loosen them (it is accepted so
+one CI invocation can mix both modes' flags).
+
+Exit codes: 0 ok, 1 regression/SLO breach, 2 usage/IO error (missing
+baseline, malformed record or policy, mismatched benchmark name).
 """
 
 from __future__ import annotations
@@ -35,7 +46,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["MetricCheck", "compare_records", "load_record", "main"]
+__all__ = ["MetricCheck", "compare_records", "load_record",
+           "check_slo", "main"]
 
 DEFAULT_TOLERANCE = 0.25
 SMOKE_SCALE = 2.0          # smoke mode doubles ratio tolerances
@@ -124,6 +136,57 @@ def _num(value) -> float:
     return value if isinstance(value, (int, float)) else float("nan")
 
 
+#: metrics a suite SLO entry may budget (all lower-is-better cycles,
+#: except min_requests which guards against a silently empty suite)
+SLO_METRICS = ("latency_p50", "latency_p99")
+
+
+def check_slo(summary: Dict, policy: Dict) -> List[MetricCheck]:
+    """Gate one span summary against the SLO policy.
+
+    ``summary`` is ``{"suite": ..., "components": {dsa: {latency_p50,
+    latency_p99, requests, ...}}}``; ``policy`` is::
+
+        {"suites": {"fig14": {"latency_p50": 80, "latency_p99": 900,
+                              "min_requests": 10,
+                              "components": {"dsa-name": {...overrides}}}}}
+
+    Suite budgets apply to every component; a ``components`` entry
+    overrides per DSA. A suite absent from the policy raises (exit 2 at
+    the CLI) — an ungated suite is a configuration error, not a pass.
+    """
+    suites = policy.get("suites")
+    if not isinstance(suites, dict):
+        raise _die("regress: SLO policy has no 'suites' mapping")
+    suite = summary.get("suite", "")
+    budgets = suites.get(suite, suites.get("default"))
+    if budgets is None:
+        raise _die(f"regress: no SLO budgets for suite {suite!r}")
+    overrides = budgets.get("components", {})
+    checks: List[MetricCheck] = []
+    for name in sorted(summary.get("components", {})):
+        entry = summary["components"][name]
+        scoped = dict(budgets)
+        scoped.pop("components", None)
+        scoped.update(overrides.get(name, {}))
+        min_requests = scoped.pop("min_requests", None)
+        if min_requests is not None:
+            count = entry.get("requests", 0)
+            checks.append(MetricCheck(
+                f"{name}.requests", min_requests, count, min_requests,
+                count >= min_requests, "slo: higher-better"))
+        for metric in SLO_METRICS:
+            budget = scoped.get(metric)
+            value = entry.get(metric)
+            if budget is None or value is None:
+                continue
+            checks.append(MetricCheck(
+                f"{name}.{metric}", _num(budget), _num(value),
+                _num(budget), _num(value) <= _num(budget),
+                "slo: lower-better"))
+    return checks
+
+
 def _parse_tolerances(pairs: Sequence[str]) -> Dict[str, float]:
     out: Dict[str, float] = {}
     for pair in pairs:
@@ -139,21 +202,33 @@ def _parse_tolerances(pairs: Sequence[str]) -> Dict[str, float]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.regress",
-        description="Gate fresh BENCH_*.json records against baselines.")
-    parser.add_argument("fresh", nargs="+", metavar="BENCH.json",
-                        help="freshly produced benchmark record(s)")
-    parser.add_argument("--baseline", required=True, metavar="DIR",
+        description="Gate fresh BENCH_*.json records against baselines, "
+                    "or span summaries against an SLO policy (--slo).")
+    parser.add_argument("fresh", nargs="+", metavar="RECORD.json",
+                        help="fresh benchmark record(s), or span "
+                             "summaries with --slo")
+    parser.add_argument("--baseline", metavar="DIR",
                         help="directory holding committed baselines "
-                             "(matched by file name)")
+                             "(matched by file name; required unless "
+                             "--slo)")
+    parser.add_argument("--slo", metavar="SLO.json",
+                        help="gate span summaries against this SLO "
+                             "policy instead of benchmark baselines")
     parser.add_argument("--smoke", action="store_true",
                         help="shared-CI mode: gate ratios loosely, "
-                             "sanity-check throughput only")
+                             "sanity-check throughput only (SLO cycle "
+                             "budgets stay exact)")
     parser.add_argument("--tolerance", action="append", default=[],
                         metavar="NAME=FRAC",
                         help="per-metric tolerance override (repeatable)")
     parser.add_argument("--report", metavar="PATH",
                         help="also write the checks as JSON")
     args = parser.parse_args(argv)
+
+    if args.slo:
+        return _main_slo(args)
+    if not args.baseline:
+        parser.error("--baseline is required (unless gating with --slo)")
 
     tolerances = _parse_tolerances(args.tolerance)
     baseline_dir = Path(args.baseline)
@@ -196,6 +271,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"regress: {failed} metric(s) regressed")
         return 1
     print(f"regress: {len(all_checks)} metric(s) within thresholds")
+    return 0
+
+
+def _main_slo(args) -> int:
+    """``--slo`` branch: gate span summaries against cycle budgets."""
+    slo_path = Path(args.slo)
+    try:
+        policy = json.loads(slo_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise _die(f"regress: cannot read SLO policy {slo_path}: {exc}")
+
+    all_checks: List[Dict] = []
+    failed = 0
+    for summary_path in (Path(p) for p in args.fresh):
+        try:
+            summary = json.loads(summary_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise _die(f"regress: cannot read {summary_path}: {exc}")
+        if not isinstance(summary, dict) or "components" not in summary:
+            raise _die(f"regress: {summary_path} is not a span summary "
+                       f"(missing 'components' key)")
+        suite = summary.get("suite", "?")
+        checks = check_slo(summary, policy)
+        print(f"== slo {suite} ({summary_path.name}) ==")
+        for check in checks:
+            verdict = "ok  " if check.ok else "FAIL"
+            print(f"  [{verdict}] {check.metric}: "
+                  f"budget={check.baseline:g} actual={check.fresh:g} "
+                  f"({check.note})")
+            if not check.ok:
+                failed += 1
+            all_checks.append({"suite": suite, **asdict(check)})
+        if not checks:
+            print("  (no budgeted metrics)")
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps({"slo": str(slo_path), "failed": failed,
+                        "checks": all_checks}, indent=2) + "\n")
+
+    if failed:
+        print(f"regress: {failed} SLO budget(s) breached")
+        return 1
+    print(f"regress: {len(all_checks)} SLO check(s) within budget")
     return 0
 
 

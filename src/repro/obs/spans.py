@@ -1,0 +1,327 @@
+"""Per-request span trees (``repro.obs.spans``).
+
+Rebuilds each request's *causal journey* from the typed event stream,
+using the correlation ids the components stamp (``req_id`` on
+request-path events, ``walk_id`` on walker/DRAM events):
+
+* ``RequestArrive`` opens a :class:`RequestSpan`.
+* ``Hit`` closes it immediately (a served hit, or a ``status=0``
+  nowalk miss answered by the front-end).
+* ``Miss`` / ``Merge`` attach the request to a walk episode — the
+  origin request admits the walker, merged requests join it mid-flight.
+  N merged requests share *one* :class:`WalkSpan` subtree.
+* ``WalkerDispatch`` / ``WalkerYield`` / ``WalkerWake`` build the
+  walk's phase timeline (the same state machine as
+  :class:`~repro.obs.prof.ProfileProcessor`, but keeping the intervals
+  instead of folding them): phases tile ``[admitted, retired)`` with no
+  gaps or overlaps.
+* ``DRAMIssue`` / ``Fill`` hang DRAM child spans off the owning walk.
+* ``WalkerRetire`` seals the walk and closes every request in its
+  ``served`` list.  Requests riding the walk but *not* served (stores
+  replayed through MetaIO) stay open — their journey continues into a
+  later walk or hit under the same ``req_id``.
+
+Memory is bounded: completed spans stream to an optional ``sink``
+callback (the critical-path aggregator), and at most ``max_kept`` are
+retained on the assembler itself; anything past the cap increments
+``dropped`` instead of growing the list.  Open-state dicts are bounded
+by the number of in-flight requests/walkers by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .processors import TypedEventProcessor
+
+__all__ = [
+    "PHASE_KINDS",
+    "DRAMSpan",
+    "WalkPhase",
+    "WalkSpan",
+    "EpisodeRef",
+    "RequestSpan",
+    "SpanAssembler",
+]
+
+Tag = Tuple[int, ...]
+
+#: Walk phase kinds, as recorded on :class:`WalkPhase`.
+PHASE_KINDS: Tuple[str, ...] = (
+    "sched_wait", "exec", "dram_wait", "event_wait",
+)
+
+# internal phase-machine states (mirrors repro.obs.prof)
+_ADMIT = "admit"
+_EXEC = "exec"
+_WAIT = "wait"
+_READY = "ready"
+
+
+@dataclass
+class DRAMSpan:
+    """One DRAM transaction owned by a walk."""
+
+    issue: int
+    complete: int
+    addr: int
+    is_write: bool = False
+    row_result: str = ""
+
+
+@dataclass
+class WalkPhase:
+    """One contiguous walk interval ``[start, end)`` of a single kind."""
+
+    start: int
+    end: int
+    kind: str            # one of PHASE_KINDS
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class WalkSpan:
+    """One walker episode: admission (Miss) to retire."""
+
+    walk_id: int
+    component: str
+    tag: Tag
+    admitted: int
+    retired: int = -1                 # -1 while in flight
+    found: bool = False
+    phases: List[WalkPhase] = field(default_factory=list)
+    dram: List[DRAMSpan] = field(default_factory=list)
+    fills: int = 0
+    routines: int = 0
+    served: Tuple[int, ...] = ()
+    riders: List[int] = field(default_factory=list)
+    # phase-machine state (only meaningful while retired < 0)
+    _phase: str = _ADMIT
+    _mark: int = 0
+    _wait_dram: bool = False
+
+    @property
+    def lifetime(self) -> int:
+        return (self.retired if self.retired >= 0 else self._mark) \
+            - self.admitted
+
+    def phase_cycles(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ph in self.phases:
+            out[ph.kind] = out.get(ph.kind, 0) + ph.cycles
+        return out
+
+    # -- phase machine -------------------------------------------------
+    def _close_phase(self, cycle: int, kind: str) -> None:
+        if cycle > self._mark:
+            self.phases.append(WalkPhase(self._mark, cycle, kind))
+        self._mark = cycle
+
+    def _transition(self, cycle: int, to_state: str,
+                    dram_wait: bool = False) -> None:
+        state = self._phase
+        if state == _EXEC:
+            self._close_phase(cycle, "exec")
+        elif state == _WAIT:
+            self._close_phase(cycle,
+                              "dram_wait" if self._wait_dram else "event_wait")
+        else:   # _ADMIT or _READY: waiting on the front-end scheduler
+            self._close_phase(cycle, "sched_wait")
+        self._phase = to_state
+        if to_state == _WAIT:
+            self._wait_dram = dram_wait
+
+
+@dataclass
+class EpisodeRef:
+    """A request's stint riding one walk."""
+
+    walk: WalkSpan
+    join: int                 # Miss/Merge cycle
+    role: str                 # "origin" | "merge"
+    left: int = -1            # retire cycle of the walk (-1: still riding)
+
+
+@dataclass
+class RequestSpan:
+    """One request's full journey, arrival to completion."""
+
+    req_id: int
+    component: str
+    tag: Tag
+    op: str
+    arrive: int
+    close: int = -1           # cycle of the closing event (-1: open)
+    done: int = -1            # data-back cycle (= close + hit tail for hits)
+    outcome: str = ""         # "hit" | "nowalk" | "walk"
+    load_to_use: int = 0      # hits only: issue -> data-back
+    stall_cycles: int = 0     # QueueStall events seen for this request
+    episodes: List[EpisodeRef] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        """Arrival to data-back, in cycles (-1 while open)."""
+        return self.done - self.arrive if self.done >= 0 else -1
+
+
+class SpanAssembler(TypedEventProcessor):
+    """Builds request span trees online from a live (or replayed) bus.
+
+    ``sink`` (if given) receives every completed :class:`RequestSpan`
+    exactly once, at close time.  Independently, up to ``max_kept``
+    completed spans are retained on :attr:`completed`; the rest only
+    bump :attr:`dropped` (the spans still reach the sink — retention
+    and streaming are separate concerns).  ``max_kept=0`` disables
+    retention entirely (stream-only: nothing kept, nothing counted
+    dropped).
+
+    ``namespace`` prefixes component names (the trace-replay CLI uses
+    ``run{n}/`` to keep multi-system JSONL files separable, matching
+    the Perfetto exporter's convention).
+    """
+
+    def __init__(self,
+                 sink: Optional[Callable[[RequestSpan], None]] = None,
+                 max_kept: int = 1000,
+                 namespace: str = "") -> None:
+        super().__init__()
+        if max_kept < 0:
+            raise ValueError("max_kept must be >= 0")
+        self.sink = sink
+        self.max_kept = max_kept
+        self.namespace = namespace
+        self._requests: Dict[int, RequestSpan] = {}
+        self._walks: Dict[int, WalkSpan] = {}
+        self.completed: List[RequestSpan] = []
+        self.requests_completed = 0
+        self.walks_closed = 0
+        self.dropped = 0
+
+    # -- bookkeeping ---------------------------------------------------
+    def _name(self, component: str) -> str:
+        return self.namespace + component
+
+    def _complete(self, span: RequestSpan) -> None:
+        self.requests_completed += 1
+        if self.sink is not None:
+            self.sink(span)
+        if self.max_kept:
+            # retention is separate from streaming: a span past the cap
+            # still reached the sink, it just isn't kept here
+            if len(self.completed) < self.max_kept:
+                self.completed.append(span)
+            else:
+                self.dropped += 1
+
+    @property
+    def requests_open(self) -> int:
+        return len(self._requests)
+
+    @property
+    def walks_open(self) -> int:
+        return len(self._walks)
+
+    # -- request-path handlers -----------------------------------------
+    def on_request_arrive(self, ev) -> None:
+        if ev.req_id < 0:
+            return
+        self._requests[ev.req_id] = RequestSpan(
+            req_id=ev.req_id, component=self._name(ev.component),
+            tag=ev.tag, op=ev.op, arrive=ev.cycle)
+
+    def on_queue_stall(self, ev) -> None:
+        span = self._requests.get(ev.req_id)
+        if span is not None:
+            span.stall_cycles += 1
+
+    def on_hit(self, ev) -> None:
+        span = self._requests.pop(ev.req_id, None)
+        if span is None:
+            return
+        span.outcome = "hit" if ev.status else "nowalk"
+        span.load_to_use = ev.load_to_use
+        span.close = ev.cycle
+        span.done = span.arrive + ev.load_to_use
+        self._complete(span)
+
+    # -- walk-path handlers --------------------------------------------
+    def on_miss(self, ev) -> None:
+        if ev.walk_id < 0:
+            return
+        walk = WalkSpan(walk_id=ev.walk_id,
+                        component=self._name(ev.component),
+                        tag=ev.tag, admitted=ev.cycle, _mark=ev.cycle)
+        self._walks[ev.walk_id] = walk
+        self._join(ev.req_id, walk, ev.cycle, "origin")
+
+    def on_merge(self, ev) -> None:
+        walk = self._walks.get(ev.walk_id)
+        if walk is not None:
+            self._join(ev.req_id, walk, ev.cycle, "merge")
+
+    def _join(self, req_id: int, walk: WalkSpan, cycle: int,
+              role: str) -> None:
+        walk.riders.append(req_id)
+        span = self._requests.get(req_id)
+        if span is not None:
+            span.episodes.append(EpisodeRef(walk=walk, join=cycle,
+                                            role=role))
+
+    def on_walker_dispatch(self, ev) -> None:
+        walk = self._walks.get(ev.walk_id)
+        if walk is None:
+            return
+        walk.routines += 1
+        walk._transition(ev.cycle, _EXEC)
+
+    def on_walker_yield(self, ev) -> None:
+        walk = self._walks.get(ev.walk_id)
+        if walk is not None:
+            walk._transition(ev.cycle, _WAIT, dram_wait=bool(ev.fills))
+
+    def on_walker_wake(self, ev) -> None:
+        walk = self._walks.get(ev.walk_id)
+        if walk is not None:
+            walk._transition(ev.cycle, _READY)
+
+    def on_walker_retire(self, ev) -> None:
+        walk = self._walks.pop(ev.walk_id, None)
+        if walk is None:
+            return
+        walk._transition(ev.cycle, _ADMIT)   # close the final phase
+        walk.retired = ev.cycle
+        walk.found = ev.found
+        walk.served = ev.served
+        self.walks_closed += 1
+        served = set(ev.served)
+        for rid in walk.riders:
+            span = self._requests.get(rid)
+            if span is None:
+                continue
+            for ep in reversed(span.episodes):
+                if ep.walk is walk:
+                    ep.left = ev.cycle
+                    break
+            if rid in served:
+                del self._requests[rid]
+                span.outcome = "walk"
+                span.close = span.done = ev.cycle
+                self._complete(span)
+
+    # -- DRAM handlers -------------------------------------------------
+    def on_dram_issue(self, ev) -> None:
+        walk = self._walks.get(ev.walk_id)
+        if walk is not None:
+            walk.dram.append(DRAMSpan(issue=ev.cycle,
+                                      complete=ev.complete_at,
+                                      addr=ev.addr, is_write=ev.is_write,
+                                      row_result=ev.row_result))
+
+    def on_fill(self, ev) -> None:
+        walk = self._walks.get(ev.walk_id)
+        if walk is not None:
+            walk.fills += 1

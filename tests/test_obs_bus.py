@@ -44,7 +44,7 @@ def test_wire_names_unique_and_complete():
 
 def test_event_fields_cached_and_ordered():
     assert event_fields(Hit) == ("cycle", "component", "tag", "store",
-                                 "take", "load_to_use")
+                                 "take", "load_to_use", "req_id", "status")
     assert event_fields(Hit) is event_fields(Hit)
 
 

@@ -9,6 +9,7 @@ from repro.obs import (
     EventBus,
     Hit,
     JsonlExporter,
+    Merge,
     Miss,
     PerfettoExporter,
     RunEnd,
@@ -24,7 +25,7 @@ def test_event_to_dict_flattens_and_names():
                           take=True, load_to_use=3))
     assert d == {"event": "hit", "cycle": 5, "component": "ctl",
                  "tag": [1, 2], "store": False, "take": True,
-                 "load_to_use": 3}
+                 "load_to_use": 3, "req_id": -1, "status": 1}
 
 
 def test_event_to_dict_extra_keys():
@@ -245,3 +246,86 @@ def test_perfetto_real_run_structurally_valid(tmp_path, mini_system):
                  and e["pid"] == span["pid"] and e["tid"] == span["tid"]
                  and span["ts"] <= e["ts"] <= span["ts"] + span["dur"]]
         assert inner, f"walk span without routine slices: {span}"
+
+
+# ----------------------------------------------------------------------
+# request-journey flow arrows
+# ----------------------------------------------------------------------
+def test_perfetto_flow_arrows_link_requests_to_walks():
+    exporter = PerfettoExporter(io.StringIO())
+    for ev in (
+        Miss(cycle=2, component="ctl", tag=(1,), op="load", req_id=1,
+             walk_id=7),
+        Merge(cycle=4, component="ctl", tag=(1,), req_id=2, walk_id=7),
+        WalkerRetire(cycle=30, component="ctl", tag=(1,), found=True,
+                     lifetime=28, walk_id=7, served=(1, 2)),
+    ):
+        exporter.handle(ev)
+    te = exporter.trace_events
+
+    starts = [e for e in te if e["ph"] == "s"]
+    steps = [e for e in te if e["ph"] == "t"]
+    finishes = [e for e in te if e["ph"] == "f"]
+    assert {e["name"] for e in starts} == {"req 1", "req 2"}
+    assert len(finishes) == 2
+    assert all(e["bp"] == "e" for e in finishes)
+    # ids and cat/name match across each request's s -> t -> f chain
+    for name in ("req 1", "req 2"):
+        chain = [e for e in starts + steps + finishes if e["name"] == name]
+        assert len({e["id"] for e in chain}) == 1
+        assert all(e["cat"] == "request" for e in chain)
+    # finish lands on the walk's lane at the retire cycle
+    walk_span = next(e for e in te if e["ph"] == "X"
+                     and e["cat"] == "walker")
+    for e in finishes:
+        assert e["tid"] == walk_span["tid"] and e["ts"] == 30
+    # 1-cycle marker slices tell miss and merge apart on the scheduler
+    markers = [e["name"] for e in te
+               if e["ph"] == "X" and e["cat"] == "request"]
+    assert markers == ["req 1 miss", "req 2 merge"]
+
+
+def test_perfetto_flow_skips_uncorrelated_requests():
+    exporter = PerfettoExporter(io.StringIO())
+    exporter.handle(Miss(cycle=2, component="ctl", tag=(1,), op="load",
+                         walk_id=7))               # req_id=-1
+    exporter.handle(WalkerRetire(cycle=9, component="ctl", tag=(1,),
+                                 lifetime=7, walk_id=7))
+    assert not any(e["ph"] in ("s", "t", "f")
+                   for e in exporter.trace_events)
+
+
+def test_perfetto_walks_keyed_by_walk_id_not_tag():
+    """Two concurrent walks of the same tag stay distinct episodes."""
+    exporter = PerfettoExporter(io.StringIO())
+    for ev in (
+        Miss(cycle=0, component="ctl", tag=(5,), op="load", req_id=1,
+             walk_id=1),
+        Miss(cycle=1, component="ctl", tag=(5,), op="load", req_id=2,
+             walk_id=2),
+        WalkerRetire(cycle=10, component="ctl", tag=(5,), lifetime=10,
+                     walk_id=1, served=(1,)),
+        WalkerRetire(cycle=20, component="ctl", tag=(5,), lifetime=19,
+                     walk_id=2, served=(2,)),
+    ):
+        exporter.handle(ev)
+    walk_spans = [e for e in exporter.trace_events
+                  if e["ph"] == "X" and e["cat"] == "walker"]
+    assert len(walk_spans) == 2
+    assert {e["tid"] for e in walk_spans} == {1, 2}  # separate lanes
+
+
+def test_perfetto_flow_arrows_on_real_run(mini_system, tmp_path):
+    path = tmp_path / "trace.json"
+    exporter = mini_system.observe(PerfettoExporter(str(path)))
+    addr = mini_system.image.alloc_u64_array(list(range(8)))
+    for i in range(8):
+        mini_system.load((i,), walk_fields={"addr": addr + 8 * i})
+    mini_system.run()
+    exporter.close()
+
+    events = json.loads(path.read_text())["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == 8 and len(finishes) == 8
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}

@@ -194,3 +194,100 @@ def test_no_flags_means_no_capture(capsys, monkeypatch):
     monkeypatch.setattr(capture_mod.Capture, "attach_system", boom)
     code, out = _run_cli(capsys, "tab01", "--profile", "ci")
     assert code == 0
+
+
+# ----------------------------------------------------------------------
+# span / watchdog capture
+# ----------------------------------------------------------------------
+def test_capture_spec_span_watchdog_activity():
+    assert CaptureSpec(spans=True).active
+    assert CaptureSpec(spans_path="s.json").wants_spans
+    assert CaptureSpec(explain_top=3).wants_spans
+    assert CaptureSpec(watchdog=True).active
+    assert not CaptureSpec().wants_spans
+
+
+def test_for_experiment_is_idempotent():
+    """Regression: scoping twice must not double-suffix output paths."""
+    spec = CaptureSpec(events_path="t.jsonl", spans_path="s.json")
+    once = spec.for_experiment("fig04")
+    assert once.events_path == "t.fig04.jsonl"
+    assert once.spans_path == "s.fig04.json"
+    assert once.for_experiment("fig04") is once
+    assert once.for_experiment("fig07") is once    # already scoped
+
+
+def test_spans_flag_writes_summary_and_why_slow_table(capsys, tmp_path):
+    spans = tmp_path / "s.json"
+    code, out = _run_cli(capsys, "fig04", "--profile", "ci",
+                         "--spans", str(spans), "--explain-top", "2")
+    assert code == 0
+    assert "-- why-slow (repro.obs.critpath) --" in out
+    assert "conservation=ok" in out
+    assert "slowest 2 request(s):" in out
+    assert "blame:" in out
+
+    payload = json.loads((tmp_path / "s.fig04.json").read_text())
+    assert payload["suite"] == "fig04"
+    stats = next(iter(payload["components"].values()))
+    assert stats["requests"] > 0
+    assert stats["latency_p99"] >= stats["latency_p50"]
+    assert sum(stats["blame"].values()) > 0
+
+
+def test_explain_top_alone_implies_spans(capsys):
+    code, out = _run_cli(capsys, "fig04", "--profile", "ci",
+                         "--explain-top", "1")
+    assert code == 0
+    assert "-- why-slow (repro.obs.critpath) --" in out
+    assert "slowest 1 request(s):" in out
+
+
+def test_watchdog_flag_appends_section(capsys):
+    code, out = _run_cli(capsys, "fig07", "--profile", "ci", "--watchdog")
+    assert code == 0
+    assert "-- watchdog (repro.obs.watchdog) --" in out
+    assert "warnings=" in out
+
+
+def test_spans_compose_with_parallel(capsys, tmp_path):
+    spans = tmp_path / "s.json"
+    code, out = _run_cli(capsys, "fig04", "fig07", "--profile", "ci",
+                         "--parallel", "2", "--spans", str(spans))
+    assert code == 0
+    assert out.count("-- why-slow (repro.obs.critpath) --") == 2
+    assert out.count("conservation=ok") == 2
+    for exp in ("fig04", "fig07"):
+        assert (tmp_path / f"s.{exp}.json").exists()
+
+
+def test_why_slow_table_renders_blame_percentages():
+    from repro.harness.report import why_slow_table
+
+    table = why_slow_table({
+        "dsa-a": {"requests": 10, "latency_p50": 3, "latency_p99": 80,
+                  "blame": {"hit_path": 30, "sched_wait": 0, "exec": 20,
+                            "dram": 50, "queue_stall": 0},
+                  "outcomes": {"hit": 9, "walk": 1}},
+    })
+    lines = table.splitlines()
+    assert lines[0].split("|")[0].strip() == "dsa"
+    assert "hit_path" in lines[0] and "queue_stall" in lines[0]
+    row = lines[2]
+    assert "dsa-a" in row and "50.0%" in row and "30.0%" in row
+    assert why_slow_table({}) == ""
+
+
+def test_run_experiment_restarts_request_numbering():
+    # Serial multi-experiment runs and --parallel workers must print
+    # byte-identical reports, and --explain-top drilldowns surface raw
+    # request ids — so uid numbering must depend only on the experiment
+    # itself, not on what ran earlier in the process.
+    from repro.core.messages import Message
+    from repro.harness import run_experiment
+
+    run_experiment("tab01", "ci")
+    first = Message("probe").uid
+    run_experiment("tab01", "ci")
+    second = Message("probe").uid
+    assert first == second

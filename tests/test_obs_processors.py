@@ -203,7 +203,7 @@ def test_legacy_bridge_ignores_non_legacy_events():
     bus = EventBus()
     bus.attach(LegacyTraceProcessor(tracer))
     bus.publish(WalkerWake(cycle=3, component="ctl", tag=(7,),
-                           event="Fill"))
+                           reason="Fill"))
     assert len(tracer) == 0
     assert tracer.total_emitted == 0
 

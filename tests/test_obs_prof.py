@@ -67,7 +67,7 @@ def test_conservation_on_synthetic_walk():
                             routine="Default@MetaLoad",
                             action_costs=(2, 1, 1, 0, 0), fills=1))
     bus.publish(WalkerWake(cycle=50, component="ctl", tag=(1,),
-                           event="Fill"))
+                           reason="Fill"))
     bus.publish(WalkerDispatch(cycle=50, component="ctl", tag=(1,),
                                routine="Wait@Fill"))
     bus.publish(WalkerRetire(cycle=56, component="ctl", tag=(1,),
@@ -103,7 +103,7 @@ def test_costless_exec_books_as_busy():
     bus.publish(WalkerYield(cycle=4, component="t", tag=(1,),
                             routine="thread-walk", fills=1))
     bus.publish(WalkerWake(cycle=30, component="t", tag=(1,),
-                           event="fill"))
+                           reason="fill"))
     bus.publish(WalkerRetire(cycle=33, component="t", tag=(1,),
                              found=True, lifetime=33))
     assert prof.conservation_ok
@@ -120,7 +120,7 @@ def test_event_wait_vs_dram_wait_classification():
     bus.publish(WalkerYield(cycle=0, component="ctl", tag=(1,),
                             routine="A", fills=0))
     bus.publish(WalkerWake(cycle=8, component="ctl", tag=(1,),
-                           event="MetaStore"))
+                           reason="MetaStore"))
     bus.publish(WalkerDispatch(cycle=8, component="ctl", tag=(1,),
                                routine="B"))
     bus.publish(WalkerRetire(cycle=9, component="ctl", tag=(1,),
@@ -133,7 +133,7 @@ def test_orphan_events_are_ignored():
     bus, prof = _profiled_bus()
     bus.publish(WalkerYield(cycle=5, component="ctl", tag=(9,),
                             routine="R", fills=1))
-    bus.publish(WalkerWake(cycle=9, component="ctl", tag=(9,), event="F"))
+    bus.publish(WalkerWake(cycle=9, component="ctl", tag=(9,), reason="F"))
     bus.publish(WalkerRetire(cycle=9, component="ctl", tag=(9,),
                              found=False, lifetime=4))
     assert prof.contexts_retired == 0

@@ -167,3 +167,134 @@ def test_module_entrypoint_runs(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     assert "within thresholds" in proc.stdout
+
+# ----------------------------------------------------------------------
+# SLO mode (--slo)
+# ----------------------------------------------------------------------
+from repro.obs.regress import check_slo  # noqa: E402
+
+
+def _span_summary(suite="fig14", p50=10, p99=200, requests=500):
+    return {"suite": suite, "components": {
+        "dsa-a": {"requests": requests, "latency_p50": p50,
+                  "latency_p99": p99, "latency_mean": 42.0,
+                  "latency_max": p99 * 2,
+                  "blame": {"dram": 1}, "outcomes": {"hit": requests}}}}
+
+
+def test_check_slo_within_budget():
+    policy = {"suites": {"fig14": {"latency_p50": 20, "latency_p99": 300,
+                                   "min_requests": 100}}}
+    checks = check_slo(_span_summary(), policy)
+    assert [c.metric for c in checks] == [
+        "dsa-a.requests", "dsa-a.latency_p50", "dsa-a.latency_p99"]
+    assert all(c.ok for c in checks)
+
+
+def test_check_slo_breach_and_component_override():
+    policy = {"suites": {"fig14": {
+        "latency_p99": 300,
+        "components": {"dsa-a": {"latency_p99": 100}}}}}
+    checks = check_slo(_span_summary(p99=200), policy)
+    assert len(checks) == 1
+    assert checks[0].metric == "dsa-a.latency_p99"
+    assert checks[0].baseline == 100 and not checks[0].ok
+
+
+def test_check_slo_min_requests_guards_empty_suite():
+    policy = {"suites": {"fig14": {"min_requests": 100}}}
+    bad = check_slo(_span_summary(requests=3), policy)
+    assert len(bad) == 1 and not bad[0].ok
+    assert bad[0].note == "slo: higher-better"
+
+
+def test_check_slo_default_suite_fallback():
+    policy = {"suites": {"default": {"latency_p50": 20}}}
+    checks = check_slo(_span_summary(suite="anything"), policy)
+    assert len(checks) == 1 and checks[0].ok
+
+
+def test_check_slo_unknown_suite_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        check_slo(_span_summary(suite="ungated"), {"suites": {"fig14": {}}})
+    assert exc.value.code == 2
+
+
+def test_slo_cli_pass_fail_and_report(tmp_path, capsys):
+    slo = tmp_path / "SLO.json"
+    slo.write_text(json.dumps(
+        {"suites": {"fig14": {"latency_p50": 20, "latency_p99": 300}}}))
+    summary = tmp_path / "spans.fig14.json"
+    summary.write_text(json.dumps(_span_summary()))
+    report = tmp_path / "report.json"
+
+    code = main(["--slo", str(slo), "--report", str(report), str(summary)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "within budget" in out and "FAIL" not in out
+    payload = json.loads(report.read_text())
+    assert payload["failed"] == 0
+    assert all(c["suite"] == "fig14" for c in payload["checks"])
+
+    summary.write_text(json.dumps(_span_summary(p99=999)))
+    code = main(["--slo", str(slo), str(summary)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out and "breached" in out
+
+
+def test_slo_smoke_does_not_loosen_budgets(tmp_path, capsys):
+    """Latencies are simulated cycles: --smoke must not change verdicts."""
+    slo = tmp_path / "SLO.json"
+    slo.write_text(json.dumps({"suites": {"fig14": {"latency_p99": 100}}}))
+    summary = tmp_path / "spans.fig14.json"
+    summary.write_text(json.dumps(_span_summary(p99=101)))
+    assert main(["--slo", str(slo), str(summary)]) == 1
+    assert main(["--slo", str(slo), "--smoke", str(summary)]) == 1
+    capsys.readouterr()
+
+
+def test_slo_malformed_inputs_are_usage_errors(tmp_path, capsys):
+    slo = tmp_path / "SLO.json"
+    slo.write_text("not json")
+    summary = tmp_path / "spans.json"
+    summary.write_text(json.dumps(_span_summary()))
+    with pytest.raises(SystemExit) as exc:
+        main(["--slo", str(slo), str(summary)])
+    assert exc.value.code == 2
+
+    slo.write_text(json.dumps({"suites": {"fig14": {}}}))
+    summary.write_text(json.dumps({"no": "components"}))
+    with pytest.raises(SystemExit) as exc:
+        main(["--slo", str(slo), str(summary)])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_baseline_required_unless_slo(tmp_path, capsys):
+    summary = tmp_path / "spans.json"
+    summary.write_text(json.dumps(_span_summary()))
+    with pytest.raises(SystemExit) as exc:
+        main([str(summary)])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_committed_slo_gates_fresh_ci_summary(tmp_path, capsys):
+    """Acceptance: a fresh ci-profile span summary passes SLO.json."""
+    from repro.harness import run_experiment
+    from repro.harness.suite import clear_cache
+    from repro.obs.capture import CaptureSpec, capture_scope
+
+    slo_path = REPO_ROOT / "SLO.json"
+    clear_cache()
+    spans = tmp_path / "spans.json"
+    try:
+        spec = CaptureSpec(spans_path=str(spans)).for_experiment("fig04")
+        with capture_scope(spec):
+            run_experiment("fig04", "ci")
+    finally:
+        clear_cache()
+    code = main(["--slo", str(slo_path), str(tmp_path / "spans.fig04.json")])
+    assert code == 0
+    assert "FAIL" not in capsys.readouterr().out

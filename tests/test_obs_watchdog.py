@@ -78,7 +78,7 @@ def test_starvation_on_wake_and_retire():
     bus.publish(WalkerYield(cycle=0, component="ctl", tag=(1,),
                             routine="R", fills=1))
     bus.publish(WalkerWake(cycle=500, component="ctl", tag=(1,),
-                           event="Fill"))
+                           reason="Fill"))
     assert dog.count("starvation") == 1
     # a walker that dies dormant is caught at retire
     bus.publish(WalkerYield(cycle=600, component="ctl", tag=(2,),
@@ -93,7 +93,7 @@ def test_prompt_wake_is_not_starvation():
     bus.publish(WalkerYield(cycle=0, component="ctl", tag=(1,),
                             routine="R", fills=1))
     bus.publish(WalkerWake(cycle=40, component="ctl", tag=(1,),
-                           event="Fill"))
+                           reason="Fill"))
     # dispatch clears any dormant bookkeeping too
     bus.publish(WalkerYield(cycle=41, component="ctl", tag=(1,),
                             routine="R", fills=1))
