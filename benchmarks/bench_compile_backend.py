@@ -1,0 +1,182 @@
+"""Back-end throughput: fused routine compilation vs the interpreter.
+
+Two measurements, one record:
+
+* **ALU-burst microbenchmark** — a synthetic walker whose entry routine
+  is one ``allocM`` plus a 29-action fusible ALU chain sized to fit a
+  wide ``#Exe=32`` budget, so the routine compiler fuses ~94 % of the
+  dynamic action stream into a single dispatch per request. The same
+  request stream runs under ``compile_mode="off"`` (pure interpreter)
+  and ``"on"``; throughput is back-end actions/sec (the interpreter's
+  ``actions_total`` counter over wall time — the compiled path bumps the
+  same counters, so both modes count identical work).
+* **fig14 ci wall ratio** — the end-to-end golden-trace suite (all five
+  DSAs at the ``ci`` profile) wall time compiled over interpreted, as a
+  lower-is-better ``*_x`` ratio. Table-3 geometries run #Exe=2..4, so
+  only short blocks fuse and the win here is modest; the metric guards
+  against the compiled path ever *costing* end-to-end time.
+
+Run standalone to emit ``BENCH_compile.json``::
+
+    PYTHONPATH=src python benchmarks/bench_compile_backend.py --out BENCH_compile.json
+
+Under pytest the module asserts the compiled back-end clears the
+issue's >=1.5x actions/sec bar (set ``REPRO_BENCH_SMOKE=1`` for a
+correctness-only smoke run, as CI does on shared runners where timing
+is noisy; smoke also shrinks the fig14 leg to a single-workload suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import (
+    IMM,
+    MSG,
+    R,
+    Transition,
+    WalkerSpec,
+    XCacheConfig,
+    XCacheSystem,
+    compile_walker,
+    op,
+)
+from repro.core.config import COMPILE_MODE_ENV
+from repro.core.messages import EV_META_LOAD
+from repro.harness import clear_cache, run_fig14_suite
+from repro.harness.suite import SUITE_CACHE_ENV
+
+NUM_EXE = 32          # wide back-end so the whole ALU chain fuses
+ALU_ROUNDS = 7        # 1 mov + 4*7 ALU ops = 29 actions <= NUM_EXE
+DEFAULT_REQUESTS = 20_000
+SPEEDUP_FLOOR = 1.5   # acceptance bar from the issue
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+_SMOKE_SUITE = ("TPC-H-19",)
+
+
+def make_program():
+    """Entry-only walker: allocM, a fusible ALU burst, finish."""
+    body = [
+        op.allocM(),
+        op.mov(R(0), MSG("addr")),
+    ]
+    for i in range(ALU_ROUNDS):
+        body.append(op.addi(R(1), R(0), i + 1))
+        body.append(op.xor(R(2), R(1), R(0)))
+        body.append(op.and_(R(3), R(2), IMM(0xFFFF)))
+        body.append(op.add(R(0), R(0), R(3)))
+    body.append(op.finish())
+    spec = WalkerSpec(
+        name="alu-burst",
+        transitions=(
+            Transition("Default", EV_META_LOAD, tuple(body)),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def make_config(compile_mode: str) -> XCacheConfig:
+    return XCacheConfig(ways=8, sets=256, num_active=8, num_exe=NUM_EXE,
+                        xregs_per_walker=8, compile_mode=compile_mode,
+                        name=f"alu-burst-{compile_mode}")
+
+
+def drive(compile_mode: str, requests: int):
+    """Run ``requests`` distinct-tag loads; return (actions/sec, actions)."""
+    system = XCacheSystem(make_config(compile_mode), make_program())
+    start = time.perf_counter()
+    for i in range(requests):
+        system.load((i,), walk_fields={"addr": i * 64})
+    system.run()
+    elapsed = time.perf_counter() - start
+    actions = system.controller.stats.counter("actions_total").value
+    assert len(system.responses) == requests, (len(system.responses), requests)
+    assert actions >= requests * (2 + 4 * ALU_ROUNDS), (actions, requests)
+    return actions / elapsed, actions
+
+
+def fig14_wall(compile_mode: str, workloads) -> float:
+    """Cold wall-clock seconds for the fig14 ci suite in one mode."""
+    saved_mode = os.environ.get(COMPILE_MODE_ENV)
+    saved_cache = os.environ.pop(SUITE_CACHE_ENV, None)
+    os.environ[COMPILE_MODE_ENV] = compile_mode
+    clear_cache()
+    try:
+        start = time.perf_counter()
+        run_fig14_suite("ci", workloads=workloads)
+        return time.perf_counter() - start
+    finally:
+        clear_cache()
+        if saved_mode is None:
+            os.environ.pop(COMPILE_MODE_ENV, None)
+        else:
+            os.environ[COMPILE_MODE_ENV] = saved_mode
+        if saved_cache is not None:
+            os.environ[SUITE_CACHE_ENV] = saved_cache
+
+
+def compare(requests: int = DEFAULT_REQUESTS,
+            suite_workloads=None) -> dict:
+    """Benchmark both modes on the same work; return the result record."""
+    # warm-up pass per mode so import/alloc effects don't skew timing
+    drive("off", min(requests, 2_000))
+    drive("on", min(requests, 2_000))
+    interp_aps, interp_actions = drive("off", requests)
+    compiled_aps, compiled_actions = drive("on", requests)
+    assert interp_actions == compiled_actions, \
+        (interp_actions, compiled_actions)
+    wall_off = fig14_wall("off", suite_workloads)
+    wall_on = fig14_wall("on", suite_workloads)
+    return {
+        "benchmark": "compile_backend",
+        "requests": requests,
+        "alu_rounds": ALU_ROUNDS,
+        "num_exe": NUM_EXE,
+        "actions": interp_actions,
+        "backend_interp_actions_per_sec": round(interp_aps),
+        "backend_compiled_actions_per_sec": round(compiled_aps),
+        "speedup": round(compiled_aps / interp_aps, 2),
+        "fig14_ci_wall_x": round(wall_on / wall_off, 2),
+    }
+
+
+def test_compile_backend_speedup():
+    """Compiled back-end sustains >=1.5x the interpreter's actions/sec."""
+    smoke = bool(os.environ.get(SMOKE_ENV))
+    requests = 2_000 if smoke else DEFAULT_REQUESTS
+    result = compare(requests,
+                     suite_workloads=_SMOKE_SUITE if smoke else None)
+    print()
+    print(json.dumps(result, indent=2))
+    if smoke:
+        assert result["backend_compiled_actions_per_sec"] > 0
+    else:
+        assert result["speedup"] >= SPEEDUP_FLOOR, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument("--smoke-suite", action="store_true",
+                        help="shrink the fig14 leg to one workload")
+    parser.add_argument("--out", default=None,
+                        help="write the result record as JSON here")
+    args = parser.parse_args(argv)
+    result = compare(args.requests,
+                     suite_workloads=_SMOKE_SUITE if args.smoke_suite
+                     else None)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

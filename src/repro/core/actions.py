@@ -53,6 +53,28 @@ class ExecResult:
 # ExecResult is frozen, so every action can hand back this one instance.
 _OK = ExecResult()
 
+# The same sharing trick for the remaining outcomes: termination,
+# small multi-slot costs (multi-sector copies / multi-block fills used
+# to allocate a fresh ExecResult per action), and branch targets
+# (bounded by routine length). Everything the executor returns in
+# steady state is pooled; only a pathological >32-slot copy allocates.
+_TERMINATED = ExecResult(terminated=True)
+_COST_RESULTS = tuple(ExecResult(cost=c) for c in range(33))
+_BRANCH_RESULTS: dict = {}
+
+
+def _cost_result(cost: int) -> ExecResult:
+    if cost < len(_COST_RESULTS):
+        return _COST_RESULTS[cost]
+    return ExecResult(cost=cost)
+
+
+def _branch_result(target: int) -> ExecResult:
+    result = _BRANCH_RESULTS.get(target)
+    if result is None:
+        result = _BRANCH_RESULTS[target] = ExecResult(branch=target)
+    return result
+
 
 def _shl(a: int, b: int) -> int:
     return (a << (b & 63)) & _MASK64
@@ -216,7 +238,7 @@ class ActionExecutor:
             write = bool(action.attr("write", False))
             blocks = self.c.issue_fills(walker, addr, nbytes, write,
                                         ranged=ranged)
-            return ExecResult(cost=max(1, blocks))
+            return _cost_result(max(1, blocks))
         if action.queue == "self":
             event = str(action.attr("event"))
             delay = int(action.attr("delay", 1))
@@ -303,7 +325,7 @@ class ActionExecutor:
                 )
             walker.entry = None
         walker.found = False
-        return ExecResult(terminated=True)
+        return _TERMINATED
 
     def _op_update(self, walker, action, msg) -> ExecResult:
         if walker.entry is None:
@@ -326,7 +348,8 @@ class ActionExecutor:
         done = bool(action.attr("done", False))
         if done:
             walker.found = True
-        return ExecResult(terminated=done)
+            return _TERMINATED
+        return _OK
 
     # ------------------------------------------------------------------
     # control flow
@@ -337,7 +360,7 @@ class ActionExecutor:
         if taken:
             if self._track:
                 self._n_branches_taken.value += 1
-            return ExecResult(branch=action.target)
+            return _branch_result(action.target)
         return _OK
 
     def _op_beq(self, walker, action, msg):
@@ -430,4 +453,4 @@ class ActionExecutor:
             pos += sector_bytes
             sectors += 1
         wlen = max(1, self.c.config.wlen)
-        return ExecResult(cost=max(1, (sectors + wlen - 1) // wlen))
+        return _cost_result(max(1, (sectors + wlen - 1) // wlen))

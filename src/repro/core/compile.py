@@ -1,0 +1,624 @@
+"""The X-Routine compiler: fused superblock execution.
+
+Routines never change after they are installed in the microcode RAM, so
+the per-action work the :class:`~repro.core.actions.ActionExecutor`
+repeats on every step — opcode dispatch, operand decode, ``ExecResult``
+allocation, stat-counter attribute hops — can be paid once per routine
+instead of once per action. This module partitions each routine into
+basic blocks and emits one *fused closure* per block: straight-line
+Python that inlines the X-register / meta-tag / data-RAM mutations of
+its actions, accumulates the occupancy integral in locals, and returns
+a single aggregate outcome.
+
+Block partition rules (leaders end the previous block and may start a
+new one):
+
+* action 0 (routine entry);
+* every branch target (branches always land on a block boundary — the
+  partitioner adds the target to the leader set);
+* the action after any *boundary* action.
+
+An action is a **boundary** (interpreter fallback) when its outcome is
+data-dependent or it touches machinery the compiler does not model:
+branches, ``enq`` (DRAM fills cost #blocks; self/resp events call into
+the controller), ``allocM``/``deallocM`` (way claim / termination),
+``allocD``/``deallocD`` (sector allocation may reclaim), variable-cost
+``write`` copies, and ``state done=True`` (termination). Everything
+else — the ALU, ``peek``/``read-data``/``write-data``, ``update``,
+``state done=False``, ``allocR``/``deq`` — is **fusible**: cost 1, no
+branch, no termination, no queue interaction.
+
+The interpreter remains the complete reference semantics: a fused block
+only runs when the *whole* block fits in the cycle's remaining ``#Exe``
+budget (so front-end stages between budget chunks observe the same
+intermediate state in both modes), when execution enters at the block's
+first action (branch resumes land on leaders; budget-limited partials
+re-enter mid-block), and when the block's registers fit the configured
+context. Every other case — and ``compile_mode=off`` — takes the
+interpreted path, action by action.
+
+``compile_mode=verify`` runs every eligible block twice: first the
+fused closure against *shadow* state (copies of the X-registers and the
+meta-tag entry, a copy-on-write data-RAM overlay), then the interpreter
+against the real structures (authoritative: it does all stat/charge
+accounting). Any divergence — registers, ``regs_touched``, walker
+state, entry fields, written sectors, occupancy units — raises
+:class:`CompileVerifyError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .actions import ActionError, _ALU_STAT
+from .isa import (
+    FUSIBLE_OPCODES,
+    OPCODE_CATEGORY,
+    OPCODE_SOURCE_SLOTS,
+    OPCODE_WRITES_DST,
+    Action,
+    Opcode,
+    Operand,
+)
+from .microcode import Routine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.stats import StatGroup
+    from .controller import Controller, _RoutineExec
+
+__all__ = [
+    "CompiledBlock",
+    "CompiledRoutine",
+    "CompileVerifyError",
+    "BoundBlock",
+    "compile_routine",
+    "bind_routine",
+    "verify_block",
+    "is_fusible",
+    "register_reads",
+    "COMPILE_MODES",
+]
+
+_MASK64 = (1 << 64) - 1
+
+# Valid values of the ``compile_mode`` config knob.
+COMPILE_MODES = ("off", "on", "verify")
+
+# Fusing a single action buys nothing over the interpreter's cached
+# dispatch (the closure call + bulk counter bump costs about the same),
+# so blocks shorter than this stay interpreted.
+MIN_FUSE_LEN = 2
+
+
+class CompileVerifyError(ActionError):
+    """Lockstep verification found fused/interpreted divergence."""
+
+
+# ----------------------------------------------------------------------
+# fusibility classification
+# ----------------------------------------------------------------------
+
+def is_fusible(action: Action) -> bool:
+    """True when ``action`` can live inside a fused block.
+
+    Deliberately conservative: anything the code generator cannot prove
+    it models exactly (unexpected operand shapes, non-register
+    destinations, odd attributes) is a boundary — the interpreter is
+    always a correct answer, just a slower one.
+    """
+    op = action.op
+    if op not in FUSIBLE_OPCODES:
+        return False
+    if op is Opcode.STATE:
+        # done=True terminates the walker: block boundary.
+        return not bool(action.attr("done", False))
+    if op is Opcode.UPDATE:
+        if action.a is None or action.attr("what") not in ("sector_start",
+                                                           "sector_end"):
+            return False
+        return True
+    # source operands the executor would resolve must be present
+    for slot in OPCODE_SOURCE_SLOTS.get(op, ()):
+        if getattr(action, slot) is None:
+            return False
+    if op in OPCODE_WRITES_DST:
+        if action.dst is None or action.dst.kind != "r":
+            return False
+    if op in (Opcode.PEEK, Opcode.READ_DATA, Opcode.READ, Opcode.WRITE_DATA):
+        try:
+            int(action.attr("width", 8))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+    return True
+
+
+def register_reads(action: Action) -> set:
+    """Register indices the *executor* resolves for ``action``.
+
+    The compiler's read model, cross-checked against the linter's in
+    ``lint.check_compile`` — the two are derived independently, so a
+    disagreement flags a stale fusibility table.
+    """
+    regs = set()
+    for slot in OPCODE_SOURCE_SLOTS.get(action.op, ()):
+        operand = getattr(action, slot)
+        if operand is not None and operand.kind == "r":
+            regs.add(int(operand.value))
+    return regs
+
+
+# ----------------------------------------------------------------------
+# compiled artifacts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledBlock:
+    """One fused basic block of a routine (controller-independent)."""
+
+    start: int                 # first action index (a leader)
+    end: int                   # one past the last fused action
+    n: int                     # actions in the block == #Exe slots == cost
+    fused: Callable            # (walker, msg, dataram) -> occupancy units
+    source: str                # generated Python (debugging / disasm)
+    counter_counts: Tuple[Tuple[str, int], ...]   # stat name -> bump
+    cat_costs: Tuple[Tuple[str, int], ...]        # category value -> cost
+    max_reg: int               # highest register index touched (-1: none)
+
+
+@dataclass(frozen=True)
+class CompiledRoutine:
+    """All fused blocks of one routine, indexed by entry pc."""
+
+    name: str
+    blocks: Tuple[CompiledBlock, ...]
+    n_actions: int
+
+    @property
+    def fused_actions(self) -> int:
+        return sum(b.n for b in self.blocks)
+
+    def block_starting_at(self, pc: int) -> Optional[CompiledBlock]:
+        for block in self.blocks:
+            if block.start == pc:
+                return block
+        return None
+
+
+class BoundBlock:
+    """A :class:`CompiledBlock` bound to one controller's stat group.
+
+    ``bumps`` holds (Counter, amount) pairs so the hot path adds plain
+    integers to cached objects; ``cat_costs`` holds (index, amount)
+    pairs into the per-``ACTION_CATEGORIES`` cost vector the profiler
+    consumes.
+    """
+
+    __slots__ = ("start", "end", "n", "fused", "bumps", "cat_costs", "block")
+
+    def __init__(self, block: CompiledBlock, stats: "StatGroup",
+                 cat_index: Dict[Opcode, int]) -> None:
+        self.block = block
+        self.start = block.start
+        self.end = block.end
+        self.n = block.n
+        self.fused = block.fused
+        self.bumps = tuple(
+            (stats.counter(name), amount)
+            for name, amount in block.counter_counts
+        )
+        index_of = {}
+        for op, idx in cat_index.items():
+            index_of[OPCODE_CATEGORY[op].value] = idx
+        self.cat_costs = tuple(
+            (index_of[cat], amount) for cat, amount in block.cat_costs
+        )
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+
+def _operand_expr(operand: Operand) -> str:
+    if operand.kind == "imm":
+        return repr(int(operand.value))
+    if operand.kind == "r":
+        return f"_regs[{int(operand.value)}]"
+    return f"msg.get({str(operand.value)!r})"
+
+
+class _BlockEmitter:
+    """Emits the body of one fused closure, one action at a time."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.max_reg = -1
+        self._temp = 0
+
+    def _tmp(self) -> str:
+        self._temp += 1
+        return f"_t{self._temp}"
+
+    def _src(self, operand: Operand) -> str:
+        if operand.kind == "r":
+            self.max_reg = max(self.max_reg, int(operand.value))
+        return _operand_expr(operand)
+
+    def _store(self, dst: Operand, expr: str) -> None:
+        # Mirrors XContext.write: mask to 64 bits, then advance the
+        # regs_touched high-water mark (kept in the local _rt).
+        index = int(dst.value)
+        self.max_reg = max(self.max_reg, index)
+        self.lines.append(f"_regs[{index}] = ({expr}) & {_MASK64}")
+        self.lines.append(f"if {index + 1} > _rt: _rt = {index + 1}")
+
+    def emit(self, pc: int, action: Action) -> None:
+        self.lines.append(f"# {pc}: {action!r}")
+        getattr(self, f"_emit_{action.op.name.lower()}")(action)
+        # every fused action costs one #Exe slot; the occupancy integral
+        # charges the *current* high-water mark per slot, exactly like
+        # XRegisterFile.charge_active after each interpreted action
+        self.lines.append("_occ += _rt")
+
+    # -- ALU -----------------------------------------------------------
+    def _binary(self, action: Action, template: str) -> None:
+        a = self._src(action.a)
+        b = self._src(action.b)
+        self._store(action.dst, template.format(a=f"({a})", b=f"({b})"))
+
+    def _emit_add(self, action):
+        self._binary(action, "{a} + {b}")
+
+    _emit_addi = _emit_add
+
+    def _emit_and(self, action):
+        self._binary(action, "{a} & {b}")
+
+    def _emit_or(self, action):
+        self._binary(action, "{a} | {b}")
+
+    def _emit_xor(self, action):
+        self._binary(action, "{a} ^ {b}")
+
+    def _emit_shl(self, action):
+        self._binary(action, "{a} << ({b} & 63)")
+
+    def _emit_shr(self, action):
+        self._binary(action, "{a} >> ({b} & 63)")
+
+    _emit_srl = _emit_shr
+
+    def _emit_sra(self, action):
+        a = self._src(action.a)
+        b = self._src(action.b)
+        ta, tb = self._tmp(), self._tmp()
+        self.lines.append(f"{ta} = {a}")
+        self.lines.append(f"{tb} = ({b}) & 63")
+        self._store(action.dst,
+                    f"(({ta} - {1 << 64}) >> {tb}) if {ta} & {1 << 63} "
+                    f"else ({ta} >> {tb})")
+
+    def _emit_inc(self, action):
+        a = self._src(action.a)
+        self._store(action.dst, f"({a}) + 1")
+
+    def _emit_dec(self, action):
+        a = self._src(action.a)
+        self._store(action.dst, f"({a}) - 1")
+
+    def _emit_not(self, action):
+        a = self._src(action.a)
+        self._store(action.dst, f"~({a})")
+
+    def _emit_allocr(self, action):
+        pass  # registers are claimed at admission; energy-only action
+
+    def _emit_deq(self, action):
+        pass  # the front-end consumed the triggering message
+
+    # -- message / RAM movement ----------------------------------------
+    def _emit_peek(self, action):
+        offset = self._src(action.a)
+        width = int(action.attr("width", 8))
+        t = self._tmp()
+        self.lines.append(f"{t} = {offset}")
+        self.lines.append(f"if {t} + {width} > len(msg.data):")
+        self.lines.append(
+            f"    raise ActionError(f\"peek {width}B at offset {{{t}}} "
+            f"beyond {{len(msg.data)}}B payload of {{msg.event!r}}\")")
+        self._store(action.dst,
+                    f"int.from_bytes(msg.data[{t}:{t} + {width}], 'little')")
+
+    def _emit_read_data(self, action):
+        sector = self._src(action.a)
+        width = int(action.attr("width", 8))
+        t = self._tmp()
+        self.lines.append(f"{t} = {sector}")
+        self._store(action.dst,
+                    f"int.from_bytes(dataram.read_sectors({t}, {t} + 1)"
+                    f"[:{width}], 'little')")
+
+    _emit_read = _emit_read_data
+
+    def _emit_write_data(self, action):
+        sector = self._src(action.a)
+        value = self._src(action.b)
+        width = int(action.attr("width", 8))
+        ts, tv = self._tmp(), self._tmp()
+        self.lines.append(f"{ts} = {sector}")
+        self.lines.append(f"{tv} = {value}")
+        self.lines.append(
+            f"dataram.write_sector({ts}, ({tv}).to_bytes(8, 'little')"
+            f"[:{width}])")
+
+    # -- meta-tags ------------------------------------------------------
+    def _emit_update(self, action):
+        what = str(action.attr("what"))
+        t = self._tmp()
+        self.lines.append(f"{t} = walker.entry")
+        self.lines.append(f"if {t} is None:")
+        self.lines.append("    raise ActionError('update before allocM')")
+        value = self._src(action.a)
+        self.lines.append(f"{t}.{what} = {value}")
+
+    def _emit_state(self, action):
+        next_state = str(action.attr("state"))
+        t = self._tmp()
+        self.lines.append(f"walker.state = {next_state!r}")
+        self.lines.append(f"{t} = walker.entry")
+        self.lines.append(f"if {t} is not None:")
+        self.lines.append(f"    {t}.state = {next_state!r}")
+
+
+def _count_stats(actions: Tuple[Action, ...], start: int,
+                 end: int) -> Tuple[Tuple[Tuple[str, int], ...],
+                                    Tuple[Tuple[str, int], ...]]:
+    """Static stat bumps and per-category costs of a block.
+
+    Replicates exactly what ``ActionExecutor.execute`` would count for
+    the same action sequence (fused blocks contain no branches, so the
+    branch counters never appear).
+    """
+    counts: Dict[str, int] = {}
+    cats: Dict[str, int] = {}
+    n = end - start
+    counts["actions_total"] = n
+    counts["ucode_reads"] = n
+    for pc in range(start, end):
+        action = actions[pc]
+        cat = OPCODE_CATEGORY[action.op].value
+        counts[f"act_{cat}"] = counts.get(f"act_{cat}", 0) + 1
+        cats[cat] = cats.get(cat, 0) + 1
+        alu = _ALU_STAT.get(action.op)
+        if alu is not None:
+            counts[alu] = counts.get(alu, 0) + 1
+        reads = sum(
+            1 for slot in OPCODE_SOURCE_SLOTS.get(action.op, ())
+            if getattr(action, slot) is not None
+            and getattr(action, slot).kind == "r"
+        )
+        if reads:
+            counts["xreg_reads"] = counts.get("xreg_reads", 0) + reads
+        if action.op in OPCODE_WRITES_DST:
+            counts["xreg_writes"] = counts.get("xreg_writes", 0) + 1
+    return (tuple(sorted(counts.items())), tuple(sorted(cats.items())))
+
+
+def _codegen(routine: Routine, start: int, end: int) -> CompiledBlock:
+    emitter = _BlockEmitter()
+    for pc in range(start, end):
+        emitter.emit(pc, routine.actions[pc])
+    body = "\n".join("    " + line for line in emitter.lines)
+    source = (
+        "def _fused(walker, msg, dataram):\n"
+        "    _ctx = walker.ctx\n"
+        "    _regs = _ctx.regs\n"
+        "    _rt = _ctx.regs_touched\n"
+        "    _occ = 0\n"
+        f"{body}\n"
+        "    _ctx.regs_touched = _rt\n"
+        "    return _occ\n"
+    )
+    namespace = {"ActionError": ActionError}
+    code = compile(source, f"<xroutine {routine.name}[{start}:{end}]>", "exec")
+    exec(code, namespace)
+    counter_counts, cat_costs = _count_stats(routine.actions, start, end)
+    return CompiledBlock(
+        start=start, end=end, n=end - start, fused=namespace["_fused"],
+        source=source, counter_counts=counter_counts, cat_costs=cat_costs,
+        max_reg=emitter.max_reg,
+    )
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+
+def compile_routine(routine: Routine) -> CompiledRoutine:
+    """Partition ``routine`` into basic blocks and fuse each one."""
+    actions = routine.actions
+    n = len(actions)
+    leaders = {0}
+    for pc, action in enumerate(actions):
+        if action.target is not None:
+            leaders.add(action.target)
+        if not is_fusible(action):
+            leaders.add(pc + 1)
+    starts = sorted(pc for pc in leaders if pc < n)
+    blocks: List[CompiledBlock] = []
+    for i, start in enumerate(starts):
+        limit = starts[i + 1] if i + 1 < len(starts) else n
+        end = start
+        while end < limit and is_fusible(actions[end]):
+            end += 1
+        if end - start >= MIN_FUSE_LEN:
+            blocks.append(_codegen(routine, start, end))
+    return CompiledRoutine(name=routine.name, blocks=tuple(blocks),
+                           n_actions=n)
+
+
+def bind_routine(compiled: CompiledRoutine, stats: "StatGroup",
+                 cat_index: Dict[Opcode, int], xregs_limit: int,
+                 num_exe: int) -> Tuple[Optional[BoundBlock], ...]:
+    """Bind a compiled routine to one controller; returns ``block_at``.
+
+    ``block_at[pc]`` is the :class:`BoundBlock` *starting* at ``pc`` or
+    None. Blocks that can never fuse under this configuration are
+    dropped here rather than re-checked every cycle: blocks wider than
+    ``num_exe`` (the whole block must fit one cycle's budget) and
+    blocks touching registers beyond the context size (the interpreter
+    owns the out-of-range IndexError).
+    """
+    block_at: List[Optional[BoundBlock]] = [None] * compiled.n_actions
+    for block in compiled.blocks:
+        if block.n > num_exe:
+            continue
+        if block.max_reg >= xregs_limit:
+            continue
+        block_at[block.start] = BoundBlock(block, stats, cat_index)
+    return tuple(block_at)
+
+
+# ----------------------------------------------------------------------
+# verify mode (lockstep differential execution)
+# ----------------------------------------------------------------------
+
+class _ShadowCtx:
+    __slots__ = ("regs", "regs_touched")
+
+    def __init__(self, regs: List[int], regs_touched: int) -> None:
+        self.regs = regs
+        self.regs_touched = regs_touched
+
+
+class _ShadowEntry:
+    __slots__ = ("sector_start", "sector_end", "state")
+
+    def __init__(self, entry) -> None:
+        self.sector_start = entry.sector_start
+        self.sector_end = entry.sector_end
+        self.state = entry.state
+
+
+class _ShadowWalker:
+    """The subset of WalkerRun a fused closure touches."""
+
+    __slots__ = ("ctx", "entry", "state")
+
+    def __init__(self, ctx: _ShadowCtx, entry: Optional[_ShadowEntry],
+                 state: str) -> None:
+        self.ctx = ctx
+        self.entry = entry
+        self.state = state
+
+
+class _ShadowDataRAM:
+    """Copy-on-write overlay: reads fall through to the real RAM's
+    pre-block contents, writes stay in the overlay. No stats are
+    bumped — the interpreted (authoritative) pass does that."""
+
+    def __init__(self, real) -> None:
+        self._real = real
+        self.writes: Dict[int, bytearray] = {}
+
+    def _sector(self, sector: int) -> bytes:
+        overlaid = self.writes.get(sector)
+        if overlaid is not None:
+            return bytes(overlaid)
+        return self._real.peek_sectors(sector, sector + 1)
+
+    def read_sectors(self, start: int, end: int) -> bytes:
+        if not (0 <= start <= end <= self._real.num_sectors):
+            raise IndexError(f"range [{start},{end}) outside RAM")
+        return b"".join(self._sector(s) for s in range(start, end))
+
+    def write_sector(self, sector: int, data: bytes, offset: int = 0) -> None:
+        if not 0 <= sector < self._real.num_sectors:
+            raise IndexError(f"sector {sector} outside RAM")
+        if offset + len(data) > self._real.sector_bytes:
+            raise ValueError(
+                f"{len(data)}B at offset {offset} overflows "
+                f"{self._real.sector_bytes}B sector"
+            )
+        buf = self.writes.get(sector)
+        if buf is None:
+            buf = self.writes[sector] = bytearray(
+                self._real.peek_sectors(sector, sector + 1))
+        buf[offset:offset + len(data)] = data
+
+
+def verify_block(controller: "Controller", ex: "_RoutineExec",
+                 bound: BoundBlock, cat_index: Dict[Opcode, int]) -> None:
+    """Run ``bound`` fused-on-shadows then interpreted-on-real; compare.
+
+    The interpreted pass is authoritative: it performs all stat, charge,
+    and cost accounting exactly as ``compile_mode=off`` would, so verify
+    runs stay byte-identical to interpreted runs even while checking the
+    compiled path on the side.
+    """
+    walker = ex.walker
+    msg = ex.msg
+    ctx = walker.ctx
+    shadow_ctx = _ShadowCtx(list(ctx.regs), ctx.regs_touched)
+    entry = walker.entry
+    shadow_entry = _ShadowEntry(entry) if entry is not None else None
+    shadow_walker = _ShadowWalker(shadow_ctx, shadow_entry, walker.state)
+    shadow_ram = _ShadowDataRAM(controller.dataram)
+
+    fused_exc: Optional[BaseException] = None
+    occ_fused = -1
+    try:
+        occ_fused = bound.fused(shadow_walker, msg, shadow_ram)
+    except Exception as exc:  # compared against the interpreter below
+        fused_exc = exc
+
+    execute = controller.executor.execute
+    charge = controller.xregs.charge_active
+    actions = ex.routine.actions
+    occ_interp = 0
+    for pc in range(bound.start, bound.end):
+        action = actions[pc]
+        result = execute(walker, action, msg)
+        charge(ctx, result.cost)
+        if ex.costs is not None:
+            ex.costs[cat_index[action.op]] += result.cost
+        occ_interp += ctx.regs_touched * result.cost
+        if result.cost != 1 or result.terminated or result.branch is not None:
+            raise CompileVerifyError(
+                f"{ex.routine.name}[{pc}] ({action.op.value}) was "
+                f"classified fusible but returned {result}"
+            )
+
+    if fused_exc is not None:
+        raise CompileVerifyError(
+            f"{ex.routine.name}[{bound.start}:{bound.end}]: fused block "
+            f"raised {fused_exc!r} but the interpreter completed"
+        ) from fused_exc
+
+    diffs: List[str] = []
+    if shadow_ctx.regs != ctx.regs:
+        diffs.append(f"regs {shadow_ctx.regs} != {ctx.regs}")
+    if shadow_ctx.regs_touched != ctx.regs_touched:
+        diffs.append(f"regs_touched {shadow_ctx.regs_touched} != "
+                     f"{ctx.regs_touched}")
+    if shadow_walker.state != walker.state:
+        diffs.append(f"state {shadow_walker.state!r} != {walker.state!r}")
+    if (shadow_entry is None) != (walker.entry is None):
+        diffs.append("entry presence diverged")
+    elif shadow_entry is not None and walker.entry is not None:
+        for field_name in ("sector_start", "sector_end", "state"):
+            got = getattr(shadow_entry, field_name)
+            want = getattr(walker.entry, field_name)
+            if got != want:
+                diffs.append(f"entry.{field_name} {got!r} != {want!r}")
+    for sector, buf in sorted(shadow_ram.writes.items()):
+        real = controller.dataram.peek_sectors(sector, sector + 1)
+        if bytes(buf) != real:
+            diffs.append(f"sector {sector} {bytes(buf)!r} != {real!r}")
+    if occ_fused != occ_interp:
+        diffs.append(f"occupancy units {occ_fused} != {occ_interp}")
+    if diffs:
+        raise CompileVerifyError(
+            f"{ex.routine.name}[{bound.start}:{bound.end}] diverged: "
+            + "; ".join(diffs)
+        )

@@ -12,10 +12,32 @@ Table 3 presets are provided verbatim via :func:`table3_config`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
-__all__ = ["XCacheConfig", "TABLE3", "table3_config"]
+__all__ = ["XCacheConfig", "TABLE3", "table3_config",
+           "COMPILE_MODES", "default_compile_mode"]
+
+# Routine-compilation modes (see repro.core.compile):
+#   off    — interpret every action (the reference semantics)
+#   on     — run fused basic blocks where eligible (the default)
+#   verify — run both in lockstep and raise on any divergence
+COMPILE_MODES = ("off", "on", "verify")
+
+COMPILE_MODE_ENV = "REPRO_COMPILE_MODE"
+
+
+def default_compile_mode() -> str:
+    """The process-wide default, overridable via ``REPRO_COMPILE_MODE``
+    (how CI's compile-verify leg runs the whole tier-1 suite in
+    lockstep-differential mode without touching every config site)."""
+    mode = os.environ.get(COMPILE_MODE_ENV, "on")
+    if mode not in COMPILE_MODES:
+        raise ValueError(
+            f"{COMPILE_MODE_ENV}={mode!r} invalid; use one of {COMPILE_MODES}"
+        )
+    return mode
 
 
 @dataclass(frozen=True)
@@ -47,9 +69,18 @@ class XCacheConfig:
     block_bytes: int = 64
     max_outstanding_fills: int = 32
 
+    # routine execution: interpreted, fused-block compiled, or lockstep
+    # differential (see repro.core.compile)
+    compile_mode: str = field(default_factory=default_compile_mode)
+
     name: str = "xcache"
 
     def __post_init__(self) -> None:
+        if self.compile_mode not in COMPILE_MODES:
+            raise ValueError(
+                f"compile_mode {self.compile_mode!r} invalid; "
+                f"use one of {COMPILE_MODES}"
+            )
         if self.sets & (self.sets - 1):
             raise ValueError("sets must be a power of two")
         if self.num_active <= 0 or self.num_exe <= 0:

@@ -50,6 +50,7 @@ from ..obs.processors import LegacyTraceProcessor
 from ..sim import Component, MessageQueue, Simulator
 from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .actions import ActionExecutor, ActionError
+from .compile import BoundBlock, bind_routine, verify_block
 from .isa import OPCODE_CATEGORY
 from .config import XCacheConfig
 from .dataram import DataRAM
@@ -105,6 +106,9 @@ class _RoutineExec:
     # per-ACTION_CATEGORIES #Exe costs, allocated only when the bus is
     # armed (the profiler apportions exec cycles across them)
     costs: Optional[List[int]] = None
+    # compiled block table (block_at[pc] -> BoundBlock starting at pc),
+    # None when compile_mode=off
+    compiled: Optional[Tuple[Optional["BoundBlock"], ...]] = None
 
 
 @dataclass
@@ -161,6 +165,14 @@ class Controller(Component):
         self._fill_cb = self._on_dram_fill
         self._count_stats = self.stats_level >= STATS_COUNTERS
         self._hist_stats = self.stats_level >= STATS_FULL
+        # routine compilation: fused basic blocks bound to this
+        # controller's stats/geometry, cached per routine name (bound
+        # lazily at first dispatch — only routines that actually run
+        # pay the binding)
+        self._compile_verify = config.compile_mode == "verify"
+        self._bound_routines: Optional[
+            Dict[str, Tuple[Optional[BoundBlock], ...]]
+        ] = None if config.compile_mode == "off" else {}
         self._load_to_use_hist = self.stats.histogram("load_to_use")
         self._internal: Deque[Message] = deque()
         self._execq: Deque[_RoutineExec] = deque()
@@ -635,6 +647,15 @@ class Controller(Component):
                   msg: Message) -> None:
         walker.inflight = _RoutineExec(routine=routine, msg=msg, walker=walker)
         walker.routines_run += 1
+        bound = self._bound_routines
+        if bound is not None:
+            blocks = bound.get(routine.name)
+            if blocks is None:
+                blocks = bound[routine.name] = bind_routine(
+                    self.program.ram.compiled_routine(routine.name),
+                    self.stats, _OP_CAT_INDEX,
+                    self.config.xregs_per_walker, self.config.num_exe)
+            walker.inflight.compiled = blocks
         self._execq.append(walker.inflight)
         if self._count_stats:
             self.stats.inc("routines_dispatched")
@@ -651,12 +672,41 @@ class Controller(Component):
         execq = self._execq
         execute = self.executor.execute
         charge = self.xregs.charge_active
+        count_stats = self._count_stats
+        verify = self._compile_verify
         while budget > 0 and execq:
             ex = execq[0]
             actions = ex.routine.actions
             if ex.pc >= len(actions):
                 self._finish_routine(ex, terminated=False)
                 continue
+            blocks = ex.compiled
+            if blocks is not None:
+                block = blocks[ex.pc]
+                # Fuse only when the whole block fits the remaining
+                # budget: front-end stages run between budget chunks
+                # and must observe identical intermediate state in
+                # every mode. Partial blocks take the interpreter.
+                if block is not None and block.n <= budget:
+                    if verify:
+                        # interpreted pass inside is authoritative and
+                        # does all charge/stat/cost accounting
+                        verify_block(self, ex, block, _OP_CAT_INDEX)
+                    else:
+                        occ = block.fused(ex.walker, ex.msg, self.dataram)
+                        self.xregs.charge_units(occ)
+                        if count_stats:
+                            for counter, amount in block.bumps:
+                                counter.value += amount
+                        if ex.costs is not None:
+                            costs = ex.costs
+                            for index, amount in block.cat_costs:
+                                costs[index] += amount
+                    budget -= block.n
+                    ex.pc = block.end
+                    if ex.pc >= len(actions):
+                        self._finish_routine(ex, terminated=False)
+                    continue
             action = actions[ex.pc]
             result = execute(ex.walker, action, ex.msg)
             budget -= result.cost

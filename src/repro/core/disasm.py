@@ -55,7 +55,18 @@ def disassemble(program: CompiledWalker) -> str:
     for (state, event), routine in table.items():
         offset = program.ram.offset_of(routine.name)
         lines.append(f"  [{state}, {event}] @ pc={offset}:")
+        compiled = program.ram.compiled_routine(routine.name)
+        block_starts = {b.start: b for b in compiled.blocks}
+        block_end = -1
         for i, action in enumerate(routine.actions):
+            block = block_starts.get(i)
+            if block is not None:
+                lines.append(f"    ; fused block [{block.start}..{block.end})"
+                             f" ({block.n} actions, 1 dispatch)")
+                block_end = block.end
+            elif i == block_end:
+                lines.append("    ; interpreted")
+                block_end = -1
             lines.append(_format_action(i, action))
     return "\n".join(lines)
 
@@ -73,13 +84,17 @@ class ProgramStats:
     actions_by_category: Dict[str, int]
     max_routine_length: int
     branchy_routines: int      # routines containing control flow
+    fused_blocks: int = 0      # basic blocks the routine compiler fused
+    fused_actions: int = 0     # actions covered by those blocks
 
     def render(self) -> str:
         mix = ", ".join(f"{k}={v}" for k, v in
                         sorted(self.actions_by_category.items()))
         return (f"{self.routines} routines over {self.states} states x "
                 f"{self.events} events; {self.total_actions} actions "
-                f"({self.microcode_bytes} B): {mix}")
+                f"({self.microcode_bytes} B): {mix}; "
+                f"{self.fused_blocks} fused blocks cover "
+                f"{self.fused_actions} actions")
 
 
 def program_stats(program: CompiledWalker) -> ProgramStats:
@@ -87,6 +102,8 @@ def program_stats(program: CompiledWalker) -> ProgramStats:
     by_category: Dict[str, int] = {}
     max_len = 0
     branchy = 0
+    fused_blocks = 0
+    fused_actions = 0
     for routine in program.ram.routines:
         max_len = max(max_len, len(routine))
         if any(a.category is ActionCategory.CONTROL for a in routine.actions):
@@ -94,6 +111,9 @@ def program_stats(program: CompiledWalker) -> ProgramStats:
         for action in routine.actions:
             key = action.category.value
             by_category[key] = by_category.get(key, 0) + 1
+        compiled = program.ram.compiled_routine(routine.name)
+        fused_blocks += len(compiled.blocks)
+        fused_actions += compiled.fused_actions
     table = program.table
     return ProgramStats(
         routines=len(program.ram),
@@ -105,4 +125,6 @@ def program_stats(program: CompiledWalker) -> ProgramStats:
         actions_by_category=by_category,
         max_routine_length=max_len,
         branchy_routines=branchy,
+        fused_blocks=fused_blocks,
+        fused_actions=fused_actions,
     )

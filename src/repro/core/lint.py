@@ -19,6 +19,12 @@ Checks:
   walker waits in after issuing a DRAM request.
 * **context-overflow** — a register index beyond ``xregs_per_walker``
   for a given configuration (checked via :func:`check_context`).
+* **compile-coverage** — the routine compiler's fused-block partition
+  disagrees with the interpreter's coverage model (checked via
+  :func:`check_compile`): a fused block containing a non-fusible
+  action, a branch landing *inside* a block (fused entry must be a
+  leader), or the compiler's static register-read model diverging from
+  the linter's independently derived one.
 """
 
 from __future__ import annotations
@@ -26,12 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from .compile import is_fusible, register_reads
 from .config import XCacheConfig
-from .isa import Action, Opcode
+from .isa import FUSIBLE_OPCODES, OPCODE_SOURCE_SLOTS, Action, Opcode
 from .messages import DEFAULT_STATE, EV_FILL
 from .walker import CompiledWalker
 
-__all__ = ["LintFinding", "lint_walker", "check_context", "max_register"]
+__all__ = ["LintFinding", "lint_walker", "check_context", "check_compile",
+           "max_register"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +103,53 @@ def check_context(program: CompiledWalker,
                 findings.append(LintFinding(
                     "error", "context-overflow", routine.name, i,
                     f"R{max(over)} >= xregs_per_walker ({limit})"))
+    return findings
+
+
+def check_compile(program: CompiledWalker) -> List[LintFinding]:
+    """Cross-check the routine compiler's partition against the
+    interpreter's coverage model.
+
+    The fused blocks and the linter derive their models independently
+    (compile.py from ``FUSIBLE_OPCODES``/codegen, lint.py from its own
+    read/write sets), so a finding here means one of the tables went
+    stale — e.g. an opcode added to ``FUSIBLE_OPCODES`` without
+    updating ``OPCODE_SOURCE_SLOTS``. Clean programs produce zero
+    findings.
+    """
+    findings: List[LintFinding] = []
+    for routine in program.ram.routines:
+        compiled = program.ram.compiled_routine(routine.name)
+        block_span: Dict[int, Tuple[int, int]] = {}
+        for block in compiled.blocks:
+            for pc in range(block.start, block.end):
+                block_span[pc] = (block.start, block.end)
+                if not is_fusible(routine.actions[pc]):
+                    findings.append(LintFinding(
+                        "error", "compile-coverage", routine.name, pc,
+                        f"{routine.actions[pc].op.value} sits inside fused "
+                        f"block [{block.start},{block.end}) but is not "
+                        "fusible"))
+        for i, action in enumerate(routine.actions):
+            target = action.target
+            if target is not None and target in block_span:
+                start, end = block_span[target]
+                if target != start:
+                    findings.append(LintFinding(
+                        "error", "compile-coverage", routine.name, i,
+                        f"branch target {target} lands inside fused block "
+                        f"[{start},{end}); targets must be block leaders"))
+            if action.op in FUSIBLE_OPCODES \
+                    and action.op in OPCODE_SOURCE_SLOTS \
+                    and is_fusible(action):
+                compiler_view = register_reads(action)
+                lint_view = _reads(action)
+                if compiler_view != lint_view:
+                    findings.append(LintFinding(
+                        "warning", "compile-coverage", routine.name, i,
+                        f"compiler reads R{sorted(compiler_view)} but "
+                        f"linter models R{sorted(lint_view)} for "
+                        f"{action.op.value}"))
     return findings
 
 
@@ -182,6 +237,8 @@ def lint_walker(program: CompiledWalker,
                         "error", "missing-transition", routine.name, -1,
                         f"issues a DRAM fill but state {nxt!r} has no "
                         f"[{nxt}, Fill] routine"))
+
+    findings.extend(check_compile(program))
 
     if config is not None:
         findings.extend(check_context(program, config))

@@ -136,7 +136,15 @@ class RoutineTable:
 
 
 class MicrocodeRAM:
-    """All routines of one walker program, with derived sizes."""
+    """All routines of one walker program, with derived sizes.
+
+    Building the RAM also runs the routine compiler
+    (:func:`repro.core.compile.compile_routine`) over every routine —
+    routines are immutable once installed, so their basic-block
+    partition and fused closures are a property of the program, paid
+    once here rather than per controller. The compiled artifacts hold
+    closures, so they are dropped on pickling and rebuilt on demand.
+    """
 
     def __init__(self, routines: Sequence[Routine]) -> None:
         names = [r.name for r in routines]
@@ -149,6 +157,22 @@ class MicrocodeRAM:
             self._offsets[routine.name] = offset
             offset += len(routine)
         self.total_actions = offset
+        from .compile import compile_routine
+        self._compiled = {r.name: compile_routine(r) for r in self.routines}
+
+    def compiled_routine(self, name: str):
+        """The :class:`~repro.core.compile.CompiledRoutine` for ``name``."""
+        compiled = self._compiled.get(name)
+        if compiled is None:
+            from .compile import compile_routine
+            routine = next(r for r in self.routines if r.name == name)
+            compiled = self._compiled[name] = compile_routine(routine)
+        return compiled
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_compiled"] = {}  # closures don't pickle; rebuilt lazily
+        return state
 
     def offset_of(self, name: str) -> int:
         """The routine's logical "PC" in the microcode RAM."""

@@ -35,8 +35,10 @@ from ..obs.events import (
     WalkerYield,
 )
 from ..sim import Component, Simulator
+from .compile import CompileVerifyError
+from .config import COMPILE_MODES, default_compile_mode
 
-__all__ = ["WalkStep", "ThreadController"]
+__all__ = ["WalkStep", "ThreadController", "fuse_walk_steps"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,46 @@ class _Walk:
     on_fill: Optional[Callable[[MemResponse], None]] = None
 
 
+def fuse_walk_steps(steps: Tuple[WalkStep, ...],
+                    verify: bool = False) -> Tuple[WalkStep, ...]:
+    """Merge adjacent compute steps into one (the thread-mode analogue
+    of routine compilation).
+
+    Each compute step costs ``max(1, cycles)`` wall-clock cycles, so
+    only runs where *every* step has ``cycles >= 1`` may merge —
+    Σ max(1, cᵢ) == max(1, Σ cᵢ) holds exactly then; a zero-cycle step
+    would gain a cycle inside a merge. DRAM steps are never touched
+    (they publish yield events and block on fills).
+
+    ``verify`` re-derives the timing/stat invariants on every fusion and
+    raises :class:`CompileVerifyError` if merging would change them.
+    """
+    out: List[WalkStep] = []
+    acc = 0
+    for step in steps:
+        if step.kind == "compute" and step.cycles >= 1:
+            acc += step.cycles
+            continue
+        if acc:
+            out.append(WalkStep("compute", cycles=acc))
+            acc = 0
+        out.append(step)
+    if acc:
+        out.append(WalkStep("compute", cycles=acc))
+    fused = tuple(out)
+    if verify:
+        def wall(seq) -> Tuple[int, int, List[int]]:
+            compute = sum(s.cycles for s in seq if s.kind == "compute")
+            clock = sum(max(1, s.cycles) for s in seq if s.kind == "compute")
+            drams = [s.addr for s in seq if s.kind == "dram"]
+            return compute, clock, drams
+        if wall(tuple(steps)) != wall(fused):
+            raise CompileVerifyError(
+                f"step fusion changed walk timing: {steps} -> {fused}"
+            )
+    return fused
+
+
 class ThreadController(Component):
     """Blocking-thread walker execution on ``num_pipelines`` pipelines.
 
@@ -80,10 +122,18 @@ class ThreadController(Component):
 
     def __init__(self, sim: Simulator, dram: DRAMModel,
                  num_pipelines: int = 4, context_bytes: int = 512,
-                 name: str = "thread-ctrl") -> None:
+                 name: str = "thread-ctrl",
+                 compile_mode: Optional[str] = None) -> None:
         super().__init__(sim, name)
         if num_pipelines <= 0:
             raise ValueError("need at least one pipeline")
+        mode = compile_mode if compile_mode is not None \
+            else default_compile_mode()
+        if mode not in COMPILE_MODES:
+            raise ValueError(
+                f"compile_mode {mode!r} invalid; use one of {COMPILE_MODES}"
+            )
+        self.compile_mode = mode
         self.dram = dram
         self.num_pipelines = num_pipelines
         self.context_bytes = context_bytes
@@ -113,7 +163,15 @@ class ThreadController(Component):
         """Queue one walk; it runs when a pipeline frees up."""
         uid = self._next_uid
         self._next_uid = uid + 1
-        self._pending.append(_Walk(tuple(steps), submitted_at=self.sim.now,
+        walk_steps = tuple(steps)
+        if self.compile_mode != "off":
+            fused = fuse_walk_steps(walk_steps,
+                                    verify=self.compile_mode == "verify")
+            saved = len(walk_steps) - len(fused)
+            if saved:
+                self.stats.inc("steps_fused", saved)
+            walk_steps = fused
+        self._pending.append(_Walk(walk_steps, submitted_at=self.sim.now,
                                    uid=uid))
         if self.bus is not None:
             self.bus.publish(RequestArrive(cycle=self.sim.now,

@@ -19,8 +19,8 @@ Everything is deterministic by seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
 
 from ..core.config import XCacheConfig, table3_config
 from ..dsa.widx import WidxWorkload
@@ -47,11 +47,19 @@ class Profile:
                                 # cover the preload window of multi-block rows)
     graph_pes: int
     seed: int = 7
+    # routine-compilation mode forced on every config this profile
+    # produces; None defers to the process default (REPRO_COMPILE_MODE
+    # or "on") — how A/B drivers pin interpreted vs compiled runs
+    compile_mode: Optional[str] = None
 
     def xcache_config(self, dsa: str) -> XCacheConfig:
         if dsa in ("sparch", "gamma"):
-            return table3_config(dsa, scale=self.spgemm_cache_scale)
-        return table3_config(dsa, scale=self.cache_scale)
+            config = table3_config(dsa, scale=self.spgemm_cache_scale)
+        else:
+            config = table3_config(dsa, scale=self.cache_scale)
+        if self.compile_mode is not None:
+            config = replace(config, compile_mode=self.compile_mode)
+        return config
 
     def widx_workload(self, query: str) -> WidxWorkload:
         if query not in TPCH_QUERIES:

@@ -1,0 +1,156 @@
+"""Differential acceptance for routine compilation.
+
+The compiled back-end is only a performance change; interpreted and
+fused execution must be cycle-for-cycle indistinguishable. These tests
+run every DSA model at tiny scale under ``compile_mode`` off/on/verify
+and compare per-cycle trace digests, then run the fig14 ci suite with
+lockstep verification armed, and finally check the profiler's
+conservation invariant holds on compiled runs.
+"""
+
+import pytest
+
+from repro.core.config import COMPILE_MODE_ENV
+from repro.core.messages import reset_ids
+from repro.harness.suite import SUITE_CACHE_ENV, clear_cache, run_fig14_suite
+from repro.sim import Tracer
+from repro.workloads.graphgen import p2p_gnutella08
+from repro.workloads.matrices import dense_spgemm_input
+from repro.workloads.tpch import make_widx_workload
+
+
+def _widx(mode):
+    from dataclasses import replace
+
+    from repro.core.config import table3_config
+    from repro.dsa.widx import WidxXCacheModel
+
+    workload = make_widx_workload(num_keys=256, num_probes=512,
+                                  num_buckets=256, skew=1.3,
+                                  hash_cycles=10, seed=3)
+    cfg = replace(table3_config("widx", scale=0.0625), compile_mode=mode)
+    return WidxXCacheModel(workload, config=cfg)
+
+
+def _dasx(mode):
+    from dataclasses import replace
+
+    from repro.core.config import table3_config
+    from repro.dsa.dasx import DasxXCacheModel
+
+    workload = make_widx_workload(num_keys=256, num_probes=256,
+                                  num_buckets=128, skew=1.3,
+                                  hash_cycles=30, seed=4, name="dasx")
+    cfg = replace(table3_config("dasx", scale=0.0625), compile_mode=mode)
+    return DasxXCacheModel(workload, config=cfg)
+
+
+def _sparch(mode):
+    from dataclasses import replace
+
+    from repro.core.config import table3_config
+    from repro.dsa.sparch import SpArchXCacheModel
+
+    a, b = dense_spgemm_input(n=64, nnz_per_row=4, seed=7)
+    cfg = replace(table3_config("sparch", scale=0.25), compile_mode=mode)
+    return SpArchXCacheModel(a, b, config=cfg)
+
+
+def _gamma(mode):
+    from dataclasses import replace
+
+    from repro.core.config import table3_config
+    from repro.dsa.gamma import GammaXCacheModel
+
+    a, b = dense_spgemm_input(n=64, nnz_per_row=4, seed=7)
+    cfg = replace(table3_config("gamma", scale=0.25), compile_mode=mode)
+    return GammaXCacheModel(a, b, config=cfg)
+
+
+def _graphpulse(mode):
+    from dataclasses import replace
+
+    from repro.dsa.graphpulse import GraphPulseXCacheModel, graphpulse_config
+
+    graph = p2p_gnutella08(scale=0.02, seed=7)
+    cfg = replace(graphpulse_config(graph.num_vertices),
+                  compile_mode=mode)
+    return GraphPulseXCacheModel(graph, config=cfg, num_pes=2)
+
+
+_MODELS = {
+    "widx": _widx,
+    "dasx": _dasx,
+    "sparch": _sparch,
+    "gamma": _gamma,
+    "graphpulse": _graphpulse,
+}
+
+
+def _traced_run(make, mode):
+    reset_ids()
+    model = make(mode)
+    tracer = Tracer(capacity=2_000_000)
+    model.system.controller.tracer = tracer
+    result = model.run()
+    return tracer.digest(), result
+
+
+@pytest.mark.parametrize("dsa", sorted(_MODELS))
+def test_digest_identical_off_vs_on(dsa):
+    make = _MODELS[dsa]
+    off_digest, off_result = _traced_run(make, "off")
+    on_digest, on_result = _traced_run(make, "on")
+    assert on_digest == off_digest
+    assert on_result.cycles == off_result.cycles
+
+
+@pytest.mark.parametrize("dsa", ["widx", "sparch"])
+def test_digest_identical_under_verify(dsa):
+    """Verify mode runs fused + interpreter in lockstep — same trace."""
+    make = _MODELS[dsa]
+    off_digest, _ = _traced_run(make, "off")
+    verify_digest, _ = _traced_run(make, "verify")
+    assert verify_digest == off_digest
+
+
+def test_fig14_ci_suite_under_verify(monkeypatch):
+    """Acceptance: the whole ci suite passes lockstep verification."""
+    monkeypatch.delenv(SUITE_CACHE_ENV, raising=False)
+    monkeypatch.setenv(COMPILE_MODE_ENV, "verify")
+    clear_cache()                      # memoized results bypass execution
+    try:
+        suite = run_fig14_suite("ci")
+    finally:
+        clear_cache()                  # don't leak verify-mode results
+    assert set(suite) == {"TPC-H-19", "TPC-H-20", "TPC-H-22", "dasx",
+                          "graphpulse", "sparch", "gamma"}
+    for label, variants in suite.items():
+        assert variants.xcache.cycles > 0, label
+
+
+def test_prof_conservation_under_compiled_execution(mini_walker,
+                                                    mini_config):
+    """obs.prof's attributed-cycles == lifetime invariant survives fused
+    execution (satellite of the routine-compilation issue)."""
+    from dataclasses import replace
+
+    from repro.core import XCacheSystem
+    from repro.obs.prof import ProfileProcessor
+
+    stacks = {}
+    for mode in ("off", "on"):
+        reset_ids()
+        system = XCacheSystem(
+            replace(mini_config, compile_mode=mode, num_exe=4), mini_walker)
+        prof = system.observe(ProfileProcessor())
+        addr = system.image.alloc_u64_array(list(range(8)))
+        for i in range(8):
+            system.load((i,), walk_fields={"addr": addr + 8 * i})
+        system.run()
+        assert prof.contexts_retired == 8
+        assert prof.conservation_ok, prof.mismatches
+        assert prof.contexts_open == 0
+        stacks[mode] = dict(prof.stacks)
+    # identical attribution, not merely internally consistent
+    assert stacks["on"] == stacks["off"]

@@ -1,0 +1,357 @@
+"""Routine compilation: block partition, fused semantics, verify mode,
+ExecResult pooling, and thread-step fusion."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core import (
+    IMM,
+    MSG,
+    R,
+    CompileVerifyError,
+    Routine,
+    Transition,
+    WalkerSpec,
+    XCacheConfig,
+    XCacheSystem,
+    compile_routine,
+    compile_walker,
+    fuse_walk_steps,
+    op,
+)
+from repro.core.compile import MIN_FUSE_LEN, bind_routine, is_fusible
+from repro.core.controller import _OP_CAT_INDEX
+from repro.core.isa import FUSIBLE_OPCODES, Opcode
+from repro.core.messages import EV_META_LOAD
+from repro.core.threadctrl import WalkStep
+from repro.core.walker import assemble
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+def _routine(items, name="t"):
+    return Routine(name, assemble(list(items)))
+
+
+def test_partition_straight_line_fuses_one_block():
+    r = _routine([
+        op.mov(R(0), MSG("addr")),
+        op.addi(R(1), R(0), 4),
+        op.xor(R(2), R(1), R(0)),
+        op.finish(),                    # STATE done=True: boundary
+    ])
+    compiled = compile_routine(r)
+    assert [(b.start, b.end) for b in compiled.blocks] == [(0, 3)]
+    assert compiled.fused_actions == 3
+
+
+def test_partition_branch_target_becomes_leader():
+    r = _routine([
+        op.mov(R(0), MSG("addr")),      # 0
+        op.bnz(R(0), "tail"),           # 1: boundary (branch)
+        op.addi(R(1), R(0), 1),         # 2
+        op.addi(R(1), R(1), 1),         # 3
+        op.lbl("tail"),
+        op.addi(R(2), R(0), 2),         # 4: leader (branch target)
+        op.addi(R(2), R(2), 2),         # 5
+        op.finish(),                    # 6
+    ])
+    compiled = compile_routine(r)
+    assert [(b.start, b.end) for b in compiled.blocks] == [(2, 4), (4, 6)]
+    # the branch boundary itself stays interpreted
+    assert compiled.block_starting_at(1) is None
+    # a branch target always lands on a block start, never mid-block
+    for block in compiled.blocks:
+        assert 4 not in range(block.start + 1, block.end)
+
+
+def test_partition_respects_min_fuse_len():
+    r = _routine([
+        op.allocM(),                    # 0: boundary
+        op.mov(R(0), MSG("addr")),      # 1: lone fusible action
+        op.enq_dram(addr=R(0)),         # 2: boundary
+        op.state("Wait"),               # 3
+    ])
+    compiled = compile_routine(r)
+    # the lone mov is shorter than MIN_FUSE_LEN; only [3,4) could fuse,
+    # and a 1-action tail is equally below the floor
+    assert MIN_FUSE_LEN == 2
+    assert compiled.blocks == ()
+
+
+def test_is_fusible_classification():
+    assert is_fusible(op.add(R(0), R(1), R(2)))
+    assert is_fusible(op.state("Wait"))             # done=False
+    assert is_fusible(op.update("sector_start", R(1)))
+    assert not is_fusible(op.finish())              # done=True terminates
+    assert not is_fusible(op.allocM())
+    assert not is_fusible(op.enq_dram(addr=R(0)))
+    assert not is_fusible(op.bnz(R(0), 0))
+    assert not is_fusible(op.write(R(0), R(1)))
+    for action in (op.jmp(0), op.deallocM()):
+        assert action.op not in FUSIBLE_OPCODES or not is_fusible(action)
+
+
+# ----------------------------------------------------------------------
+# binding
+# ----------------------------------------------------------------------
+def _alu_chain(n, then_finish=True):
+    body = [op.mov(R(0), MSG("addr"))]
+    for i in range(n):
+        body.append(op.addi(R(1), R(0), i))
+    if then_finish:
+        body.append(op.finish())
+    return _routine(body)
+
+
+def test_bind_drops_blocks_wider_than_num_exe(mini_system):
+    r = _alu_chain(8)                  # 9-action block
+    compiled = compile_routine(r)
+    assert compiled.blocks[0].n == 9
+    stats = mini_system.controller.stats
+    narrow = bind_routine(compiled, stats, _OP_CAT_INDEX,
+                          xregs_limit=8, num_exe=4)
+    assert all(b is None for b in narrow)
+    wide = bind_routine(compiled, stats, _OP_CAT_INDEX,
+                        xregs_limit=8, num_exe=16)
+    assert wide[0] is not None and wide[0].n == 9
+
+
+def test_bind_drops_blocks_past_register_file(mini_system):
+    r = _routine([
+        op.mov(R(0), MSG("addr")),
+        op.addi(R(7), R(0), 1),
+        op.finish(),
+    ])
+    compiled = compile_routine(r)
+    stats = mini_system.controller.stats
+    bound = bind_routine(compiled, stats, _OP_CAT_INDEX,
+                         xregs_limit=4, num_exe=8)
+    # R7 >= limit: the interpreter owns the IndexError message
+    assert all(b is None for b in bound)
+
+
+# ----------------------------------------------------------------------
+# fused semantics vs the interpreter
+# ----------------------------------------------------------------------
+def _run_mini(mini_walker, mini_config, mode):
+    from repro.core.messages import reset_ids
+    from repro.sim import Tracer
+
+    reset_ids()
+    # mini_config's num_exe=2 is below every block's length; widen the
+    # back-end so the Wait@Fill update/addi/update block actually binds
+    system = XCacheSystem(replace(mini_config, compile_mode=mode, num_exe=4),
+                          mini_walker)
+    tracer = Tracer(capacity=100_000)
+    system.controller.tracer = tracer
+    addr = system.image.alloc_u64_array(list(range(16)))
+    for i in range(16):
+        system.load((i,), walk_fields={"addr": addr + 8 * i})
+    responses = system.run()
+    return system, tracer, responses
+
+
+@pytest.mark.parametrize("mode", ["on", "verify"])
+def test_mini_system_digest_matches_interpreter(mini_walker, mini_config,
+                                                mode):
+    off_sys, off_trace, off_resp = _run_mini(mini_walker, mini_config, "off")
+    sys_, trace, resp = _run_mini(mini_walker, mini_config, mode)
+    assert off_trace.total_emitted > 0
+    assert trace.digest() == off_trace.digest()
+    assert [(r.status, r.data) for r in resp] == \
+           [(r.status, r.data) for r in off_resp]
+    # the occupancy integral must be byte-identical (fused blocks charge
+    # the same high-water-mark units the per-action path did)
+    assert sys_.controller.xregs.occupancy_byte_cycles == \
+        off_sys.controller.xregs.occupancy_byte_cycles
+    # so must every stat counter the energy model reads
+    assert {k: c.value for k, c in sys_.controller.stats.counters.items()} \
+        == {k: c.value for k, c in off_sys.controller.stats.counters.items()}
+
+
+def test_mini_system_actually_fused(mini_walker, mini_config):
+    system, _, _ = _run_mini(mini_walker, mini_config, "on")
+    bound = system.controller._bound_routines
+    assert bound, "no routines were bound in compile_mode=on"
+    assert any(b is not None for blocks in bound.values() for b in blocks)
+
+
+def _burst_walker():
+    """Walker whose Wait@Fill routine *starts* with a fusible block, so
+    the fused path runs with a full budget after every fill."""
+    from repro.core.messages import EV_FILL
+
+    spec = WalkerSpec(
+        name="burst",
+        transitions=(
+            Transition("Default", EV_META_LOAD, (
+                op.allocM(),
+                op.mov(R(0), MSG("addr")),
+                op.enq_dram(addr=R(0)),
+                op.state("Wait"),
+            )),
+            Transition("Wait", EV_FILL, (
+                op.addi(R(1), R(0), 1),
+                op.xor(R(2), R(1), R(0)),
+                op.and_(R(3), R(2), IMM(0xFF)),
+                op.finish(),
+            )),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def _burst_system(mini_config, mode):
+    system = XCacheSystem(replace(mini_config, compile_mode=mode, num_exe=4),
+                          _burst_walker())
+    addr = system.image.alloc_u64_array(list(range(8)))
+    return system, addr
+
+
+def _bound_blocks(system):
+    bound = system.controller._bound_routines
+    return [b for seq in bound.values() for b in seq if b is not None]
+
+
+def test_fused_blocks_execute_on_hot_path(mini_config):
+    system, addr = _burst_system(mini_config, "on")
+    system.load((0,), walk_fields={"addr": addr})
+    system.run()                       # binds the Wait@Fill block
+    blocks = _bound_blocks(system)
+    assert blocks
+    calls = [0]
+    for block in blocks:
+        orig = block.fused
+
+        def counting(walker, msg, dataram, _orig=orig):
+            calls[0] += 1
+            return _orig(walker, msg, dataram)
+
+        block.fused = counting
+    for i in range(1, 4):
+        system.load((i,), walk_fields={"addr": addr + 8 * i})
+    system.run()
+    assert calls[0] >= 3, "fused closures never ran on the hot path"
+
+
+def test_verify_mode_detects_divergence(mini_config):
+    system, addr = _burst_system(mini_config, "verify")
+    system.load((0,), walk_fields={"addr": addr})
+    system.run()                       # binds (and verifies) cleanly
+    blocks = _bound_blocks(system)
+    assert blocks
+    victim = blocks[0]
+    orig = victim.fused
+
+    def corrupted(walker, msg, dataram):
+        occ = orig(walker, msg, dataram)
+        walker.ctx.regs[0] ^= 0xDEAD   # silently diverge from the ISA
+        return occ
+
+    victim.fused = corrupted
+    with pytest.raises(CompileVerifyError):
+        system.load((1,), walk_fields={"addr": addr + 8})
+        system.run()
+    victim.fused = orig
+
+
+# ----------------------------------------------------------------------
+# ExecResult pooling (allocation regression)
+# ----------------------------------------------------------------------
+def test_exec_results_are_pooled(mini_walker, mini_config, monkeypatch):
+    import repro.core.actions as actions_mod
+
+    allocations = [0]
+    orig_init = actions_mod.ExecResult.__init__
+
+    def counting_init(self, *args, **kwargs):
+        allocations[0] += 1
+        orig_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(actions_mod.ExecResult, "__init__", counting_init)
+    system = XCacheSystem(replace(mini_config, compile_mode="off"),
+                          mini_walker)
+    addr = system.image.alloc_u64_array(list(range(16)))
+    for i in range(16):
+        system.load((i,), walk_fields={"addr": addr + 8 * i})
+    system.run()
+    executed = system.controller.stats.counter("actions_total").value
+    assert executed > 100
+    # steady state returns module-level pooled instances; only a
+    # pathological >32-slot copy may allocate
+    assert allocations[0] == 0, (allocations[0], executed)
+
+
+# ----------------------------------------------------------------------
+# microcode RAM pickling (suite disk cache)
+# ----------------------------------------------------------------------
+def test_microcode_ram_pickles_and_recompiles(mini_walker):
+    ram = mini_walker.ram
+    name = ram.routines[0].name
+    assert ram.compiled_routine(name).n_actions == len(ram.routines[0])
+    clone = pickle.loads(pickle.dumps(ram))
+    # closures were dropped for the wire; they rebuild on demand
+    assert clone._compiled == {}
+    rebuilt = clone.compiled_routine(name)
+    assert [(b.start, b.end) for b in rebuilt.blocks] == \
+           [(b.start, b.end) for b in ram.compiled_routine(name).blocks]
+
+
+# ----------------------------------------------------------------------
+# thread-step fusion (threadctrl analogue)
+# ----------------------------------------------------------------------
+def test_fuse_walk_steps_merges_adjacent_compute():
+    steps = (WalkStep("compute", cycles=3), WalkStep("compute", cycles=2),
+             WalkStep("dram", addr=64), WalkStep("compute", cycles=1))
+    fused = fuse_walk_steps(steps, verify=True)
+    assert fused == (WalkStep("compute", cycles=5),
+                     WalkStep("dram", addr=64),
+                     WalkStep("compute", cycles=1))
+
+
+def test_fuse_walk_steps_keeps_zero_cycle_steps():
+    # a zero-cycle step costs max(1, 0) = 1 wall cycle; merging it would
+    # erase that cycle, so it must stay un-fused
+    steps = (WalkStep("compute", cycles=2), WalkStep("compute", cycles=0),
+             WalkStep("compute", cycles=2))
+    fused = fuse_walk_steps(steps, verify=True)
+    assert fused == steps
+
+
+def test_thread_controller_timing_unchanged_by_fusion():
+    from repro.mem.dram import DRAMConfig, DRAMModel
+    from repro.mem.layout import MemoryImage
+    from repro.core.threadctrl import ThreadController
+    from repro.sim import new_simulator
+
+    def run(mode):
+        sim = new_simulator()
+        dram = DRAMModel(sim, MemoryImage(), DRAMConfig())
+        ctrl = ThreadController(sim, dram, num_pipelines=2,
+                                compile_mode=mode)
+        for i in range(8):
+            ctrl.submit((
+                WalkStep("compute", cycles=2),
+                WalkStep("compute", cycles=3),
+                WalkStep("dram", addr=64 * i),
+                WalkStep("compute", cycles=0),
+                WalkStep("compute", cycles=1),
+            ))
+        sim.run()
+        ctrl.finalize()
+        return ctrl
+
+    off = run("off")
+    on = run("on")
+    verify = run("verify")
+    for fused in (on, verify):
+        assert fused.walks_completed == off.walks_completed == 8
+        assert fused.last_completion == off.last_completion
+        assert fused.occupancy_byte_cycles == off.occupancy_byte_cycles
+        # 2+3 merge each walk; the 0-cycle step blocks the second merge
+        assert fused.stats.get("steps_fused") == 8
+    assert off.stats.get("steps_fused") == 0
