@@ -1,0 +1,238 @@
+"""Episode-trace throughput: guarded trace closures vs fused blocks,
+plus the vectorized DRAM bank/batch path vs scalar issue.
+
+Three measurements, one record:
+
+* **Branchy-loop microbenchmark** — a synthetic walker whose entry
+  routine is a counted ALU loop (dozens of dynamic actions per
+  request, one conditional branch per iteration). Basic-block fusion
+  (PR 5) stops at every ``BNZ``, so the block compiler re-enters the
+  dispatch loop each iteration; the episode trace (this PR) stitches
+  the whole loop — blocks plus inlined branch guards — into a single
+  closure per episode. The back-end budget (``NUM_EXE``) covers one
+  whole episode per cycle, the trace design point (PR 5's bench sized
+  its budget to its fused chain the same way); narrower budgets slice
+  the closure across cycles through the per-cursor resume entries and
+  converge back toward block-mode rates. Throughput is back-end
+  actions/sec over the
+  interpreter's ``actions_total`` counter (identical counters in every
+  mode, so all modes count identical work); ``trace_speedup`` is the
+  traced-over-blocks ratio on this workload, and the traced rate is
+  additionally held to >= 1.4x the PR 5 compiled baseline
+  (``BENCH_compile.json``'s 750,222 actions/sec).
+* **DRAM batch issue** — a same-cycle burst issue loop against the
+  banked DRAM model, batch path (struct-of-arrays bank state + NumPy
+  address decode + ``call_at_many``) vs the scalar per-request loop
+  (``REPRO_DRAM_BATCH=0``). Throughput is kernel events/sec (each
+  completion is exactly one bucket-kernel event); ``dram_batch_speedup``
+  gates the vectorized path's gain.
+
+Run standalone to emit ``BENCH_trace.json``::
+
+    PYTHONPATH=src python benchmarks/bench_trace_episodes.py --out BENCH_trace.json
+
+Under pytest the module asserts the traced back-end clears the issue's
+>=1.4x-over-PR5 bar and that the batch DRAM path beats scalar issue
+(set ``REPRO_BENCH_SMOKE=1`` for a correctness-only smoke run, as CI
+does on shared runners where timing is noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import (
+    IMM,
+    MSG,
+    R,
+    Transition,
+    WalkerSpec,
+    XCacheConfig,
+    XCacheSystem,
+    compile_walker,
+    op,
+)
+from repro.core.messages import EV_META_LOAD
+from repro.mem import DRAMConfig, DRAMModel, MemRequest, MemoryImage
+from repro.mem.dram import DRAM_BATCH_ENV, MemResponse
+from repro.sim import Simulator
+
+NUM_EXE = 96            # episode-scale budget: one episode per cycle
+LOOP_ITERS = 12         # dynamic actions/request = 4 + 6 * LOOP_ITERS
+DEFAULT_REQUESTS = 12_000
+DEFAULT_DRAM_REQUESTS = 200_000
+DRAM_BURST = 64         # requests per request_batch() call
+PR5_BASELINE_APS = 750_222      # BENCH_compile.json, compiled back-end
+TRACE_OVER_PR5_FLOOR = 1.4      # acceptance bar from the issue
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def make_program():
+    """Entry-only walker: allocM, then a counted fusible ALU loop with
+    one conditional branch per iteration, then finish."""
+    body = [
+        op.allocM(),                       # 0  (interpreted boundary)
+        op.mov(R(0), MSG("n")),            # 1  loop counter
+        op.mov(R(1), MSG("addr")),         # 2  accumulator seed
+        # loop head (pc 3): 5 fusible ALU actions ...
+        op.add(R(2), R(1), R(0)),          # 3
+        op.xor(R(1), R(2), R(0)),          # 4
+        op.and_(R(2), R(1), IMM(0xFFFFFF)),  # 5
+        op.addi(R(1), R(2), 1),            # 6
+        op.addi(R(0), R(0), -1),           # 7  decrement
+        # ... then the branch every block-mode dispatch stops at
+        op.bnz(R(0), target=3),            # 8  traced as an inline guard
+        op.finish(),                       # 9
+    ]
+    spec = WalkerSpec(
+        name="trace-loop",
+        transitions=(
+            Transition("Default", EV_META_LOAD, tuple(body)),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def make_config(compile_mode: str, trace_threshold: int) -> XCacheConfig:
+    return XCacheConfig(ways=8, sets=256, num_active=8, num_exe=NUM_EXE,
+                        xregs_per_walker=8, compile_mode=compile_mode,
+                        trace_threshold=trace_threshold,
+                        name=f"trace-loop-{compile_mode}-t{trace_threshold}")
+
+
+def drive(compile_mode: str, trace_threshold: int, requests: int):
+    """Run ``requests`` distinct-tag loads; returns (actions/sec,
+    actions, controller)."""
+    system = XCacheSystem(make_config(compile_mode, trace_threshold),
+                          make_program())
+    start = time.perf_counter()
+    for i in range(requests):
+        system.load((i,), walk_fields={"n": LOOP_ITERS, "addr": i * 64})
+    system.run()
+    elapsed = time.perf_counter() - start
+    actions = system.controller.stats.counter("actions_total").value
+    assert len(system.responses) == requests, (len(system.responses),
+                                               requests)
+    assert actions >= requests * (4 + 6 * LOOP_ITERS), (actions, requests)
+    return actions / elapsed, actions, system.controller
+
+
+def drive_dram(batch: bool, requests: int, burst: int = DRAM_BURST):
+    """Issue ``requests`` block reads in same-cycle bursts, draining the
+    kernel between bursts; returns kernel events/sec.
+
+    Addresses stride one row per element across the full bank set, so
+    each burst exercises every bank and the open-row tracking (the same
+    mix hits misses/conflicts on the scalar and batch paths — the
+    differential tests pin the two byte-identical)."""
+    saved = os.environ.get(DRAM_BATCH_ENV)
+    os.environ[DRAM_BATCH_ENV] = "1" if batch else "0"
+    try:
+        sim = Simulator()
+        image = MemoryImage()
+        dram = DRAMModel(sim, image, DRAMConfig())
+        completed = [0]
+
+        def on_done(resp: MemResponse) -> None:
+            completed[0] += 1
+
+        row_bytes = dram.config.row_bytes
+        span = row_bytes * dram.config.num_banks * 64
+        start = time.perf_counter()
+        issued = 0
+        base = 0
+        while issued < requests:
+            reqs = [MemRequest((base + k * row_bytes) % span)
+                    for k in range(burst)]
+            dram.request_batch(reqs, on_done)
+            issued += burst
+            base += burst * row_bytes + 64
+            sim.run()
+        elapsed = time.perf_counter() - start
+        assert completed[0] == issued, (completed[0], issued)
+        assert sim.events_executed == issued
+        return sim.events_executed / elapsed
+    finally:
+        if saved is None:
+            os.environ.pop(DRAM_BATCH_ENV, None)
+        else:
+            os.environ[DRAM_BATCH_ENV] = saved
+
+
+def compare(requests: int = DEFAULT_REQUESTS,
+            dram_requests: int = DEFAULT_DRAM_REQUESTS) -> dict:
+    """Benchmark every mode on the same work; return the result record."""
+    # warm-up pass per mode so import/alloc effects don't skew timing
+    drive("on", 0, min(requests, 500))
+    drive("on", 8, min(requests, 500))
+    blocks_aps, blocks_actions, _ = drive("on", 0, requests)
+    traced_aps, traced_actions, ctrl = drive("on", 8, requests)
+    assert blocks_actions == traced_actions, (blocks_actions,
+                                              traced_actions)
+    ts = ctrl.trace_stats
+    assert ts.installs >= 1 and ts.dispatches >= 1, ts.as_dict()
+    assert ts.deopts == 0, ts.as_dict()   # steady loop: guards never fail
+    drive_dram(True, min(dram_requests, 20_000))
+    drive_dram(False, min(dram_requests, 20_000))
+    batch_eps = drive_dram(True, dram_requests)
+    scalar_eps = drive_dram(False, dram_requests)
+    return {
+        "benchmark": "trace_episodes",
+        "requests": requests,
+        "loop_iters": LOOP_ITERS,
+        "num_exe": NUM_EXE,
+        "actions": traced_actions,
+        "dram_requests": dram_requests,
+        "dram_burst": DRAM_BURST,
+        "backend_blocks_actions_per_sec": round(blocks_aps),
+        "backend_traced_actions_per_sec": round(traced_aps),
+        "trace_speedup": round(traced_aps / blocks_aps, 2),
+        "trace_over_pr5_x": round(PR5_BASELINE_APS / traced_aps, 2),
+        "dram_scalar_events_per_sec": round(scalar_eps),
+        "dram_batch_events_per_sec": round(batch_eps),
+        "dram_batch_speedup": round(batch_eps / scalar_eps, 2),
+    }
+
+
+def test_trace_episode_speedup():
+    """Traced episodes clear 1.4x the PR 5 compiled actions/sec; the
+    batch DRAM path beats scalar issue."""
+    smoke = bool(os.environ.get(SMOKE_ENV))
+    requests = 600 if smoke else DEFAULT_REQUESTS
+    dram_requests = 10_000 if smoke else DEFAULT_DRAM_REQUESTS
+    result = compare(requests, dram_requests)
+    print()
+    print(json.dumps(result, indent=2))
+    if smoke:
+        assert result["backend_traced_actions_per_sec"] > 0
+        assert result["dram_batch_events_per_sec"] > 0
+    else:
+        floor = PR5_BASELINE_APS * TRACE_OVER_PR5_FLOOR
+        assert result["backend_traced_actions_per_sec"] >= floor, result
+        assert result["trace_speedup"] >= 1.1, result
+        assert result["dram_batch_speedup"] >= 1.1, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument("--dram-requests", type=int,
+                        default=DEFAULT_DRAM_REQUESTS)
+    parser.add_argument("--out", default=None,
+                        help="write the result record as JSON here")
+    args = parser.parse_args(argv)
+    result = compare(args.requests, args.dram_requests)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,7 +87,9 @@ COMPILE_MODES = ("off", "on", "verify")
 
 # Fusing a single action buys nothing over the interpreter's cached
 # dispatch (the closure call + bulk counter bump costs about the same),
-# so blocks shorter than this stay interpreted.
+# so blocks shorter than this stay interpreted. Kept as the module-level
+# default; the per-instance knob is ``XCacheConfig.min_fuse_len``
+# (``REPRO_MIN_FUSE_LEN``), threaded through ``compile_routine``.
 MIN_FUSE_LEN = 2
 
 
@@ -434,8 +436,11 @@ def _codegen(routine: Routine, start: int, end: int) -> CompiledBlock:
 # partitioning
 # ----------------------------------------------------------------------
 
-def compile_routine(routine: Routine) -> CompiledRoutine:
+def compile_routine(routine: Routine,
+                    min_fuse_len: int = MIN_FUSE_LEN) -> CompiledRoutine:
     """Partition ``routine`` into basic blocks and fuse each one."""
+    if min_fuse_len < 1:
+        raise ValueError(f"min_fuse_len must be >= 1, got {min_fuse_len}")
     actions = routine.actions
     n = len(actions)
     leaders = {0}
@@ -451,7 +456,7 @@ def compile_routine(routine: Routine) -> CompiledRoutine:
         end = start
         while end < limit and is_fusible(actions[end]):
             end += 1
-        if end - start >= MIN_FUSE_LEN:
+        if end - start >= min_fuse_len:
             blocks.append(_codegen(routine, start, end))
     return CompiledRoutine(name=routine.name, blocks=tuple(blocks),
                            n_actions=n)

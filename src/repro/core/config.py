@@ -17,7 +17,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
 __all__ = ["XCacheConfig", "TABLE3", "table3_config",
-           "COMPILE_MODES", "default_compile_mode"]
+           "COMPILE_MODES", "default_compile_mode",
+           "default_min_fuse_len", "default_trace_threshold"]
 
 # Routine-compilation modes (see repro.core.compile):
 #   off    — interpret every action (the reference semantics)
@@ -26,6 +27,8 @@ __all__ = ["XCacheConfig", "TABLE3", "table3_config",
 COMPILE_MODES = ("off", "on", "verify")
 
 COMPILE_MODE_ENV = "REPRO_COMPILE_MODE"
+MIN_FUSE_LEN_ENV = "REPRO_MIN_FUSE_LEN"
+TRACE_THRESHOLD_ENV = "REPRO_TRACE_THRESHOLD"
 
 
 def default_compile_mode() -> str:
@@ -38,6 +41,34 @@ def default_compile_mode() -> str:
             f"{COMPILE_MODE_ENV}={mode!r} invalid; use one of {COMPILE_MODES}"
         )
     return mode
+
+
+def _int_env(name: str, fallback: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} invalid; want an integer")
+
+
+def default_min_fuse_len() -> int:
+    """Shortest basic block worth fusing (``REPRO_MIN_FUSE_LEN``).
+
+    Fusing a single action buys nothing over the interpreter's cached
+    dispatch, so the compiler leaves blocks below this length
+    interpreted. Must be >= 1.
+    """
+    return _int_env(MIN_FUSE_LEN_ENV, 2)
+
+
+def default_trace_threshold() -> int:
+    """Routine invocations before its hot path is trace-compiled
+    (``REPRO_TRACE_THRESHOLD``). 0 disables trace compilation; the
+    block compiler alone then serves ``compile_mode=on``.
+    """
+    return _int_env(TRACE_THRESHOLD_ENV, 16)
 
 
 @dataclass(frozen=True)
@@ -72,6 +103,11 @@ class XCacheConfig:
     # routine execution: interpreted, fused-block compiled, or lockstep
     # differential (see repro.core.compile)
     compile_mode: str = field(default_factory=default_compile_mode)
+    # shortest basic block the routine compiler fuses (>= 1)
+    min_fuse_len: int = field(default_factory=default_min_fuse_len)
+    # routine invocations before its hot path is trace-compiled into a
+    # guarded episode closure (see repro.core.trace_compile); 0 = off
+    trace_threshold: int = field(default_factory=default_trace_threshold)
 
     name: str = "xcache"
 
@@ -80,6 +116,14 @@ class XCacheConfig:
             raise ValueError(
                 f"compile_mode {self.compile_mode!r} invalid; "
                 f"use one of {COMPILE_MODES}"
+            )
+        if self.min_fuse_len < 1:
+            raise ValueError(
+                f"min_fuse_len must be >= 1, got {self.min_fuse_len}"
+            )
+        if self.trace_threshold < 0:
+            raise ValueError(
+                f"trace_threshold must be >= 0, got {self.trace_threshold}"
             )
         if self.sets & (self.sets - 1):
             raise ValueError("sets must be a power of two")

@@ -51,6 +51,15 @@ from ..sim import Component, MessageQueue, Simulator
 from ..sim.stats import STATS_COUNTERS, STATS_FULL
 from .actions import ActionExecutor, ActionError
 from .compile import BoundBlock, bind_routine, verify_block
+from .trace_compile import (
+    TRACE_MAX_DECISIONS,
+    BoundTrace,
+    TraceBuildError,
+    TracePath,
+    TraceStats,
+    bind_trace,
+    record_mask,
+)
 from .isa import OPCODE_CATEGORY
 from .config import XCacheConfig
 from .dataram import DataRAM
@@ -109,6 +118,14 @@ class _RoutineExec:
     # compiled block table (block_at[pc] -> BoundBlock starting at pc),
     # None when compile_mode=off
     compiled: Optional[Tuple[Optional["BoundBlock"], ...]] = None
+    # trace compilation (repro.core.trace_compile): the guarded episode
+    # closure driving this invocation, its resume cursor across budget
+    # boundaries, and the decision buffer while a hot path is recorded
+    trace: Optional[BoundTrace] = None
+    trace_pos: int = 0
+    trace_terminated: bool = False
+    recording: Optional[List[Tuple[int, int, bool, bool]]] = None
+    record_mask: Optional[Tuple[bool, ...]] = None
 
 
 @dataclass
@@ -129,6 +146,9 @@ class WalkerRun:
     found: bool = False
     routines_run: int = 0
     allocm_done: bool = False
+    # the episode trace that cleanly completed this walker's previous
+    # routine — next dispatch follows its next_on edge (episode chain)
+    last_trace: Optional[BoundTrace] = None
 
 
 class Controller(Component):
@@ -173,6 +193,16 @@ class Controller(Component):
         self._bound_routines: Optional[
             Dict[str, Tuple[Optional[BoundBlock], ...]]
         ] = None if config.compile_mode == "off" else {}
+        # trace compilation (guarded episode closures): enabled when the
+        # block compiler is on and the hotness threshold is non-zero
+        self._traces: Optional[Dict[str, BoundTrace]] = (
+            {} if config.compile_mode != "off"
+            and config.trace_threshold > 0 else None)
+        self._trace_counts: Dict[str, int] = {}
+        self._trace_blacklist: set = set()
+        # trace bookkeeping lives outside the stats group: architectural
+        # stats stay byte-identical whether or not traces ran
+        self.trace_stats = TraceStats()
         self._load_to_use_hist = self.stats.histogram("load_to_use")
         self._internal: Deque[Message] = deque()
         self._execq: Deque[_RoutineExec] = deque()
@@ -289,15 +319,14 @@ class Controller(Component):
         first = addr & ~(bb - 1)
         last = (end - 1) & ~(bb - 1)
         count_stats = self._count_stats
-        blocks = 0
-        block = first
-        while block <= last:
-            blocks += 1
+        blocks = (last - first) // bb + 1
+        if blocks == 1:
+            # common pointer-chase case: one block, no batch list
             if write:
                 if count_stats:
                     self.stats.inc("dram_writes")
                 self.dram.request(
-                    MemRequest(block, is_write=True,
+                    MemRequest(first, is_write=True,
                                walk_id=walker.walk_id),
                     _drop_response)
             else:
@@ -305,16 +334,44 @@ class Controller(Component):
                     self.stats.inc("dram_fills")
                 walker.fills_outstanding += 1
                 if ranged:
+                    lo = max(addr, first) - first
+                    hi = min(end, first + bb) - first
+                else:
+                    lo, hi = 0, bb
+                self.dram.request(
+                    MemRequest(first, tag=(walker.tag, lo, hi),
+                               walk_id=walker.walk_id),
+                    self._fill_cb,
+                )
+            return 1
+        # multi-block fill (ranged refills, tiled copies): issue the
+        # whole burst through the DRAM batch path with bulk stats
+        wid = walker.walk_id
+        reqs = []
+        if write:
+            if count_stats:
+                self.stats.inc("dram_writes", blocks)
+            block = first
+            while block <= last:
+                reqs.append(MemRequest(block, is_write=True, walk_id=wid))
+                block += bb
+            self.dram.request_batch(reqs, _drop_response)
+        else:
+            if count_stats:
+                self.stats.inc("dram_fills", blocks)
+            walker.fills_outstanding += blocks
+            tag = walker.tag
+            block = first
+            while block <= last:
+                if ranged:
                     lo = max(addr, block) - block
                     hi = min(end, block + bb) - block
                 else:
                     lo, hi = 0, bb
-                self.dram.request(
-                    MemRequest(block, tag=(walker.tag, lo, hi),
-                               walk_id=walker.walk_id),
-                    self._fill_cb,
-                )
-            block += bb
+                reqs.append(MemRequest(block, tag=(tag, lo, hi),
+                                       walk_id=wid))
+                block += bb
+            self.dram.request_batch(reqs, self._fill_cb)
         return blocks
 
     def _on_dram_fill(self, resp: MemResponse) -> None:
@@ -645,18 +702,43 @@ class Controller(Component):
 
     def _dispatch(self, walker: WalkerRun, routine: Routine,
                   msg: Message) -> None:
-        walker.inflight = _RoutineExec(routine=routine, msg=msg, walker=walker)
+        inflight = _RoutineExec(routine=routine, msg=msg, walker=walker)
+        walker.inflight = inflight
         walker.routines_run += 1
         bound = self._bound_routines
         if bound is not None:
             blocks = bound.get(routine.name)
             if blocks is None:
                 blocks = bound[routine.name] = bind_routine(
-                    self.program.ram.compiled_routine(routine.name),
+                    self.program.ram.compiled_routine(
+                        routine.name, self.config.min_fuse_len),
                     self.stats, _OP_CAT_INDEX,
                     self.config.xregs_per_walker, self.config.num_exe)
-            walker.inflight.compiled = blocks
-        self._execq.append(walker.inflight)
+            inflight.compiled = blocks
+            traces = self._traces
+            if traces is not None:
+                trace = None
+                prev = walker.last_trace
+                if prev is not None:
+                    # episode chain: the last completed trace remembers
+                    # which trace handled this event last time
+                    trace = prev.next_on.get(msg.event)
+                    if trace is not None \
+                            and trace.routine_name == routine.name:
+                        self.trace_stats.episode_hits += 1
+                    else:
+                        trace = None
+                if trace is None:
+                    trace = traces.get(routine.name)
+                    if trace is None:
+                        self._trace_warm(routine, inflight)
+                    elif prev is not None:
+                        prev.next_on[msg.event] = trace
+                if trace is not None:
+                    inflight.trace = trace
+                    self.trace_stats.dispatches += 1
+                walker.last_trace = None
+        self._execq.append(inflight)
         if self._count_stats:
             self.stats.inc("routines_dispatched")
         if self.bus is not None:
@@ -666,6 +748,56 @@ class Controller(Component):
                                             tag=walker.tag,
                                             routine=routine.name,
                                             walk_id=walker.walk_id))
+
+    # ------------------------------------------------------------------
+    # trace compilation (hot-path recording and binding)
+    # ------------------------------------------------------------------
+    def _trace_warm(self, routine: Routine, inflight: _RoutineExec) -> None:
+        """Cold trace path: rebind a path already recorded in the RAM
+        (e.g. by another controller sharing the program), or count
+        hotness and arm recording when the threshold is crossed."""
+        name = routine.name
+        if name in self._trace_blacklist:
+            return
+        path = self.program.ram.trace_path(name)
+        if path is not None:
+            trace = self._bind_trace(routine, path)
+            if trace is not None:
+                inflight.trace = trace
+                self.trace_stats.dispatches += 1
+            return
+        count = self._trace_counts.get(name, 0) + 1
+        self._trace_counts[name] = count
+        if count == self.config.trace_threshold:
+            # this invocation records; the next one runs the trace
+            inflight.recording = []
+            inflight.record_mask = record_mask(routine)
+
+    def _bind_trace(self, routine: Routine,
+                    path: TracePath) -> Optional[BoundTrace]:
+        blocks = None
+        bound = self._bound_routines
+        if bound is not None:
+            blocks = bound.get(routine.name)
+        try:
+            trace = bind_trace(self, routine, path, blocks, _OP_CAT_INDEX)
+        except TraceBuildError:
+            self._trace_blacklist.add(routine.name)
+            return None
+        assert self._traces is not None
+        self._traces[routine.name] = trace
+        return trace
+
+    def _record_complete(self, ex: _RoutineExec,
+                         decisions: List[Tuple[int, int, bool, bool]]) -> None:
+        name = ex.routine.name
+        if self._traces is None or name in self._traces \
+                or name in self._trace_blacklist:
+            return
+        path = TracePath(name, tuple(decisions))
+        if self._bind_trace(ex.routine, path) is not None:
+            self.program.ram.install_trace(name, path)
+            self.trace_stats.installs += 1
 
     def _back_end_execute(self) -> None:
         budget = self.config.num_exe
@@ -679,6 +811,17 @@ class Controller(Component):
             actions = ex.routine.actions
             if ex.pc >= len(actions):
                 self._finish_routine(ex, terminated=False)
+                continue
+            trace = ex.trace
+            if trace is not None:
+                # one closure per episode leg: runs as many segments as
+                # the budget allows, resumes mid-trace next cycle, or
+                # deopts (ex.trace = None) to the block path below
+                budget = trace.run(self, ex, budget)
+                if ex.trace_terminated:
+                    self._finish_routine(ex, terminated=True)
+                elif ex.pc >= len(actions):
+                    self._finish_routine(ex, terminated=False)
                 continue
             blocks = ex.compiled
             if blocks is not None:
@@ -713,6 +856,16 @@ class Controller(Component):
             charge(ex.walker.ctx, result.cost)
             if ex.costs is not None:
                 ex.costs[_OP_CAT_INDEX[action.op]] += result.cost
+            rec = ex.recording
+            if rec is not None and not ex.record_mask[ex.pc]:
+                rec.append((ex.pc,
+                            result.branch if result.branch is not None
+                            else ex.pc + 1,
+                            result.branch is not None,
+                            result.terminated))
+                if len(rec) >= TRACE_MAX_DECISIONS:
+                    ex.recording = None
+                    self._trace_blacklist.add(ex.routine.name)
             if result.terminated:
                 self._finish_routine(ex, terminated=True)
                 continue
@@ -724,6 +877,14 @@ class Controller(Component):
         self._execq.popleft()
         walker = ex.walker
         walker.inflight = None
+        if ex.recording is not None:
+            decisions = ex.recording
+            ex.recording = None
+            self._record_complete(ex, decisions)
+        if ex.trace is not None:
+            # clean completion (not a deopt): remember the trace so the
+            # next dispatch can follow its episode edge
+            walker.last_trace = ex.trace
         if terminated:
             self._complete_walker(walker, ex)
         elif self.bus is not None:

@@ -25,6 +25,11 @@ Checks:
   action, a branch landing *inside* a block (fused entry must be a
   leader), or the compiler's static register-read model diverging from
   the linter's independently derived one.
+* **trace-coverage** — a recorded episode trace disagrees with the
+  static program (checked via :func:`check_traces`): a path that no
+  longer replays over the compiled partition, an inlined guard that is
+  not a pure branch, or a boundary step whose recorded successor is
+  not a successor of its action.
 """
 
 from __future__ import annotations
@@ -36,10 +41,11 @@ from .compile import is_fusible, register_reads
 from .config import XCacheConfig
 from .isa import FUSIBLE_OPCODES, OPCODE_SOURCE_SLOTS, Action, Opcode
 from .messages import DEFAULT_STATE, EV_FILL
+from .trace_compile import TraceBuildError, guardable, iter_trace_steps
 from .walker import CompiledWalker
 
 __all__ = ["LintFinding", "lint_walker", "check_context", "check_compile",
-           "max_register"]
+           "check_traces", "max_register"]
 
 
 @dataclass(frozen=True)
@@ -153,6 +159,66 @@ def check_compile(program: CompiledWalker) -> List[LintFinding]:
     return findings
 
 
+def check_traces(program: CompiledWalker) -> List[LintFinding]:
+    """Cross-check recorded episode traces against the static program.
+
+    Every path the runtime recorded (``ram.trace_path``) must replay as
+    a walk over the compiled partition: each fused stretch an existing
+    block, every inlined branch a guardable pure branch, and every
+    interpreter boundary step's recorded successor a legal successor of
+    its action. A finding here means the routine text changed under the
+    RAM, the recorder mis-learned a path, or the guard table went stale
+    — exactly the bugs that would otherwise surface as a mid-episode
+    deopt storm or a silent divergence only ``compile_mode=verify``
+    catches. Programs with no recorded traces produce zero findings.
+    """
+    findings: List[LintFinding] = []
+    for routine in program.ram.routines:
+        path = program.ram.trace_path(routine.name)
+        if path is None:
+            continue
+        compiled = program.ram.compiled_routine(routine.name)
+        spans = {block.start: (block.start, block.end)
+                 for block in compiled.blocks}
+        try:
+            steps = list(iter_trace_steps(routine, path, spans.get))
+        except TraceBuildError as err:
+            findings.append(LintFinding(
+                "error", "trace-coverage", routine.name, -1,
+                f"recorded path does not replay: {err}"))
+            continue
+        for step in steps:
+            kind = step[0]
+            if kind == "guard":
+                pc = step[1]
+                action = routine.actions[pc]
+                if not guardable(action):
+                    findings.append(LintFinding(
+                        "error", "trace-coverage", routine.name, pc,
+                        f"{action.op.value} inlined as a trace guard but "
+                        "is not a pure branch with bound operands"))
+            elif kind == "exec":
+                pc, next_pc, terminated = step[1], step[2], step[3]
+                action = routine.actions[pc]
+                successors = {pc + 1}
+                if action.target is not None:
+                    successors.add(action.target)
+                if not terminated and next_pc not in successors:
+                    findings.append(LintFinding(
+                        "error", "trace-coverage", routine.name, pc,
+                        f"recorded successor {next_pc} is not a successor "
+                        f"of {action.op.value} (expected one of "
+                        f"{sorted(successors)})"))
+            elif kind == "inline":
+                pc = step[1]
+                if not is_fusible(routine.actions[pc]):
+                    findings.append(LintFinding(
+                        "error", "trace-coverage", routine.name, pc,
+                        f"{routine.actions[pc].op.value} inlined into a "
+                        "trace but is not fusible"))
+    return findings
+
+
 def _reachable_indices(routine) -> Set[int]:
     seen: Set[int] = set()
     stack = [0]
@@ -239,6 +305,7 @@ def lint_walker(program: CompiledWalker,
                         f"[{nxt}, Fill] routine"))
 
     findings.extend(check_compile(program))
+    findings.extend(check_traces(program))
 
     if config is not None:
         findings.extend(check_context(program, config))

@@ -157,22 +157,51 @@ class MicrocodeRAM:
             self._offsets[routine.name] = offset
             offset += len(routine)
         self.total_actions = offset
-        from .compile import compile_routine
-        self._compiled = {r.name: compile_routine(r) for r in self.routines}
+        from .compile import MIN_FUSE_LEN, compile_routine
+        self._compiled = {(r.name, MIN_FUSE_LEN): compile_routine(r)
+                          for r in self.routines}
+        # routine name -> recorded hot path (repro.core.trace_compile
+        # TracePath); paths are a property of the program, so a trace
+        # recorded by one controller serves every controller sharing
+        # this RAM. Controllers bind their own guarded closures.
+        self._traces: Dict[str, object] = {}
 
-    def compiled_routine(self, name: str):
-        """The :class:`~repro.core.compile.CompiledRoutine` for ``name``."""
-        compiled = self._compiled.get(name)
+    def routine_named(self, name: str) -> Routine:
+        routine = next((r for r in self.routines if r.name == name), None)
+        if routine is None:
+            raise MicrocodeError(f"no routine named {name!r}")
+        return routine
+
+    def compiled_routine(self, name: str, min_fuse_len: Optional[int] = None):
+        """The :class:`~repro.core.compile.CompiledRoutine` for ``name``,
+        partitioned at ``min_fuse_len`` (module default when None)."""
+        from .compile import MIN_FUSE_LEN, compile_routine
+        key = (name, MIN_FUSE_LEN if min_fuse_len is None else min_fuse_len)
+        compiled = self._compiled.get(key)
         if compiled is None:
-            from .compile import compile_routine
-            routine = next(r for r in self.routines if r.name == name)
-            compiled = self._compiled[name] = compile_routine(routine)
+            compiled = self._compiled[key] = compile_routine(
+                self.routine_named(name), key[1])
         return compiled
+
+    def install_trace(self, name: str, path) -> None:
+        """Record ``name``'s hot path (a trace_compile.TracePath)."""
+        self.routine_named(name)  # validate
+        self._traces[name] = path
+
+    def trace_path(self, name: str):
+        """The recorded hot path for ``name``, or None."""
+        return self._traces.get(name)
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_compiled"] = {}  # closures don't pickle; rebuilt lazily
+        state["_traces"] = {}    # recorded paths are re-learned at runtime
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # pre-PR6 pickles carry no trace store
+        self.__dict__.setdefault("_traces", {})
 
     def offset_of(self, name: str) -> int:
         """The routine's logical "PC" in the microcode RAM."""

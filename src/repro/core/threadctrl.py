@@ -40,6 +40,10 @@ from .config import COMPILE_MODES, default_compile_mode
 
 __all__ = ["WalkStep", "ThreadController", "fuse_walk_steps"]
 
+# distinct walk shapes memoized per controller before the fusion cache
+# resets (walk shapes are few; this only bounds adversarial submitters)
+_FUSE_CACHE_MAX = 1024
+
 
 @dataclass(frozen=True)
 class WalkStep:
@@ -138,6 +142,11 @@ class ThreadController(Component):
         self.num_pipelines = num_pipelines
         self.context_bytes = context_bytes
         self._pending: Deque[_Walk] = deque()
+        # fusion memo: WalkStep is frozen/hashable, and workloads submit
+        # the same walk shapes thousands of times — fuse each distinct
+        # shape once. Verify mode bypasses the memo so every submission
+        # re-derives the timing invariants in lockstep.
+        self._fuse_cache: dict = {}
         self._next_uid = 0
         self._resident = 0
         self.occupancy_byte_cycles = 0
@@ -165,8 +174,15 @@ class ThreadController(Component):
         self._next_uid = uid + 1
         walk_steps = tuple(steps)
         if self.compile_mode != "off":
-            fused = fuse_walk_steps(walk_steps,
-                                    verify=self.compile_mode == "verify")
+            if self.compile_mode == "verify":
+                fused = fuse_walk_steps(walk_steps, verify=True)
+            else:
+                fused = self._fuse_cache.get(walk_steps)
+                if fused is None:
+                    if len(self._fuse_cache) >= _FUSE_CACHE_MAX:
+                        self._fuse_cache.clear()
+                    fused = fuse_walk_steps(walk_steps)
+                    self._fuse_cache[walk_steps] = fused
             saved = len(walk_steps) - len(fused)
             if saved:
                 self.stats.inc("steps_fused", saved)

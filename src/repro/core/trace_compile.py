@@ -1,0 +1,693 @@
+"""Trace compilation v2: guarded episode closures over hot paths.
+
+PR 5's routine compiler (:mod:`repro.core.compile`) stops at basic-block
+boundaries, so a miss episode still re-enters the controller's dispatch
+loop at every branch and every boundary action. This module records the
+*dynamic* path a hot routine actually takes — the sequence of outcomes
+of its non-fusible actions — and stitches the already-compiled blocks
+along that path into one guarded closure per routine invocation. An
+episode (miss → AGEN → DRAM yield → resume → retire) then runs as a
+chain of these closures, linked by the triggering event
+(:attr:`BoundTrace.next_on`), instead of one closure per block.
+
+Every inlined branch becomes a **guard**: the recorded direction is
+assumed, the predicate is evaluated inline, and a mismatch *deopts* —
+the trace detaches and the block/interpreter path resumes at the exact
+pc the interpreter would be at, with byte-identical registers, stats,
+costs, and occupancy integrals. Deoptimization is therefore always
+safe; the trace is purely a dispatch-overhead optimization.
+
+Execution contract (mirrors ``Controller._back_end_execute`` exactly —
+the differential tests pin this):
+
+* a **block** segment runs only when the whole block fits the cycle's
+  remaining ``#Exe`` budget; otherwise the trace *detaches* and the
+  interpreter splits the block, exactly like block mode does;
+* **inline** / **guard** / **exec** segments run whenever ``budget > 0``
+  (single actions may overshoot the budget, exactly like the
+  interpreter); at ``budget <= 0`` the trace saves its cursor
+  (``ex.trace_pos``) and the next cycle re-enters through a
+  straight-line closure compiled for that cursor (lazily, memoized per
+  cursor; past :data:`TRACE_ENTRY_CAP` cursors a shared position-ladder
+  closure serves the tail), so neither fresh entry nor resume pays a
+  per-segment position test;
+* ``compile_mode=verify`` swaps the generated closure for a lockstep
+  runner that drives :func:`repro.core.compile.verify_block` per
+  block/inline segment and cross-checks every guard prediction against
+  the authoritative interpreter outcome.
+
+The recorded :class:`TracePath` is installed in the
+:class:`~repro.core.microcode.MicrocodeRAM` (paths are a property of the
+program); each controller binds its own :class:`BoundTrace` against its
+stat counters and geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+from .actions import ActionError
+from .compile import (
+    BoundBlock,
+    CompileVerifyError,
+    _BlockEmitter,
+    _codegen,
+    _count_stats,
+    _operand_expr,
+    is_fusible,
+    verify_block,
+)
+from .isa import (
+    OPCODE_CATEGORY,
+    OPCODE_SOURCE_SLOTS,
+    Action,
+    Opcode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .controller import Controller, _RoutineExec
+    from .microcode import Routine
+
+__all__ = [
+    "TracePath",
+    "TraceBuildError",
+    "TraceSegment",
+    "BoundTrace",
+    "bind_trace",
+    "iter_trace_steps",
+    "record_mask",
+    "guardable",
+    "TRACE_MAX_DECISIONS",
+    "TRACE_MAX_SEGMENTS",
+]
+
+# A recording longer than this aborts and blacklists the routine: the
+# path is too irregular (e.g. a data-dependent loop) for one episode
+# closure to be worth the codegen.
+TRACE_MAX_DECISIONS = 512
+# Reconstruction cap: decisions interleave with straight-line runs, so
+# the segment count is bounded but can exceed the decision count.
+TRACE_MAX_SEGMENTS = 2048
+# Budget-boundary resumes re-enter a trace at a segment cursor. Each
+# distinct cursor gets its own straight-line closure (no per-segment
+# position test on the hot path); beyond this many distinct cursors the
+# trace falls back to one shared position-ladder closure rather than
+# compiling an O(segments) tail per cursor.
+TRACE_ENTRY_CAP = 32
+
+# Pure branches: outcome is a total function of X-registers / message
+# fields the closure already has in locals, so the branch can become an
+# inline guard. BMISS/BHIT probe the meta-tag array (and must bump its
+# counters), so they stay boundary actions executed via the interpreter.
+_GUARD_EXPR: Dict[Opcode, str] = {
+    Opcode.BEQ: "({a}) == ({b})",
+    Opcode.BNZ: "({a}) != 0",
+    Opcode.BLT: "({a}) < ({b})",
+    Opcode.BGE: "({a}) >= ({b})",
+    Opcode.BLE: "({a}) <= ({b})",
+}
+
+
+class TraceBuildError(ValueError):
+    """A recorded path cannot be stitched into a trace."""
+
+
+class TraceStats:
+    """Trace-machinery bookkeeping, deliberately *outside* the
+    controller's :class:`~repro.sim.stats.StatGroup`: architectural
+    stats must stay byte-identical across compile modes, and whether a
+    trace happened to run is tooling metadata, not machine behavior."""
+
+    __slots__ = ("installs", "dispatches", "deopts", "detaches",
+                 "episode_hits")
+
+    def __init__(self) -> None:
+        self.installs = 0       # paths recorded and bound
+        self.dispatches = 0     # routine invocations entered via a trace
+        self.deopts = 0         # guard/exec outcome mismatches
+        self.detaches = 0       # mid-cycle partial-budget block splits
+        self.episode_hits = 0   # dispatches resolved via a next_on edge
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"TraceStats({body})"
+
+
+@dataclass(frozen=True)
+class TracePath:
+    """The recorded hot path of one routine (controller-independent).
+
+    ``decisions`` holds one ``(pc, next_pc, taken, terminated)`` tuple
+    per *non-fusible* action executed along the path, in execution
+    order. Fusible stretches between decisions are fully determined by
+    the routine text, so they are reconstructed, not recorded.
+    """
+
+    routine_name: str
+    decisions: Tuple[Tuple[int, int, bool, bool], ...]
+
+
+def record_mask(routine: "Routine") -> Tuple[bool, ...]:
+    """``mask[pc]`` is True when the action at ``pc`` is fusible (and
+    therefore *not* recorded while learning a path)."""
+    return tuple(is_fusible(a) for a in routine.actions)
+
+
+def guardable(action: Action) -> bool:
+    """True when ``action`` is a pure branch an episode trace can turn
+    into an inline guard."""
+    if action.op not in _GUARD_EXPR or action.target is None:
+        return False
+    for slot in OPCODE_SOURCE_SLOTS[action.op]:
+        if getattr(action, slot) is None:
+            return False
+    return True
+
+
+def _guard_reg_limit(action: Action) -> int:
+    """Highest register index the guard predicate would read (-1: none)."""
+    highest = -1
+    for slot in OPCODE_SOURCE_SLOTS[action.op]:
+        operand = getattr(action, slot)
+        if operand is not None and operand.kind == "r":
+            highest = max(highest, int(operand.value))
+    return highest
+
+
+def iter_trace_steps(routine: "Routine", path: TracePath,
+                     block_lookup: Callable[[int], Optional[Tuple[int, int]]],
+                     ) -> Iterator[Tuple]:
+    """Replay ``path`` over the routine text, yielding trace steps.
+
+    ``block_lookup(pc)`` returns the ``(start, end)`` span of the fused
+    block *starting* at ``pc`` (or None) — callers pass either a bound
+    block table (binding) or the unbound compiled partition (lint /
+    disasm). Steps:
+
+    * ``("block", start, end)`` — a fused block runs whole;
+    * ``("inline", pc)`` — a single fusible action outside any block;
+    * ``("guard", pc, taken, target)`` — a pure branch, recorded
+      direction assumed;
+    * ``("exec", pc, next_pc, terminated)`` — a boundary action run via
+      the interpreter, with the recorded outcome as its guard
+      (``next_pc`` is -1 when the recording terminated here).
+
+    Raises :class:`TraceBuildError` when the decisions do not replay
+    cleanly (defensive: a recorder bug, or a stale path for a changed
+    routine) or the step count exceeds :data:`TRACE_MAX_SEGMENTS`.
+    """
+    actions = routine.actions
+    n = len(actions)
+    decisions = path.decisions
+    di = 0
+    pc = 0
+    steps = 0
+    while pc < n:
+        steps += 1
+        if steps > TRACE_MAX_SEGMENTS:
+            raise TraceBuildError(
+                f"trace for {routine.name!r} exceeds {TRACE_MAX_SEGMENTS} "
+                "segments")
+        span = block_lookup(pc)
+        if span is not None:
+            start, end = span
+            if start != pc or not end > start:
+                raise TraceBuildError(
+                    f"block lookup for {routine.name!r} returned "
+                    f"[{start},{end}) at pc {pc}")
+            yield ("block", start, end)
+            pc = end
+            continue
+        action = actions[pc]
+        if is_fusible(action):
+            yield ("inline", pc)
+            pc += 1
+            continue
+        if di >= len(decisions):
+            raise TraceBuildError(
+                f"recorded path for {routine.name!r} ends at pc {pc} "
+                "before the routine completes")
+        dpc, next_pc, taken, terminated = decisions[di]
+        di += 1
+        if dpc != pc:
+            raise TraceBuildError(
+                f"recorded decision at pc {dpc} but replay of "
+                f"{routine.name!r} reached pc {pc}")
+        if guardable(action) and not terminated:
+            yield ("guard", pc, taken, action.target)
+            pc = action.target if taken else pc + 1
+            continue
+        yield ("exec", pc, -1 if terminated else next_pc, terminated)
+        if terminated:
+            break
+        pc = next_pc
+    if di != len(decisions):
+        raise TraceBuildError(
+            f"recorded path for {routine.name!r} has {len(decisions) - di} "
+            "unconsumed decisions")
+
+
+class TraceSegment:
+    """One step of a bound trace (see :func:`iter_trace_steps`)."""
+
+    __slots__ = ("kind", "pc", "block", "vblock", "action", "taken",
+                 "target", "next_pc", "expr", "predicate")
+
+    def __init__(self, kind: str, pc: int) -> None:
+        self.kind = kind
+        self.pc = pc
+        self.block: Optional[BoundBlock] = None    # "block"
+        self.vblock: Optional[BoundBlock] = None   # "inline" (verify shadow)
+        self.action: Optional[Action] = None       # "guard" / "exec"
+        self.taken = False                         # "guard"
+        self.target = -1                           # "guard"
+        self.next_pc = -1                          # "exec" (-1: terminated)
+        self.expr = ""                             # "guard" (codegen/disasm)
+        self.predicate: Optional[Callable] = None  # "guard" (verify)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceSegment {self.kind} @{self.pc}>"
+
+
+class BoundTrace:
+    """A :class:`TracePath` bound to one controller.
+
+    ``run(controller, ex, budget)`` executes as much of the trace as the
+    cycle budget allows and returns the remaining budget; it either
+    completes the routine (``ex.pc`` past the end or
+    ``ex.trace_terminated``), saves a resume cursor (``ex.trace_pos``),
+    or deopts (``ex.trace = None`` with ``ex.pc`` at the divergence).
+    ``next_on`` chains episode closures: the trace that handled the
+    event a completed trace's routine yielded into.
+    """
+
+    __slots__ = ("routine_name", "path", "segments", "source", "run",
+                 "next_on", "n_actions", "_cat_index")
+
+    def __init__(self, routine_name: str, path: TracePath,
+                 segments: Tuple[TraceSegment, ...], n_actions: int) -> None:
+        self.routine_name = routine_name
+        self.path = path
+        self.segments = segments
+        self.n_actions = n_actions
+        self.source = ""
+        self.run: Callable = None  # type: ignore[assignment]
+        self.next_on: Dict[str, "BoundTrace"] = {}
+        self._cat_index: Dict[Opcode, int] = {}
+
+    @property
+    def guards(self) -> int:
+        return sum(1 for s in self.segments if s.kind == "guard")
+
+    # ------------------------------------------------------------------
+    # verify flavor: lockstep differential, interpreter authoritative
+    # ------------------------------------------------------------------
+    def _verify_run(self, ctrl: "Controller", ex: "_RoutineExec",
+                    budget: int) -> int:
+        walker = ex.walker
+        msg = ex.msg
+        ctx = walker.ctx
+        execute = ctrl.executor.execute
+        charge = ctrl.xregs.charge_active
+        cat_index = self._cat_index
+        costs = ex.costs
+        segments = self.segments
+        pos = ex.trace_pos
+        n = len(segments)
+        while pos < n:
+            seg = segments[pos]
+            kind = seg.kind
+            if budget <= 0:
+                # cycle budget exhausted at a segment boundary: save the
+                # cursor and resume inside this trace next cycle
+                ex.trace_pos = pos
+                ex.pc = seg.pc
+                return budget
+            if kind == "block":
+                bound = seg.block
+                if budget < bound.n:
+                    # mid-cycle partial budget: block mode would split
+                    # the block through the interpreter, so detach
+                    ex.pc = bound.start
+                    ex.trace = None
+                    ctrl.trace_stats.detaches += 1
+                    return budget
+                verify_block(ctrl, ex, bound, cat_index)
+                budget -= bound.n
+                pos += 1
+                continue
+            if kind == "inline":
+                verify_block(ctrl, ex, seg.vblock, cat_index)
+                budget -= 1
+                pos += 1
+                continue
+            action = seg.action
+            if kind == "guard":
+                predicted = bool(seg.predicate(ctx.regs, msg))
+                result = execute(walker, action, msg)
+                budget -= result.cost
+                charge(ctx, result.cost)
+                if costs is not None:
+                    costs[cat_index[action.op]] += result.cost
+                actual = result.branch is not None
+                if actual != predicted:
+                    raise CompileVerifyError(
+                        f"{self.routine_name}[{seg.pc}] guard "
+                        f"({seg.expr}) predicted taken={predicted} but "
+                        f"the interpreter took {actual}")
+                if actual != seg.taken:
+                    ex.pc = result.branch if actual else seg.pc + 1
+                    ex.trace = None
+                    ctrl.trace_stats.deopts += 1
+                    return budget
+                pos += 1
+                continue
+            # "exec": interpreter-run boundary action, recorded outcome
+            # as the guard
+            result = execute(walker, action, msg)
+            budget -= result.cost
+            charge(ctx, result.cost)
+            if costs is not None:
+                costs[cat_index[action.op]] += result.cost
+            if result.terminated:
+                ex.trace_terminated = True
+                return budget
+            nxt = result.branch if result.branch is not None else seg.pc + 1
+            if nxt != seg.next_pc:
+                ex.pc = nxt
+                ex.trace = None
+                ctrl.trace_stats.deopts += 1
+                return budget
+            pos += 1
+        ex.pc = self.n_actions
+        return budget
+
+
+# ----------------------------------------------------------------------
+# binding + code generation
+# ----------------------------------------------------------------------
+
+def _exec_segment(pc: int, action: Action, next_pc: int) -> TraceSegment:
+    seg = TraceSegment("exec", pc)
+    seg.action = action
+    seg.next_pc = next_pc
+    return seg
+
+
+def bind_trace(controller: "Controller", routine: "Routine",
+               path: TracePath,
+               block_at: Optional[Tuple[Optional[BoundBlock], ...]],
+               cat_index: Dict[Opcode, int]) -> BoundTrace:
+    """Stitch ``path`` into a guarded closure bound to ``controller``.
+
+    Raises :class:`TraceBuildError` when the path does not replay; the
+    caller blacklists the routine.
+    """
+    actions = routine.actions
+    xregs_limit = controller.config.xregs_per_walker
+
+    def lookup(pc: int) -> Optional[Tuple[int, int]]:
+        if block_at is None:
+            return None
+        bound = block_at[pc]
+        return None if bound is None else (bound.start, bound.end)
+
+    segments: List[TraceSegment] = []
+    for step in iter_trace_steps(routine, path, lookup):
+        kind = step[0]
+        if kind == "block":
+            seg = TraceSegment("block", step[1])
+            seg.block = block_at[step[1]]
+            segments.append(seg)
+            continue
+        if kind == "inline":
+            pc = step[1]
+            compiled = _codegen(routine, pc, pc + 1)
+            if compiled.max_reg >= xregs_limit:
+                # the interpreter owns the out-of-range IndexError
+                segments.append(_exec_segment(pc, actions[pc], pc + 1))
+                continue
+            seg = TraceSegment("inline", pc)
+            seg.vblock = BoundBlock(compiled, controller.stats, cat_index)
+            segments.append(seg)
+            continue
+        if kind == "guard":
+            pc, taken, target = step[1], step[2], step[3]
+            action = actions[pc]
+            if _guard_reg_limit(action) >= xregs_limit:
+                segments.append(_exec_segment(
+                    pc, action, target if taken else pc + 1))
+                continue
+            seg = TraceSegment("guard", pc)
+            seg.action = action
+            seg.taken = taken
+            seg.target = target
+            operands = {
+                slot: _operand_expr(getattr(action, slot))
+                for slot in OPCODE_SOURCE_SLOTS[action.op]
+            }
+            seg.expr = _GUARD_EXPR[action.op].format(
+                a=operands.get("a"), b=operands.get("b"))
+            seg.predicate = eval(  # noqa: S307 - expr built from operands
+                compile(f"lambda _regs, msg: ({seg.expr})",
+                        f"<xtrace {routine.name} guard@{pc}>", "eval"))
+            segments.append(seg)
+            continue
+        pc, next_pc = step[1], step[2]
+        segments.append(_exec_segment(pc, actions[pc], next_pc))
+
+    trace = BoundTrace(routine.name, path, tuple(segments), len(actions))
+    trace._cat_index = cat_index
+    if controller.config.compile_mode == "verify":
+        trace.run = trace._verify_run
+    else:
+        trace.run = _codegen_entry(controller, routine, trace, cat_index)
+    return trace
+
+
+def _codegen_entry(controller: "Controller", routine: "Routine",
+                   trace: BoundTrace,
+                   cat_index: Dict[Opcode, int]) -> Callable:
+    """Build the fresh-entry closure plus a lazy resume dispatcher.
+
+    The fresh-entry closure is straight-line (segment 0 onward, no
+    position tests); when a budget boundary saved a cursor, the next
+    cycle re-enters through ``_resume``, which compiles a straight-line
+    closure for that cursor on first use. Budgets are fixed per cycle,
+    so a trace sees only a handful of distinct cursors; past
+    :data:`TRACE_ENTRY_CAP` a shared position-ladder closure (the
+    pre-v2 shape) serves the long tail instead of compiling more code.
+    """
+    entries: Dict[int, Callable] = {}
+    fallback: List[Optional[Callable]] = [None]
+
+    def _resume(ctrl: "Controller", ex: "_RoutineExec", budget: int) -> int:
+        pos = ex.trace_pos
+        fn = entries.get(pos)
+        if fn is None:
+            if len(entries) < TRACE_ENTRY_CAP:
+                fn = _codegen_trace(controller, routine, trace, cat_index,
+                                    start=pos)
+                entries[pos] = fn
+            else:
+                fn = fallback[0]
+                if fn is None:
+                    fn = _codegen_trace(controller, routine, trace,
+                                        cat_index, ladder=True)
+                    fallback[0] = fn
+        return fn(ctrl, ex, budget)
+
+    entry = _codegen_trace(controller, routine, trace, cat_index,
+                           resume=_resume)
+    entries[0] = entry
+    return entry
+
+
+def _codegen_trace(controller: "Controller", routine: "Routine",
+                   trace: BoundTrace, cat_index: Dict[Opcode, int],
+                   start: int = 0, ladder: bool = False,
+                   resume: Optional[Callable] = None) -> Callable:
+    """Emit one fast-flavor closure for the trace.
+
+    Default shape is straight-line from segment ``start`` — segments
+    execute unconditionally in order (within one call control only
+    falls through forward; every early exit is a ``return``), so the
+    hot path carries no per-segment position test. ``ladder=True``
+    instead emits the any-cursor shape (every segment wrapped in an
+    ``if _pos <= k`` test) used as the shared fallback once a trace has
+    accumulated :data:`TRACE_ENTRY_CAP` distinct resume cursors.
+    ``resume`` (fresh-entry closure only) is the dispatcher invoked when
+    the closure is entered with a saved cursor.
+    """
+    stats = controller.stats
+    count_stats = controller._count_stats
+    index_of = {OPCODE_CATEGORY[op].value: idx
+                for op, idx in cat_index.items()}
+    namespace: Dict[str, object] = {
+        "ActionError": ActionError,
+        "_execute": controller.executor.execute,
+        "_charge": controller.xregs.charge_active,
+        "_charge_units": controller.xregs.charge_units,
+        "dataram": controller.dataram,
+        "_TS": controller.trace_stats,
+    }
+    counter_vars: Dict[str, str] = {}
+
+    def cvar(name: str) -> str:
+        var = counter_vars.get(name)
+        if var is None:
+            var = f"_S{len(counter_vars)}"
+            counter_vars[name] = var
+            namespace[var] = stats.counter(name)
+        return var
+
+    lines: List[str] = [f"def _trace(ctrl, ex, budget):"]
+    emit = lines.append
+    if resume is not None:
+        namespace["_resume"] = resume
+        emit("    if ex.trace_pos:")
+        emit("        return _resume(ctrl, ex, budget)")
+    emit("    walker = ex.walker")
+    emit("    msg = ex.msg")
+    emit("    _ctx = walker.ctx")
+    emit("    _regs = _ctx.regs")
+    emit("    _rt = _ctx.regs_touched")
+    emit("    _occ = 0")
+    emit("    _costs = ex.costs")
+    if ladder:
+        emit("    _pos = ex.trace_pos")
+
+    def emit_epilogue(indent: str) -> None:
+        emit(f"{indent}_ctx.regs_touched = _rt")
+        emit(f"{indent}if _occ:")
+        emit(f"{indent}    _charge_units(_occ)")
+        emit(f"{indent}return budget")
+
+    def emit_save(k: int, pc: int, indent: str) -> None:
+        emit(f"{indent}ex.trace_pos = {k}")
+        emit(f"{indent}ex.pc = {pc}")
+        emit_epilogue(indent)
+
+    def emit_deopt(pc_expr: str, indent: str) -> None:
+        emit(f"{indent}ex.pc = {pc_expr}")
+        emit(f"{indent}ex.trace = None")
+        emit(f"{indent}_TS.deopts += 1")
+        emit_epilogue(indent)
+
+    def emit_bumps(counts, indent: str) -> None:
+        if not count_stats:
+            return
+        for name, amount in counts:
+            emit(f"{indent}{cvar(name)}.value += {amount}")
+
+    def emit_costs(cat_costs, indent: str) -> None:
+        emit(f"{indent}if _costs is not None:")
+        for cat, amount in cat_costs:
+            emit(f"{indent}    _costs[{index_of[cat]}] += {amount}")
+
+    base = "        " if ladder else "    "
+    deep = base + "    "
+    for k, seg in enumerate(trace.segments):
+        if k < start:
+            continue
+        emit(f"    # -- segment {k}: {seg.kind} @{seg.pc}")
+        if ladder:
+            emit(f"    if _pos <= {k}:")
+        if seg.kind == "block":
+            bound = seg.block
+            emit(f"{base}if budget <= 0:")
+            emit_save(k, bound.start, deep)
+            emit(f"{base}if budget < {bound.n}:")
+            emit(f"{deep}ex.pc = {bound.start}")
+            emit(f"{deep}ex.trace = None")
+            emit(f"{deep}_TS.detaches += 1")
+            emit_epilogue(deep)
+            emitter = _BlockEmitter()
+            for pc in range(bound.start, bound.end):
+                emitter.emit(pc, routine.actions[pc])
+            for line in emitter.lines:
+                emit(base + line)
+            emit(f"{base}budget -= {bound.n}")
+            emit_bumps(bound.block.counter_counts, base)
+            emit_costs(bound.block.cat_costs, base)
+        elif seg.kind == "inline":
+            emit(f"{base}if budget <= 0:")
+            emit_save(k, seg.pc, deep)
+            emitter = _BlockEmitter()
+            emitter.emit(seg.pc, routine.actions[seg.pc])
+            for line in emitter.lines:
+                emit(base + line)
+            emit(f"{base}budget -= 1")
+            counts, cats = _count_stats(routine.actions, seg.pc, seg.pc + 1)
+            emit_bumps(counts, base)
+            emit_costs(cats, base)
+        elif seg.kind == "guard":
+            action = seg.action
+            emit(f"{base}if budget <= 0:")
+            emit_save(k, seg.pc, deep)
+            emit(f"{base}budget -= 1")
+            emit(f"{base}_occ += _rt")
+            reads = sum(
+                1 for slot in OPCODE_SOURCE_SLOTS[action.op]
+                if getattr(action, slot) is not None
+                and getattr(action, slot).kind == "r")
+            cat = OPCODE_CATEGORY[action.op].value
+            counts = {"actions_total": 1, "ucode_reads": 1,
+                      f"act_{cat}": 1, "branches": 1}
+            if reads:
+                counts["xreg_reads"] = reads
+            emit_bumps(sorted(counts.items()), base)
+            emit_costs(((cat, 1),), base)
+            if seg.taken:
+                if count_stats:
+                    emit(f"{base}if {seg.expr}:")
+                    emit(f"{deep}{cvar('branches_taken')}.value += 1")
+                    emit(f"{base}else:")
+                    emit_deopt(str(seg.pc + 1), deep)
+                else:
+                    emit(f"{base}if not ({seg.expr}):")
+                    emit_deopt(str(seg.pc + 1), deep)
+            else:
+                emit(f"{base}if {seg.expr}:")
+                if count_stats:
+                    emit(f"{deep}{cvar('branches_taken')}.value += 1")
+                emit_deopt(str(seg.target), deep)
+        else:  # "exec"
+            action_var = f"_A{k}"
+            namespace[action_var] = seg.action
+            cat = OPCODE_CATEGORY[seg.action.op].value
+            emit(f"{base}if budget <= 0:")
+            emit_save(k, seg.pc, deep)
+            emit(f"{base}_ctx.regs_touched = _rt")
+            emit(f"{base}_res = _execute(walker, {action_var}, msg)")
+            emit(f"{base}_rt = _ctx.regs_touched")
+            emit(f"{base}_c = _res.cost")
+            emit(f"{base}budget -= _c")
+            emit(f"{base}_charge(_ctx, _c)")
+            emit(f"{base}if _costs is not None:")
+            emit(f"{deep}_costs[{index_of[cat]}] += _c")
+            emit(f"{base}if _res.terminated:")
+            emit(f"{deep}ex.trace_terminated = True")
+            emit_epilogue(deep)
+            emit(f"{base}_n = _res.branch")
+            emit(f"{base}if _n is None:")
+            emit(f"{deep}_n = {seg.pc + 1}")
+            emit(f"{base}if _n != {seg.next_pc}:")
+            emit_deopt("_n", deep)
+    emit(f"    ex.pc = {trace.n_actions}")
+    emit("    _ctx.regs_touched = _rt")
+    emit("    if _occ:")
+    emit("        _charge_units(_occ)")
+    emit("    return budget")
+
+    source = "\n".join(lines) + "\n"
+    if start == 0 and not ladder:
+        trace.source = source
+    tag = ("ladder" if ladder else f"start={start}")
+    code = compile(source, f"<xtrace {routine.name} {tag}>", "exec")
+    exec(code, namespace)
+    return namespace["_trace"]  # type: ignore[return-value]

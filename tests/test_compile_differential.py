@@ -1,11 +1,13 @@
-"""Differential acceptance for routine compilation.
+"""Differential acceptance for routine and trace compilation.
 
-The compiled back-end is only a performance change; interpreted and
-fused execution must be cycle-for-cycle indistinguishable. These tests
-run every DSA model at tiny scale under ``compile_mode`` off/on/verify
-and compare per-cycle trace digests, then run the fig14 ci suite with
-lockstep verification armed, and finally check the profiler's
-conservation invariant holds on compiled runs.
+The compiled back-end is only a performance change; interpreted, fused,
+and episode-traced execution must be cycle-for-cycle indistinguishable.
+These tests run every DSA model at tiny scale under ``compile_mode``
+off/on/verify crossed with trace compilation off/eager and DRAM
+batching on/off, comparing per-cycle trace digests; force a recorded
+guard to fail and check the deopt is invisible; run the fig14 ci suite
+with lockstep verification armed; and check the profiler/span-tree
+conservation invariants hold on traced runs.
 """
 
 import pytest
@@ -13,13 +15,14 @@ import pytest
 from repro.core.config import COMPILE_MODE_ENV
 from repro.core.messages import reset_ids
 from repro.harness.suite import SUITE_CACHE_ENV, clear_cache, run_fig14_suite
+from repro.mem.dram import DRAM_BATCH_ENV
 from repro.sim import Tracer
 from repro.workloads.graphgen import p2p_gnutella08
 from repro.workloads.matrices import dense_spgemm_input
 from repro.workloads.tpch import make_widx_workload
 
 
-def _widx(mode):
+def _widx(mode, **over):
     from dataclasses import replace
 
     from repro.core.config import table3_config
@@ -28,11 +31,12 @@ def _widx(mode):
     workload = make_widx_workload(num_keys=256, num_probes=512,
                                   num_buckets=256, skew=1.3,
                                   hash_cycles=10, seed=3)
-    cfg = replace(table3_config("widx", scale=0.0625), compile_mode=mode)
+    cfg = replace(table3_config("widx", scale=0.0625),
+                  compile_mode=mode, **over)
     return WidxXCacheModel(workload, config=cfg)
 
 
-def _dasx(mode):
+def _dasx(mode, **over):
     from dataclasses import replace
 
     from repro.core.config import table3_config
@@ -41,40 +45,43 @@ def _dasx(mode):
     workload = make_widx_workload(num_keys=256, num_probes=256,
                                   num_buckets=128, skew=1.3,
                                   hash_cycles=30, seed=4, name="dasx")
-    cfg = replace(table3_config("dasx", scale=0.0625), compile_mode=mode)
+    cfg = replace(table3_config("dasx", scale=0.0625),
+                  compile_mode=mode, **over)
     return DasxXCacheModel(workload, config=cfg)
 
 
-def _sparch(mode):
+def _sparch(mode, **over):
     from dataclasses import replace
 
     from repro.core.config import table3_config
     from repro.dsa.sparch import SpArchXCacheModel
 
     a, b = dense_spgemm_input(n=64, nnz_per_row=4, seed=7)
-    cfg = replace(table3_config("sparch", scale=0.25), compile_mode=mode)
+    cfg = replace(table3_config("sparch", scale=0.25),
+                  compile_mode=mode, **over)
     return SpArchXCacheModel(a, b, config=cfg)
 
 
-def _gamma(mode):
+def _gamma(mode, **over):
     from dataclasses import replace
 
     from repro.core.config import table3_config
     from repro.dsa.gamma import GammaXCacheModel
 
     a, b = dense_spgemm_input(n=64, nnz_per_row=4, seed=7)
-    cfg = replace(table3_config("gamma", scale=0.25), compile_mode=mode)
+    cfg = replace(table3_config("gamma", scale=0.25),
+                  compile_mode=mode, **over)
     return GammaXCacheModel(a, b, config=cfg)
 
 
-def _graphpulse(mode):
+def _graphpulse(mode, **over):
     from dataclasses import replace
 
     from repro.dsa.graphpulse import GraphPulseXCacheModel, graphpulse_config
 
     graph = p2p_gnutella08(scale=0.02, seed=7)
     cfg = replace(graphpulse_config(graph.num_vertices),
-                  compile_mode=mode)
+                  compile_mode=mode, **over)
     return GraphPulseXCacheModel(graph, config=cfg, num_pes=2)
 
 
@@ -87,20 +94,20 @@ _MODELS = {
 }
 
 
-def _traced_run(make, mode):
+def _traced_run(make, mode, **over):
     reset_ids()
-    model = make(mode)
+    model = make(mode, **over)
     tracer = Tracer(capacity=2_000_000)
     model.system.controller.tracer = tracer
     result = model.run()
-    return tracer.digest(), result
+    return tracer.digest(), result, model
 
 
 @pytest.mark.parametrize("dsa", sorted(_MODELS))
 def test_digest_identical_off_vs_on(dsa):
     make = _MODELS[dsa]
-    off_digest, off_result = _traced_run(make, "off")
-    on_digest, on_result = _traced_run(make, "on")
+    off_digest, off_result, _ = _traced_run(make, "off")
+    on_digest, on_result, _ = _traced_run(make, "on")
     assert on_digest == off_digest
     assert on_result.cycles == off_result.cycles
 
@@ -109,9 +116,117 @@ def test_digest_identical_off_vs_on(dsa):
 def test_digest_identical_under_verify(dsa):
     """Verify mode runs fused + interpreter in lockstep — same trace."""
     make = _MODELS[dsa]
-    off_digest, _ = _traced_run(make, "off")
-    verify_digest, _ = _traced_run(make, "verify")
+    off_digest, _, _ = _traced_run(make, "off")
+    verify_digest, _, _ = _traced_run(make, "verify")
     assert verify_digest == off_digest
+
+
+@pytest.mark.parametrize("dsa", sorted(_MODELS))
+def test_digest_identical_with_episode_traces(dsa):
+    """Eager trace compilation (threshold 1) fires on every DSA and
+    changes nothing observable vs blocks-only and interpreter runs."""
+    make = _MODELS[dsa]
+    off_digest, off_result, _ = _traced_run(make, "off")
+    blocks_digest, blocks_result, _ = _traced_run(
+        make, "on", trace_threshold=0)
+    traced_digest, traced_result, model = _traced_run(
+        make, "on", trace_threshold=1)
+    assert blocks_digest == off_digest
+    assert traced_digest == off_digest
+    assert (traced_result.cycles == off_result.cycles
+            == blocks_result.cycles)
+    ts = model.system.controller.trace_stats
+    assert ts.installs >= 1, "no trace ever compiled"
+    assert ts.dispatches >= 1, "no episode ran through a trace"
+
+
+@pytest.mark.parametrize("dsa", ["widx", "sparch"])
+def test_digest_identical_traces_under_verify(dsa):
+    """Trace closures in verify mode run guard-by-guard against the
+    interpreter — same per-cycle digest as interpreted execution."""
+    make = _MODELS[dsa]
+    off_digest, _, _ = _traced_run(make, "off")
+    verify_digest, _, model = _traced_run(make, "verify",
+                                          trace_threshold=1)
+    assert verify_digest == off_digest
+    assert model.system.controller.trace_stats.dispatches >= 1
+
+
+@pytest.mark.parametrize("dsa", ["sparch", "gamma"])
+def test_digest_identical_without_dram_batch(dsa, monkeypatch):
+    """The vectorized DRAM batch path is timing-identical to issuing
+    each block through the scalar request() loop."""
+    make = _MODELS[dsa]
+    batched_digest, batched_result, _ = _traced_run(make, "on")
+    monkeypatch.setenv(DRAM_BATCH_ENV, "0")
+    scalar_digest, scalar_result, _ = _traced_run(make, "on")
+    assert scalar_digest == batched_digest
+    assert scalar_result.cycles == batched_result.cycles
+
+
+def _branchy_walker():
+    """A walker whose entry routine branches on a message field — the
+    recorded hot path inlines the branch as a guard, so flipping the
+    field after recording forces a mid-trace guard failure."""
+    from repro.core import (EV_FILL, EV_META_LOAD, IMM, MSG, R, Transition,
+                            WalkerSpec, compile_walker, op)
+
+    spec = WalkerSpec(
+        name="branchy",
+        transitions=(
+            Transition("Default", EV_META_LOAD, (
+                op.allocM(),                       # 0
+                op.mov(R(0), MSG("sel")),          # 1
+                op.bnz(R(0), target=5),            # 2: guard under trace
+                op.mov(R(1), MSG("addr")),         # 3: sel == 0 path
+                op.beq(IMM(0), IMM(0), target=6),  # 4: jump over alt path
+                op.mov(R(1), MSG("alt")),          # 5: sel != 0 path
+                op.enq_dram(addr=R(1)),            # 6
+                op.state("Wait"),                  # 7
+            )),
+            Transition("Wait", EV_FILL, (
+                op.finish(),
+            )),
+        ),
+    )
+    return compile_walker(spec)
+
+
+def test_forced_guard_failure_deopts_cleanly():
+    """Flip a traced branch after recording: the guard must fail, the
+    deopt must be invisible (byte-identical digests vs the interpreter
+    and the blocks-only compiler), and verify mode must agree."""
+    from repro.core import XCacheConfig, XCacheSystem
+
+    def drive(mode, threshold):
+        reset_ids()
+        config = XCacheConfig(ways=2, sets=8, data_sectors=128,
+                              num_active=4, num_exe=2, xregs_per_walker=8,
+                              compile_mode=mode, trace_threshold=threshold)
+        system = XCacheSystem(config, _branchy_walker())
+        tracer = Tracer(capacity=500_000)
+        system.controller.tracer = tracer
+        base = system.image.alloc_u64_array(list(range(128)))
+        for i in range(24):
+            sel = 1 if i >= 16 else 0   # recorded path sees sel == 0
+            system.load((i,), walk_fields={"sel": sel,
+                                           "addr": base + 8 * (i % 8),
+                                           "alt": base + 512 + 8 * (i % 8)})
+        system.run()
+        return tracer.digest(), system.controller
+
+    off_digest, _ = drive("off", 0)
+    blocks_digest, _ = drive("on", 0)
+    traced_digest, ctrl = drive("on", 4)
+    verify_digest, vctrl = drive("verify", 4)
+    assert blocks_digest == off_digest
+    assert traced_digest == off_digest
+    assert verify_digest == off_digest
+    assert ctrl.trace_stats.installs >= 1
+    assert ctrl.trace_stats.dispatches >= 1
+    assert ctrl.trace_stats.deopts >= 1, \
+        "flipping sel never failed a trace guard"
+    assert vctrl.trace_stats.deopts >= 1
 
 
 def test_fig14_ci_suite_under_verify(monkeypatch):
@@ -154,3 +269,48 @@ def test_prof_conservation_under_compiled_execution(mini_walker,
         stacks[mode] = dict(prof.stacks)
     # identical attribution, not merely internally consistent
     assert stacks["on"] == stacks["off"]
+
+
+def test_prof_and_spans_survive_episode_traces(mini_walker, mini_config):
+    """Multi-action episode closures retire whole walks in one dispatch;
+    the profiler's conservation invariant and the span trees' phase
+    tiling must hold regardless (satellite of the trace issue)."""
+    from dataclasses import replace
+
+    from repro.core import XCacheSystem
+    from repro.obs.prof import ProfileProcessor
+    from repro.obs.spans import SpanAssembler
+
+    stacks = {}
+    for threshold in (0, 1):
+        reset_ids()
+        system = XCacheSystem(
+            replace(mini_config, compile_mode="on", num_exe=4,
+                    trace_threshold=threshold), mini_walker)
+        prof = system.observe(ProfileProcessor())
+        spans = system.observe(SpanAssembler())
+        addr = system.image.alloc_u64_array(list(range(8)))
+        for i in range(8):
+            system.load((i,), walk_fields={"addr": addr + 8 * i})
+        system.run()
+        assert prof.contexts_retired == 8
+        assert prof.conservation_ok, prof.mismatches
+        assert prof.contexts_open == 0
+        assert spans.walks_open == 0
+        walks_seen = 0
+        for span in spans.completed:
+            for episode in span.episodes:
+                walk = episode.walk
+                walks_seen += 1
+                # phases tile [admitted, retired) with no gaps/overlaps
+                mark = walk.admitted
+                for phase in walk.phases:
+                    assert phase.start == mark, (threshold, walk)
+                    assert phase.end > phase.start
+                    mark = phase.end
+                assert mark == walk.retired, (threshold, walk)
+        assert walks_seen >= 8
+        stacks[threshold] = dict(prof.stacks)
+        if threshold == 1:
+            assert system.controller.trace_stats.dispatches >= 1
+    assert stacks[1] == stacks[0]

@@ -206,7 +206,10 @@ def _burst_walker():
 
 
 def _burst_system(mini_config, mode):
-    system = XCacheSystem(replace(mini_config, compile_mode=mode, num_exe=4),
+    # trace_threshold=0: these tests patch/inspect the *block* tier's
+    # bound closures, which an episode trace would inline right past
+    system = XCacheSystem(replace(mini_config, compile_mode=mode, num_exe=4,
+                                  trace_threshold=0),
                           _burst_walker())
     addr = system.image.alloc_u64_array(list(range(8)))
     return system, addr
