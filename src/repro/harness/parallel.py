@@ -1,38 +1,51 @@
 """Parallel experiment execution (``python -m repro.harness --parallel N``).
 
 Every experiment driver is an independent, deterministic function of
-``(exp_id, profile)``, so the figure set fans out over a
-``multiprocessing`` pool. Two things make the parallel run produce
-byte-identical reports to the serial one:
+``(exp_id, profile)``, so the figure set fans out over worker processes.
+Since the ``repro.svc`` service layer landed, the fan-out rides the
+**warm worker pool** (:class:`repro.svc.service.Service`) instead of a
+throwaway ``multiprocessing.Pool``: workers are long-lived, so repeated
+suite runs in one process reuse the in-memory fig-14 suite memo and the
+compiled microcode it carries, instead of paying the compile cost per
+batch. Two things make the parallel run produce byte-identical reports
+to the serial one:
 
 * results come back as *rendered report strings* and are printed in the
   caller's requested order, regardless of completion order;
-* the figs. 14/15/16 shared suite is simulated **once in the parent**
-  and published to a disk cache (see ``REPRO_SUITE_CACHE`` in
-  :mod:`repro.harness.suite`) before the pool starts, so the three
-  workers that consume it reload the identical pickled runs instead of
+* the figs. 14/15/16 shared suite is simulated **once** (a ``suite``
+  job submitted ahead of them) and published to a disk cache (see
+  ``REPRO_SUITE_CACHE`` in :mod:`repro.harness.suite`) before the
+  suite-consuming experiments dispatch, so the three workers that
+  consume it reload the identical pickled runs instead of
   re-simulating.
+
+:func:`execute_one` is the single-experiment execution path shared by
+the serial runner and the service workers: it runs one driver inside an
+optional capture scope and appends the capture summary to the rendered
+report.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import shutil
 import tempfile
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..obs.capture import CaptureSpec, capture_scope
-from .suite import SUITE_CACHE_ENV, run_fig14_suite
+from ..obs.capture import Capture, CaptureSpec, use_capture
+from .suite import SUITE_CACHE_ENV
 
-__all__ = ["run_serial", "run_parallel", "SHARED_SUITE_EXPERIMENTS"]
+__all__ = ["run_serial", "run_parallel", "execute_one",
+           "SHARED_SUITE_EXPERIMENTS"]
 
 # experiments that consume the memoized fig-14 suite
 SHARED_SUITE_EXPERIMENTS = ("fig14", "fig15", "fig16")
 
 
-def _run_one(job: Tuple[str, str, Optional[CaptureSpec]]) -> Tuple[str, bool]:
-    """Pool worker: run one experiment, return (rendered report, all_ok).
+def execute_one(exp_id: str, profile: str,
+                spec: Optional[CaptureSpec] = None,
+                on_attach: Optional[Callable] = None) -> Tuple[str, bool]:
+    """Run one experiment; return (rendered report, all_ok).
 
     When a :class:`CaptureSpec` rides along, the experiment runs inside
     a capture scope: every system it builds streams onto the obs bus,
@@ -40,42 +53,44 @@ def _run_one(job: Tuple[str, str, Optional[CaptureSpec]]) -> Tuple[str, bool]:
     land in per-experiment files (``t.jsonl`` → ``t.<exp_id>.jsonl``),
     and the report text — metrics summary and/or per-DSA cycles
     breakdown, aggregated across the experiment's runs — is appended to
-    the rendered report. This works identically in serial and
-    ``--parallel`` runs because each worker owns its experiment's
-    capture end to end.
+    the rendered report. This works identically in serial and pooled
+    runs because each worker owns its experiment's capture end to end.
+
+    ``on_attach`` (see :class:`repro.obs.capture.Capture`) lets the
+    service worker add its own processors — progress streaming, the
+    health watchdog — to every system the driver builds; passing it
+    forces a capture scope even when ``spec`` exports nothing.
     """
     from . import run_experiment
 
-    exp_id, profile, spec = (job if len(job) == 3 else (*job, None))
-    if spec is None or not spec.active:
+    if (spec is None or not spec.active) and on_attach is None:
         report = run_experiment(exp_id, profile)
         return report.render(), report.all_ok
-    with capture_scope(spec.for_experiment(exp_id)) as cap:
-        report = run_experiment(exp_id, profile)
+    scoped = (spec if spec is not None else CaptureSpec())
+    capture = Capture(scoped.for_experiment(exp_id), on_attach=on_attach)
+    try:
+        with use_capture(capture):
+            report = run_experiment(exp_id, profile)
+    finally:
+        summary = capture.finish()
     rendered = report.render()
-    summary = cap.finish() if cap is not None else None
     if summary:
         rendered = f"{rendered}\n{summary}"
     return rendered, report.all_ok
-
-
-def _warm_suite(profile: str) -> None:
-    """Pool worker: simulate the shared suite and publish it to disk."""
-    run_fig14_suite(profile)
 
 
 def run_serial(targets: Sequence[str], profile: str,
                capture: Optional[CaptureSpec] = None
                ) -> List[Tuple[str, bool]]:
     """Run experiments in order in this process."""
-    return [_run_one((exp_id, profile, capture)) for exp_id in targets]
+    return [execute_one(exp_id, profile, capture) for exp_id in targets]
 
 
 def run_parallel(targets: Sequence[str], profile: str, jobs: int,
                  cache_dir: Optional[str] = None,
                  capture: Optional[CaptureSpec] = None
                  ) -> List[Tuple[str, bool]]:
-    """Fan experiments out over ``jobs`` worker processes.
+    """Fan experiments out over a warm pool of ``jobs`` workers.
 
     Returns ``(rendered_report, all_ok)`` pairs in ``targets`` order —
     the same sequence :func:`run_serial` produces. ``cache_dir`` is the
@@ -85,27 +100,40 @@ def run_parallel(targets: Sequence[str], profile: str, jobs: int,
     if jobs <= 1 or len(targets) <= 1:
         return run_serial(targets, profile, capture)
 
+    from ..svc.jobs import JobSpec
+    from ..svc.service import Service
+
     own_cache = cache_dir is None
     if own_cache:
         cache_dir = tempfile.mkdtemp(prefix="repro-suite-cache-")
     previous = os.environ.get(SUITE_CACHE_ENV)
+    # set before Service starts: workers inherit the environment
     os.environ[SUITE_CACHE_ENV] = cache_dir
     suite_targets = [t for t in targets if t in SHARED_SUITE_EXPERIMENTS]
     try:
-        with multiprocessing.Pool(processes=min(jobs, len(targets))) as pool:
+        with Service(workers=min(jobs, len(targets)), store=None,
+                     health=False,
+                     max_pending=len(targets) + 1) as svc:
             # The shared suite simulates once, concurrently with the
             # non-suite experiments; fig14/15/16 dispatch only after it
             # lands on disk, then reload it instead of re-simulating.
-            warm = (pool.apply_async(_warm_suite, (profile,))
+            warm = (svc.submit(JobSpec(experiment="suite", profile=profile))
                     if suite_targets else None)
-            pending = {t: pool.apply_async(_run_one, ((t, profile, capture),))
-                       for t in targets if t not in SHARED_SUITE_EXPERIMENTS}
+            handles = {
+                t: svc.submit(JobSpec(experiment=t, profile=profile,
+                                      capture=capture))
+                for t in targets if t not in SHARED_SUITE_EXPERIMENTS}
             if warm is not None:
-                warm.get()
+                warm.result()
                 for t in suite_targets:
-                    pending[t] = pool.apply_async(
-                        _run_one, ((t, profile, capture),))
-            return [pending[t].get() for t in targets]
+                    handles[t] = svc.submit(
+                        JobSpec(experiment=t, profile=profile,
+                                capture=capture))
+            results: List[Tuple[str, bool]] = []
+            for t in targets:
+                payload = handles[t].result()
+                results.append((payload["rendered"], payload["all_ok"]))
+            return results
     finally:
         if previous is None:
             os.environ.pop(SUITE_CACHE_ENV, None)

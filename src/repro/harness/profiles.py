@@ -26,7 +26,8 @@ from ..core.config import XCacheConfig, table3_config
 from ..dsa.widx import WidxWorkload
 from ..workloads.tpch import TPCH_QUERIES, make_widx_workload
 
-__all__ = ["Profile", "PROFILES", "get_profile"]
+__all__ = ["Profile", "PROFILES", "get_profile", "derive_profile",
+           "ensure_profile"]
 
 
 @dataclass(frozen=True)
@@ -152,3 +153,36 @@ def get_profile(name: str) -> Profile:
     if name not in PROFILES:
         raise KeyError(f"unknown profile {name!r}; have {sorted(PROFILES)}")
     return PROFILES[name]
+
+
+def derive_profile(base: str, overrides: Dict[str, object],
+                   name: Optional[str] = None) -> Profile:
+    """A named profile with some fields replaced — the service sweep's
+    parameter-grid points.
+
+    The derived name is deterministic in (base, overrides), so two
+    workers materializing the same sweep point agree on it, and so the
+    fig-14 suite cache (keyed by profile name + code version) stays
+    correct across processes.
+    """
+    base_profile = get_profile(base)
+    unknown = sorted(set(overrides) - set(Profile.__dataclass_fields__))
+    if unknown:
+        raise KeyError(f"unknown profile field(s) {unknown}; "
+                       f"have {sorted(Profile.__dataclass_fields__)}")
+    if name is None:
+        from ..svc.store import digest_of
+
+        name = f"{base}+{digest_of(sorted([k, v] for k, v in overrides.items()))[:8]}"
+    return replace(base_profile, name=name, **overrides)
+
+
+def ensure_profile(profile: Profile) -> str:
+    """Register ``profile`` under its name (idempotent); returns the
+    name, ready to hand to ``run_experiment``/``run_fig14_suite``."""
+    existing = PROFILES.get(profile.name)
+    if existing is not None and existing != profile:
+        raise ValueError(f"profile name collision: {profile.name!r} is "
+                         f"already registered with different values")
+    PROFILES[profile.name] = profile
+    return profile.name

@@ -12,11 +12,19 @@ Two memoization layers stack:
   miss. The parallel harness (``python -m repro.harness --parallel N``)
   points every worker at one shared directory so the suite simulates
   once instead of once per fig-14/15/16 worker.
+
+Disk entries are **content-addressed** the same way the service result
+store is (:mod:`repro.svc.store`): the filename digest is the canonical
+JSON digest of (profile, workloads, code version) — not ``repr()`` of a
+Python tuple — so a cache entry can never be served to a different code
+version, and any process that can compute the canonical key agrees on
+the path. Each pickle carries its key + format; a wrapper mismatch (an
+entry from an older repo revision or layout) is *invalidated* — treated
+as a miss and overwritten — never an error.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
 import pathlib
 import pickle
@@ -93,29 +101,60 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+#: bumped when the pickled layout changes; older entries invalidate
+SUITE_CACHE_FORMAT = 2
+
+
+def _canonical_key(key: Tuple[str, Tuple[str, ...]]) -> dict:
+    """The content address of one suite run: config + workloads + code."""
+    from ..svc.store import code_version
+
+    return {
+        "kind": "fig14-suite",
+        "profile": key[0],
+        "workloads": list(key[1]),
+        "code": code_version(),
+        "format": SUITE_CACHE_FORMAT,
+    }
+
+
 def _disk_cache_path(key: Tuple[str, Tuple[str, ...]]
                      ) -> Optional[pathlib.Path]:
     root = os.environ.get(SUITE_CACHE_ENV)
     if not root:
         return None
-    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+    from ..svc.store import digest_of
+
+    digest = digest_of(_canonical_key(key))[:16]
     return pathlib.Path(root) / f"suite_{key[0]}_{digest}.pkl"
 
 
-def _disk_load(path: pathlib.Path) -> Optional[Dict[str, VariantSet]]:
+def _disk_load(path: pathlib.Path, key: Tuple[str, Tuple[str, ...]]
+               ) -> Optional[Dict[str, VariantSet]]:
     try:
         with path.open("rb") as fh:
-            return pickle.load(fh)
+            wrapped = pickle.load(fh)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
         return None  # absent or torn write: fall through to a fresh run
+    # compat shim: entries written by older revisions (bare dicts, or a
+    # wrapper with a stale format/key) invalidate quietly — a fresh run
+    # overwrites them — instead of crashing or serving stale results
+    if (not isinstance(wrapped, dict)
+            or wrapped.get("format") != SUITE_CACHE_FORMAT
+            or wrapped.get("key") != _canonical_key(key)):
+        return None
+    return wrapped.get("suite")
 
 
-def _disk_store(path: pathlib.Path, suite: Dict[str, VariantSet]) -> None:
+def _disk_store(path: pathlib.Path, key: Tuple[str, Tuple[str, ...]],
+                suite: Dict[str, VariantSet]) -> None:
+    wrapped = {"format": SUITE_CACHE_FORMAT, "key": _canonical_key(key),
+               "suite": suite}
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with tmp.open("wb") as fh:
-            pickle.dump(suite, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(wrapped, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)  # atomic vs concurrent workers
     except OSError:
         pass  # cache is best-effort; the run itself already succeeded
@@ -175,7 +214,7 @@ def run_fig14_suite(profile: str = "full",
         return _CACHE[key]
     disk_path = _disk_cache_path(key)
     if disk_path is not None and disk_path.exists():
-        cached = _disk_load(disk_path)
+        cached = _disk_load(disk_path, key)
         if cached is not None:
             _CACHE[key] = cached
             return cached
@@ -194,5 +233,5 @@ def run_fig14_suite(profile: str = "full",
             raise KeyError(f"unknown suite workload {label!r}")
     _CACHE[key] = out
     if disk_path is not None:
-        _disk_store(disk_path, out)
+        _disk_store(disk_path, key, out)
     return out

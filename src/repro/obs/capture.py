@@ -42,7 +42,8 @@ from .spans import SpanAssembler
 from .timeseries import TimeSeriesProcessor, write_csv
 from .watchdog import WatchdogProcessor
 
-__all__ = ["CaptureSpec", "Capture", "capture_scope", "current_capture"]
+__all__ = ["CaptureSpec", "Capture", "capture_scope", "current_capture",
+           "use_capture"]
 
 
 def _with_exp_id(path: str, exp_id: str) -> str:
@@ -101,10 +102,18 @@ class CaptureSpec:
 
 
 class Capture:
-    """Live capture state for one experiment in one process."""
+    """Live capture state for one experiment in one process.
 
-    def __init__(self, spec: CaptureSpec) -> None:
+    ``on_attach`` is an optional ``(system, run_index)`` callback fired
+    for every system that self-registers — the hook the service worker
+    uses to add its own processors (progress streaming, the health
+    watchdog) to systems built deep inside experiment drivers, without
+    widening :class:`CaptureSpec`, which must stay picklable.
+    """
+
+    def __init__(self, spec: CaptureSpec, on_attach=None) -> None:
         self.spec = spec
+        self.on_attach = on_attach
         self.systems_observed = 0
         self._events_stream: Optional[IO[str]] = None
         self._perfetto: Optional[PerfettoExporter] = None
@@ -150,6 +159,8 @@ class Capture:
                 SpanAssembler(sink=agg.add, max_kept=0)))
         if self.spec.watchdog:
             self._watchdogs.append(bus.attach(WatchdogProcessor()))
+        if self.on_attach is not None:
+            self.on_attach(system, run)
 
     # ------------------------------------------------------------------
     # inspection
@@ -248,17 +259,33 @@ def current_capture() -> Optional[Capture]:
 
 
 @contextmanager
-def capture_scope(spec: Optional[CaptureSpec]) -> Iterator[Optional[Capture]]:
-    """Install ``spec`` as the current capture for the enclosed run."""
+def use_capture(capture: Capture) -> Iterator[Capture]:
+    """Install an already-built :class:`Capture` for the enclosed run.
+
+    Unlike :func:`capture_scope` this installs unconditionally — even a
+    capture whose spec exports nothing still arms every system's bus and
+    fires ``on_attach``, which is how the service worker observes runs
+    that asked for streaming/health but no file exports. The caller owns
+    ``capture.finish()``.
+    """
     global _current
-    if spec is None or not spec.active:
-        yield None
-        return
     previous = _current
-    capture = Capture(spec)
     _current = capture
     try:
         yield capture
     finally:
         _current = previous
+
+
+@contextmanager
+def capture_scope(spec: Optional[CaptureSpec]) -> Iterator[Optional[Capture]]:
+    """Install ``spec`` as the current capture for the enclosed run."""
+    if spec is None or not spec.active:
+        yield None
+        return
+    capture = Capture(spec)
+    try:
+        with use_capture(capture):
+            yield capture
+    finally:
         capture.finish()

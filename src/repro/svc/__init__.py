@@ -1,0 +1,69 @@
+"""``repro.svc`` — simulation-as-a-service.
+
+The service layer turns the one-shot experiment harness into a
+long-running facility: declarative :class:`~repro.svc.jobs.JobSpec`
+requests flow through a bounded priority queue into a **warm pool** of
+persistent worker processes, results land in a **content-addressed
+store** keyed by (config, workload, code version), and identical
+concurrent requests **coalesce** onto one simulation. See
+``DESIGN.md`` §5 and ``python -m repro.svc --help``.
+
+Attribute access is lazy (PEP 562): ``repro.harness`` imports
+``repro.svc`` pieces and vice versa, so the package body must not
+import its submodules eagerly.
+"""
+
+from typing import Any
+
+__all__ = [
+    "AdmissionBusy",
+    "Job",
+    "JobCancelled",
+    "JobFailed",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "ResultStore",
+    "Service",
+    "ServiceClient",
+    "StreamProcessor",
+    "Subscription",
+    "WorkerPool",
+    "canonical_json",
+    "code_version",
+    "digest_of",
+    "sweep_specs",
+]
+
+_EXPORTS = {
+    "AdmissionBusy": "jobs",
+    "Job": "jobs",
+    "JobCancelled": "jobs",
+    "JobFailed": "jobs",
+    "JobQueue": "jobs",
+    "JobSpec": "jobs",
+    "JobState": "jobs",
+    "ResultStore": "store",
+    "Service": "service",
+    "ServiceClient": "client",
+    "StreamProcessor": "stream",
+    "Subscription": "stream",
+    "WorkerPool": "pool",
+    "canonical_json": "store",
+    "code_version": "store",
+    "digest_of": "store",
+    "sweep_specs": "service",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,270 @@
+"""CLI: ``python -m repro.svc <serve|submit|status|result|cancel|metrics|sweep>``.
+
+Quickstart (two terminals)::
+
+    $ python -m repro.svc serve --workers 2 --store /tmp/repro-results
+    repro.svc listening on 127.0.0.1:41739 (2 workers)
+
+    $ python -m repro.svc submit fig04 --profile ci \\
+          --connect 127.0.0.1:41739 --wait
+    $ python -m repro.svc metrics --connect 127.0.0.1:41739
+
+Or all-in-one — ``sweep --local`` spins up a private service, fans a
+parameter grid into jobs, and prints per-point results plus the dedup
+counters::
+
+    $ python -m repro.svc sweep fig04 --profile ci --local --workers 2 \\
+          --grid widx_skew=1.2,1.4 --repeat 2
+
+``--repeat 2`` resubmits every grid point; the metrics line at the end
+shows the second copies resolving from coalescing/the result store
+instead of simulating again.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .jobs import AdmissionBusy, JobSpec
+from .service import Service, sweep_specs
+
+PROFILES = ("ci", "quick", "full")
+
+
+def _spec_from_args(args, overrides=()) -> JobSpec:
+    return JobSpec(experiment=args.experiment, profile=args.profile,
+                   profile_overrides=tuple(overrides),
+                   priority=getattr(args, "priority", 0),
+                   stream_interval=getattr(args, "stream_interval", 0),
+                   tag=getattr(args, "tag", ""))
+
+
+def _client(args):
+    from .client import ServiceClient, parse_address
+
+    return ServiceClient(parse_address(args.connect))
+
+
+def _parse_grid(pairs: List[str]) -> dict:
+    """``field=v1,v2`` strings → {field: [typed values]}."""
+    grid = {}
+    for pair in pairs:
+        field, _, values = pair.partition("=")
+        if not values:
+            raise SystemExit(f"bad --grid entry {pair!r} "
+                             f"(want field=v1,v2,...)")
+        typed = []
+        for raw in values.split(","):
+            try:
+                typed.append(json.loads(raw))
+            except json.JSONDecodeError:
+                typed.append(raw)  # bare string value, e.g. compile_mode=off
+        grid[field] = typed
+    return grid
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    from .client import ServiceServer
+
+    service = Service(workers=args.workers, store=args.store or "memory",
+                      max_pending=args.max_pending).start(wait_ready=True)
+    server = ServiceServer(service, host=args.host, port=args.port).start()
+    host, port = server.address
+    print(f"repro.svc listening on {host}:{port} "
+          f"({args.workers} workers)", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    client = _client(args)
+    try:
+        status = client.submit(_spec_from_args(args))
+    except AdmissionBusy as busy:
+        print(f"busy: {busy}", file=sys.stderr)
+        return 2
+    print(json.dumps(status, indent=1, sort_keys=True))
+    if args.wait:
+        payload = client.result(status["job"], timeout=args.timeout)
+        print(payload["rendered"])
+        return 0 if payload["all_ok"] else 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    print(json.dumps(_client(args).status(args.job), indent=1,
+                     sort_keys=True))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    payload = _client(args).result(args.job, timeout=args.timeout)
+    print(payload["rendered"])
+    return 0 if payload["all_ok"] else 1
+
+
+def _cmd_cancel(args) -> int:
+    cancelled = _client(args).cancel(args.job)
+    print("cancelled" if cancelled else "already finished")
+    return 0 if cancelled else 1
+
+
+def _cmd_metrics(args) -> int:
+    print(json.dumps(_client(args).metrics(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    specs = sweep_specs(args.experiment, args.profile,
+                        grid=_parse_grid(args.grid), repeat=args.repeat)
+    print(f"sweep: {len(specs)} submissions "
+          f"({len(specs) // max(1, args.repeat)} distinct points)")
+    if args.local:
+        with Service(workers=args.workers, store=args.store or "memory",
+                     max_pending=len(specs) + 1) as svc:
+            jobs = [svc.submit(spec) for spec in specs]
+            ok = _print_sweep(jobs, svc)
+    else:
+        client = _client(args)
+        submitted = []
+        for spec in specs:
+            while True:
+                try:
+                    submitted.append(client.submit(spec))
+                    break
+                except AdmissionBusy as busy:  # pace to the hint
+                    time.sleep(busy.retry_after)
+        ok = True
+        for status in submitted:
+            payload = client.result(status["job"])
+            point = status.get("digest", "")[:12]
+            print(f"[{point}] {payload['rendered'].splitlines()[0]} "
+                  f"all_ok={payload['all_ok']}")
+            ok = ok and payload["all_ok"]
+        _print_metrics(client.metrics())
+    return 0 if ok else 1
+
+
+def _print_sweep(jobs, svc) -> bool:
+    ok = True
+    for job in jobs:
+        payload = job.result()
+        first_line = payload["rendered"].splitlines()[0]
+        origin = "store" if job.from_store else "ran"
+        if job.followers:
+            origin += f", +{job.followers} coalesced"
+        print(f"[{job.digest[:12]}] {first_line} all_ok={payload['all_ok']} "
+              f"({origin})")
+        ok = ok and payload["all_ok"]
+    _print_metrics(svc.metrics())
+    return ok
+
+
+def _print_metrics(metrics: dict) -> None:
+    store = metrics.get("store") or {}
+    print(f"submitted={metrics['submitted']} "
+          f"completed={metrics['completed']} "
+          f"coalesced={metrics['coalesced']} "
+          f"store_hits={metrics['store_hits']} "
+          f"simulations={store.get('misses', 'n/a')} "
+          f"worker_restarts={metrics['worker_restarts']}")
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def _add_connect(sub) -> None:
+    sub.add_argument("--connect", default="127.0.0.1:7791",
+                     metavar="HOST:PORT",
+                     help="service address (default: 127.0.0.1:7791)")
+
+
+def _add_spec_args(sub) -> None:
+    sub.add_argument("experiment",
+                     help="harness id (fig04, tab01, ...), sleep:<s>, "
+                          "or suite")
+    sub.add_argument("--profile", default="ci", choices=PROFILES)
+    sub.add_argument("--priority", type=int, default=0)
+    sub.add_argument("--stream-interval", type=int, default=0,
+                     dest="stream_interval", metavar="N",
+                     help="forward every Nth obs event as progress")
+    sub.add_argument("--tag", default="")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.svc",
+        description="Simulation-as-a-service: job queue, warm worker "
+                    "pool, content-addressed result store.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run a service")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="persist results under DIR (default: memory)")
+    serve.add_argument("--max-pending", type=int, default=64)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7791,
+                       help="0 picks an ephemeral port")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = commands.add_parser("submit", help="submit one job")
+    _add_spec_args(submit)
+    _add_connect(submit)
+    submit.add_argument("--wait", action="store_true",
+                        help="block and print the rendered report")
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.set_defaults(func=_cmd_submit)
+
+    for name, func in (("status", _cmd_status), ("result", _cmd_result),
+                       ("cancel", _cmd_cancel)):
+        sub = commands.add_parser(name, help=f"{name} of one job")
+        sub.add_argument("job", type=int)
+        _add_connect(sub)
+        if name == "result":
+            sub.add_argument("--timeout", type=float, default=None)
+        sub.set_defaults(func=func)
+
+    metrics = commands.add_parser("metrics", help="service counters")
+    _add_connect(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    sweep = commands.add_parser(
+        "sweep", help="fan a parameter grid into jobs")
+    _add_spec_args(sweep)
+    _add_connect(sweep)
+    sweep.add_argument("--grid", action="append", default=[],
+                       metavar="FIELD=V1,V2",
+                       help="profile field values to sweep (repeatable)")
+    sweep.add_argument("--repeat", type=int, default=1,
+                       help="submit the whole grid N times (dedup demo)")
+    sweep.add_argument("--local", action="store_true",
+                       help="run a private in-process service")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="worker count for --local")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="result-store directory for --local")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""Job model for the simulation service (``repro.svc.jobs``).
+
+A :class:`JobSpec` is a declarative, picklable request — which
+experiment, which profile (plus optional field overrides), what to
+capture, how eagerly to stream progress. Its :meth:`~JobSpec.digest` is
+the canonical content address (config + workload + code version, see
+:mod:`repro.svc.store`) that drives result-store hits and in-flight
+coalescing.
+
+:class:`Job` is the coordinator-side execution record: state machine
+(``PENDING → RUNNING → DONE | FAILED | CANCELLED``), attempt counter
+(crash retries), result payload, and a ``threading.Event`` so any
+number of client threads can wait on one job — including the followers
+of a coalesced submit, who share the Job object outright.
+
+:class:`JobQueue` is a priority queue with **bounded admission**: past
+``max_pending`` it refuses the submit with :class:`AdmissionBusy`
+carrying a ``retry_after`` estimate, instead of queueing unboundedly —
+backpressure is the client's problem to pace, not the coordinator's
+problem to buffer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.capture import CaptureSpec
+from .store import code_version, digest_of
+
+__all__ = ["JobState", "JobSpec", "Job", "JobQueue", "AdmissionBusy",
+           "JobFailed", "JobCancelled"]
+
+
+class JobState(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+#: synthetic experiments the worker executes besides the harness ids:
+#: ``sleep:<seconds>`` (deterministic no-op, for backpressure/cancel
+#: tests and pacing probes) and ``suite`` (run the memoized fig-14
+#: suite, optionally restricted to ``JobSpec.workloads``)
+SYNTHETIC_PREFIXES = ("sleep:", "suite")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative simulation request (picklable, content-addressed).
+
+    Fields that change the *result* (experiment, profile, overrides,
+    workloads, capture) are folded into the digest; scheduling hints
+    (priority, stream_interval, tag) are not — two submits differing
+    only in priority are still the same simulation.
+    """
+
+    experiment: str                       # harness id, "sleep:S", "suite"
+    profile: str = "ci"
+    # (field, value) pairs applied over the named profile via
+    # dataclasses.replace — the sweep front-end's parameter grid
+    profile_overrides: Tuple[Tuple[str, Any], ...] = ()
+    # fig-14 suite subset for experiment="suite" (None = all workloads)
+    workloads: Optional[Tuple[str, ...]] = None
+    capture: Optional[CaptureSpec] = None
+    priority: int = 0                     # higher runs earlier
+    stream_interval: int = 0              # forward every Nth bus event
+                                          # (0 = milestones only)
+    tag: str = ""                         # free-form label, not hashed
+
+    def __post_init__(self) -> None:
+        # normalize the common "list of pairs" spelling so equal specs
+        # digest equally regardless of caller container choice
+        object.__setattr__(self, "profile_overrides",
+                           tuple((str(k), v)
+                                 for k, v in self.profile_overrides))
+        if self.workloads is not None:
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+
+    def canonical(self) -> Dict[str, Any]:
+        """The digest pre-image: everything that determines the result."""
+        return {
+            "experiment": self.experiment,
+            "profile": self.profile,
+            "profile_overrides": sorted(
+                [k, v] for k, v in self.profile_overrides),
+            "workloads": (list(self.workloads)
+                          if self.workloads is not None else None),
+            "capture": asdict(self.capture) if self.capture else None,
+            "code": code_version(),
+        }
+
+    def digest(self) -> str:
+        return digest_of(self.canonical())
+
+    @property
+    def is_synthetic(self) -> bool:
+        return (self.experiment == "suite"
+                or self.experiment.startswith("sleep:"))
+
+
+class JobFailed(RuntimeError):
+    """Raised by :meth:`Job.result` when the job ended FAILED."""
+
+
+class JobCancelled(RuntimeError):
+    """Raised by :meth:`Job.result` when the job ended CANCELLED."""
+
+
+class AdmissionBusy(RuntimeError):
+    """Queue full: come back in ``retry_after`` seconds.
+
+    Bounded admission — the service sheds load at submit time with a
+    pacing hint instead of letting the backlog grow without limit.
+    """
+
+    def __init__(self, retry_after: float, pending: int) -> None:
+        super().__init__(f"queue full ({pending} pending); "
+                         f"retry in {retry_after:.1f}s")
+        self.retry_after = retry_after
+        self.pending = pending
+
+
+_job_ids = itertools.count(1)
+
+
+class Job:
+    """Coordinator-side record of one admitted request."""
+
+    def __init__(self, spec: JobSpec, digest: Optional[str] = None) -> None:
+        self.id = next(_job_ids)
+        self.spec = spec
+        self.digest = digest if digest is not None else spec.digest()
+        self.state = JobState.PENDING
+        self.attempts = 0            # dispatches (crash retries bump it)
+        self.followers = 0           # coalesced identical submits
+        self.worker: Optional[int] = None
+        self.result_payload: Optional[dict] = None
+        self.result_digest: Optional[str] = None
+        self.error: Optional[str] = None
+        self.from_store = False      # resolved by a store hit, no dispatch
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.last_progress: Optional[dict] = None
+        self._done = threading.Event()
+        self._subscribers: List[queue.Queue] = []
+
+    # ------------------------------------------------------------------
+    # waiting / results
+    # ------------------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True if it did."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> dict:
+        """The result payload; raises on failure/cancellation/timeout."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.id} still {self.state.value}")
+        if self.state is JobState.DONE:
+            assert self.result_payload is not None
+            return self.result_payload
+        if self.state is JobState.CANCELLED:
+            raise JobCancelled(f"job {self.id} was cancelled")
+        raise JobFailed(f"job {self.id} failed: {self.error}")
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-able snapshot (what the status CLI prints)."""
+        return {
+            "job": self.id,
+            "experiment": self.spec.experiment,
+            "profile": self.spec.profile,
+            "digest": self.digest,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "followers": self.followers,
+            "from_store": self.from_store,
+            "worker": self.worker,
+            "result_digest": self.result_digest,
+            "error": self.error,
+            "progress": self.last_progress,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Job(id={self.id}, {self.spec.experiment!r}, "
+                f"{self.state.value}, digest={self.digest[:12]})")
+
+
+class JobQueue:
+    """Priority queue with bounded admission and lazy cancellation.
+
+    Higher ``JobSpec.priority`` pops first; ties pop in submission
+    order. Cancelled jobs stay in the heap and are skipped on pop
+    (removal from a heap's middle is O(n); skipping is O(log n) when it
+    matters). ``requeue_front`` re-admits a crash-retried job ahead of
+    every priority class so a retry never starves behind fresh work.
+    """
+
+    _FRONT = float("inf")
+
+    def __init__(self, max_pending: int = 64) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._heap: List[Tuple[float, int, Job]] = []
+        self._seq = itertools.count()
+        self._pending = 0
+        self._lock = threading.Lock()
+        # EWMA of recent job durations, feeding the retry_after estimate
+        self._avg_duration = 1.0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, workers: int = 1) -> None:
+        """Admit ``job`` or raise :class:`AdmissionBusy`."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                retry_after = max(
+                    0.1, self._pending * self._avg_duration / max(1, workers))
+                raise AdmissionBusy(retry_after, self._pending)
+            self._push(job, -job.spec.priority)
+
+    def requeue_front(self, job: Job) -> None:
+        """Re-admit a crash-retried job ahead of everything (no bound:
+        it was already admitted once)."""
+        with self._lock:
+            self._push(job, -self._FRONT)
+
+    def _push(self, job: Job, key: float) -> None:
+        heapq.heappush(self._heap, (key, next(self._seq), job))
+        self._pending += 1
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[Job]:
+        """Highest-priority pending job, skipping cancelled entries."""
+        with self._lock:
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                self._pending -= 1
+                if job.state is JobState.PENDING:
+                    return job
+            return None
+
+    def note_duration(self, seconds: float) -> None:
+        """Feed a finished job's duration into the retry_after EWMA."""
+        with self._lock:
+            self._avg_duration = 0.7 * self._avg_duration + 0.3 * seconds
+
+    def forget_cancelled(self, job: Job) -> None:
+        """Account a pending job cancelled in place (heap entry stays,
+        pop() will skip it; the admission bound frees immediately)."""
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending

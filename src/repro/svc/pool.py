@@ -1,0 +1,400 @@
+"""Persistent warm worker pool (``repro.svc.pool``).
+
+Workers are **long-lived processes**: each one imports the simulator
+stack once, then executes job after job, so per-process costs — the
+interpreter boot, ``numpy``/harness imports, and above all the
+microcode build + routine/trace compilation that PR 5/6 made the
+dominant per-run setup cost — amortize across the pool's lifetime
+instead of being paid per job. A worker that has run the fig-14 suite
+additionally holds the suite's in-process memo (compiled programs and
+results), so repeated suite jobs in one worker are near-free.
+
+The pool owns process lifecycle only; scheduling policy lives in
+:class:`repro.svc.service.Service`:
+
+* **spawned, not forked** — workers use the ``spawn`` start method by
+  default so a worker is a faithful model of a fresh service process
+  (and so forking a multi-threaded coordinator can never deadlock a
+  child);
+* **crash detection** — each worker's pipe and process sentinel are
+  polled together; an EOF or a dead sentinel surfaces exactly one
+  ``died`` message and the slot is respawned automatically (the service
+  retries the in-flight job on the replacement);
+* **health** — workers attach a :class:`repro.obs.watchdog
+  .WatchdogProcessor` to every system they simulate and report
+  per-job pathology counts, which the pool folds into per-worker
+  health (``WorkerPool.health()``).
+
+Fault injection for tests: when ``REPRO_SVC_CRASH_ONCE`` names a path
+and that file does not exist yet, the next worker to pick up a job
+creates the file and dies with ``os._exit`` *mid-job* — deterministic
+crash-retry coverage with no timing races.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Tuple
+
+from .jobs import JobSpec
+
+__all__ = ["WorkerPool", "WorkerHandle", "CRASH_ONCE_ENV"]
+
+CRASH_ONCE_ENV = "REPRO_SVC_CRASH_ONCE"
+
+#: (kind, worker, job_id, payload) — what :meth:`WorkerPool.poll` yields
+PoolMessage = Tuple[str, "WorkerHandle", Optional[int], dict]
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+def _watchdog_counts(dogs) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for dog in dogs:
+        for warning in dog.warnings:
+            counts[warning.kind] = counts.get(warning.kind, 0) + 1
+    return counts
+
+
+def _resolve_profile(spec: JobSpec) -> str:
+    """The profile name to run under, materializing sweep overrides."""
+    if not spec.profile_overrides:
+        return spec.profile
+    from ..harness.profiles import derive_profile, ensure_profile
+
+    return ensure_profile(derive_profile(spec.profile,
+                                         dict(spec.profile_overrides)))
+
+
+def _render_suite(suite) -> str:
+    """Deterministic text for a ``suite`` job's VariantSets."""
+    lines = ["== suite: fig14/15/16 shared runs =="]
+    for label in sorted(suite):
+        vs = suite[label]
+        lines.append(
+            f"  {label}: xcache={vs.xcache.cycles} "
+            f"baseline={vs.baseline.cycles} addr={vs.addr.cycles} "
+            f"speedup={vs.speedup_vs_baseline:.3f}")
+    return "\n".join(lines)
+
+
+def _execute_spec(spec: JobSpec, health: bool, send_progress,
+                  jobs_before: int) -> dict:
+    """Run one job in this worker; returns the result payload."""
+    from ..core.messages import reset_ids
+
+    started = time.perf_counter()
+    streams: list = []
+    dogs: list = []
+    suite_warm = None
+
+    if spec.experiment.startswith("sleep:"):
+        seconds = float(spec.experiment.split(":", 1)[1])
+        send_progress({"kind": "phase", "phase": "sleep",
+                       "seconds": seconds})
+        time.sleep(seconds)
+        rendered, all_ok = f"== sleep: {seconds:g}s ==", True
+    elif spec.experiment == "suite":
+        from ..harness import suite as suite_mod
+
+        profile = _resolve_profile(spec)
+        selected = (spec.workloads if spec.workloads is not None
+                    else suite_mod.SUITE_WORKLOADS)
+        suite_warm = (profile, tuple(selected)) in suite_mod._CACHE
+        reset_ids()
+        result = suite_mod.run_fig14_suite(profile, tuple(selected))
+        rendered = _render_suite(result)
+        all_ok = all(vs.all_checked for vs in result.values())
+    else:
+        from ..harness.parallel import execute_one
+
+        on_attach = None
+        if health or spec.stream_interval > 0:
+            from ..obs.watchdog import WatchdogProcessor
+            from .stream import StreamProcessor
+
+            def on_attach(system, run):
+                bus = system.ensure_bus()
+                if spec.stream_interval > 0:
+                    proc = StreamProcessor(send_progress, run,
+                                           spec.stream_interval)
+                    streams.append(bus.attach(proc))
+                if health:
+                    dogs.append(bus.attach(WatchdogProcessor()))
+
+        rendered, all_ok = execute_one(
+            spec.experiment, _resolve_profile(spec), spec.capture,
+            on_attach=on_attach)
+
+    return {
+        "ok": True,
+        "rendered": rendered,
+        "all_ok": all_ok,
+        "duration_s": time.perf_counter() - started,
+        "worker_jobs_before": jobs_before,
+        "suite_warm": suite_warm,
+        "events_seen": sum(s.seen for s in streams),
+        "watchdog": _watchdog_counts(dogs),
+    }
+
+
+def _worker_main(conn, worker_id: int, health: bool) -> None:
+    """Worker process entry: loop jobs off the pipe until told to stop."""
+    # the heavy imports happen once here — this is the warmth the pool
+    # amortizes (a fresh-process-per-job service pays them every job)
+    from .. import harness  # noqa: F401  (pre-warm the experiment stack)
+
+    conn.send(("ready", None, {"pid": os.getpid()}))
+    jobs_done = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        _, job_id, spec = message
+
+        def send_progress(payload: dict, _job_id=job_id) -> None:
+            try:
+                conn.send(("progress", _job_id, payload))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass  # coordinator gone; the job result will fail too
+
+        crash_marker = os.environ.get(CRASH_ONCE_ENV)
+        if crash_marker and not os.path.exists(crash_marker):
+            # deterministic mid-job crash for the retry tests
+            with open(crash_marker, "w") as fh:
+                fh.write(f"worker {worker_id} pid {os.getpid()}\n")
+            send_progress({"kind": "phase", "phase": "crashing"})
+            os._exit(13)
+
+        send_progress({"kind": "phase", "phase": "start",
+                       "experiment": spec.experiment})
+        try:
+            payload = _execute_spec(spec, health, send_progress, jobs_done)
+        except BaseException:
+            payload = {"ok": False, "error": traceback.format_exc()}
+        payload["worker_id"] = worker_id
+        jobs_done += 1
+        try:
+            conn.send(("result", job_id, payload))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            return
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+
+_spawn_env_lock = threading.Lock()
+
+
+@contextmanager
+def _spawn_env():
+    """Make sure spawned children can ``import repro``.
+
+    The spawn start method re-imports the package in the child, which
+    only works if the package's parent directory is importable there.
+    A relative ``PYTHONPATH=src`` (the tier-1 invocation) survives
+    because children inherit the cwd, but an absolute entry keeps
+    worktree/tox layouts working too.
+    """
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    with _spawn_env_lock:
+        previous = os.environ.get("PYTHONPATH")
+        parts = [src] + ([previous] if previous else [])
+        os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = previous
+
+
+class WorkerHandle:
+    """One pool slot: a live worker process and its pipe."""
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        self.dead = False
+        self.job_id: Optional[int] = None
+        self.jobs_done = 0
+        self.warnings = 0          # accumulated watchdog pathologies
+
+    @property
+    def idle(self) -> bool:
+        return self.ready and not self.dead and self.job_id is None
+
+    def health(self) -> dict:
+        state = ("dead" if self.dead
+                 else "busy" if self.job_id is not None
+                 else "idle" if self.ready else "booting")
+        return {"worker": self.id, "pid": self.process.pid, "state": state,
+                "jobs_done": self.jobs_done, "warnings": self.warnings,
+                "job": self.job_id}
+
+
+class WorkerPool:
+    """N long-lived worker processes with crash detection + replacement."""
+
+    def __init__(self, workers: int = 2, health: bool = True,
+                 start_method: str = "spawn") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.size = workers
+        self.health_enabled = health
+        self._ctx = multiprocessing.get_context(start_method)
+        self._slots: List[WorkerHandle] = []
+        self._ids = itertools.count(1)
+        self.restarts = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._slots = [self._spawn() for _ in range(self.size)]
+
+    def _spawn(self) -> WorkerHandle:
+        worker_id = next(self._ids)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, self.health_enabled),
+            daemon=True, name=f"repro-svc-worker-{worker_id}")
+        with _spawn_env():
+            process.start()
+        child_conn.close()  # child's end lives in the child now
+        return WorkerHandle(worker_id, process, parent_conn)
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until every current worker has booted (benchmarks use
+        this to measure steady-state throughput, not spawn cost)."""
+        deadline = time.monotonic() + timeout
+        while any(not h.ready and not h.dead for h in self._slots):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("worker pool failed to become ready")
+            self.poll(min(remaining, 0.1))
+
+    def stop(self) -> None:
+        for handle in self._slots:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in self._slots:
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+            handle.conn.close()
+        self._slots = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # dispatch / messaging
+    # ------------------------------------------------------------------
+    def idle_workers(self) -> List[WorkerHandle]:
+        return [h for h in self._slots if h.idle]
+
+    def dispatch(self, handle: WorkerHandle, job_id: int,
+                 spec: JobSpec) -> None:
+        assert handle.idle, f"dispatch to non-idle worker {handle.id}"
+        handle.job_id = job_id
+        handle.conn.send(("job", job_id, spec))
+
+    def poll(self, timeout: float = 0.05) -> List[PoolMessage]:
+        """Drain worker messages; detect deaths and respawn those slots.
+
+        Every dead worker yields exactly one ``("died", handle, job_id,
+        ...)`` message (job_id = what it was running, if anything); its
+        slot is already respawned by the time the caller sees it.
+        """
+        live = [h for h in self._slots if not h.dead]
+        waitables = {h.conn: h for h in live}
+        sentinels = {h.process.sentinel: h for h in live}
+        ready = mp_connection.wait(
+            list(waitables) + list(sentinels), timeout)
+        messages: List[PoolMessage] = []
+        suspects: List[WorkerHandle] = []
+        for obj in ready:
+            handle = waitables.get(obj)
+            if handle is None:
+                suspects.append(sentinels[obj])
+                continue
+            try:
+                while handle.conn.poll():
+                    kind, job_id, payload = handle.conn.recv()
+                    if kind == "ready":
+                        handle.ready = True
+                    elif kind == "result":
+                        handle.jobs_done += 1
+                        handle.warnings += sum(
+                            payload.get("watchdog", {}).values())
+                        handle.job_id = None
+                    messages.append((kind, handle, job_id, payload))
+            except (EOFError, OSError):
+                suspects.append(handle)
+        for handle in suspects:
+            if handle.dead:
+                continue
+            handle.dead = True
+            handle.conn.close()
+            handle.process.join(0.1)
+            messages.append(("died", handle, handle.job_id,
+                             {"exitcode": handle.process.exitcode}))
+            self._replace(handle)
+        return messages
+
+    def _replace(self, handle: WorkerHandle) -> None:
+        self.restarts += 1
+        self._slots[self._slots.index(handle)] = self._spawn()
+
+    def kill(self, handle: WorkerHandle) -> None:
+        """Forcibly terminate a worker (mid-run cancellation) and
+        respawn its slot; never surfaces as a ``died`` message."""
+        if handle.dead:
+            return
+        handle.dead = True
+        handle.process.terminate()
+        handle.process.join(1.0)
+        if handle.process.is_alive():  # pragma: no cover - stubborn child
+            handle.process.kill()
+            handle.process.join(1.0)
+        handle.conn.close()
+        self._replace(handle)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def find(self, worker_id: int) -> Optional[WorkerHandle]:
+        return next((h for h in self._slots if h.id == worker_id), None)
+
+    def health(self) -> List[dict]:
+        """Per-worker health snapshot (state, jobs, watchdog warnings)."""
+        return [h.health() for h in self._slots]
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,389 @@
+"""The simulation service coordinator (``repro.svc.service``).
+
+:class:`Service` glues the three subsystems together around one control
+loop:
+
+* the **job queue** (:mod:`repro.svc.jobs`) — priorities, bounded
+  admission with a ``retry_after`` hint, cancellation;
+* the **warm worker pool** (:mod:`repro.svc.pool`) — long-lived
+  processes with crash detection and automatic replacement;
+* the **content-addressed result store** (:mod:`repro.svc.store`) —
+  a finished result per request digest, written once by this
+  coordinator *after* a worker returns a complete payload (never
+  partially, never from the event path).
+
+Deduplication is end-to-end: a submit whose digest is already stored
+resolves immediately (store hit); one whose digest is currently pending
+or running **coalesces** onto the in-flight job — the same
+:class:`~repro.svc.jobs.Job` object is returned, every waiter gets the
+one result, and the store's ``coalesced`` counter proves no second
+simulation ran. N identical submissions, sequential or concurrent,
+execute exactly one simulation.
+
+The control loop is a single daemon thread: it drains pool messages
+(progress → subscriptions, results → store + waiters, deaths →
+retry-on-fresh-worker) and dispatches pending jobs to idle workers.
+Client threads only touch the queue/maps under one lock, so ``submit``
+is cheap and a store hit never waits on a running simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .jobs import (
+    AdmissionBusy,
+    Job,
+    JobQueue,
+    JobSpec,
+    JobState,
+)
+from .pool import WorkerHandle, WorkerPool
+from .store import ResultStore, digest_of
+from .stream import Subscription
+
+__all__ = ["Service", "sweep_specs"]
+
+
+def sweep_specs(experiment: str, profile: str = "ci",
+                grid: Optional[Mapping[str, Sequence[Any]]] = None,
+                repeat: int = 1, **spec_kwargs) -> List[JobSpec]:
+    """Fan a parameter grid into :class:`JobSpec`s.
+
+    ``grid`` maps :class:`~repro.harness.profiles.Profile` field names
+    to value lists; the cartesian product becomes one spec per point
+    (``profile_overrides``). ``repeat`` duplicates the whole list —
+    with deduplication on, repeats cost nothing and are how the CI
+    smoke proves the one-simulation property.
+    """
+    from ..harness.profiles import Profile
+
+    grid = dict(grid or {})
+    valid = set(Profile.__dataclass_fields__)
+    unknown = sorted(set(grid) - valid)
+    if unknown:
+        raise ValueError(f"unknown profile field(s) {unknown}; "
+                         f"have {sorted(valid)}")
+    keys = sorted(grid)
+    points: List[tuple] = [()]
+    for key in keys:
+        values = list(grid[key])
+        if not values:
+            raise ValueError(f"empty value list for grid field {key!r}")
+        points = [(*p, (key, v)) for p in points for v in values]
+    specs = [JobSpec(experiment=experiment, profile=profile,
+                     profile_overrides=p, **spec_kwargs)
+             for p in points]
+    return [s for _ in range(max(1, repeat)) for s in specs]
+
+
+class Service:
+    """An in-process simulation service: queue + warm pool + store.
+
+    ::
+
+        with Service(workers=2, store="results/") as svc:
+            job = svc.submit(JobSpec(experiment="fig04", profile="ci"))
+            print(job.result()["rendered"])
+
+    ``store`` may be a :class:`ResultStore`, a directory path, None
+    (deduplication disabled — every job simulates), or the default
+    ``"memory"`` (process-local store).
+    """
+
+    def __init__(self, workers: int = 2,
+                 store: Union[ResultStore, str, os.PathLike, None] = "memory",
+                 max_pending: int = 64, max_attempts: int = 2,
+                 health: bool = True, start_method: str = "spawn",
+                 ) -> None:
+        if store == "memory":
+            self.store: Optional[ResultStore] = ResultStore()
+        elif store is None or isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store)
+        self.queue = JobQueue(max_pending=max_pending)
+        self.pool = WorkerPool(workers=workers, health=health,
+                               start_method=start_method)
+        self.max_attempts = max_attempts
+        self.jobs: Dict[int, Job] = {}
+        self._inflight: Dict[str, Job] = {}   # digest -> pending/running job
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._counters = {
+            "submitted": 0, "admitted": 0, "rejected": 0,
+            "store_hits": 0, "coalesced": 0, "completed": 0,
+            "failed": 0, "cancelled": 0, "retries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, wait_ready: bool = False) -> "Service":
+        if self._thread is None:
+            self.pool.start()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-svc-loop", daemon=True)
+            self._thread.start()
+        if wait_ready:
+            self.pool.wait_ready()
+        return self
+
+    def close(self) -> None:
+        """Stop the service: pending jobs are cancelled, running workers
+        are torn down (wait for results first — see :meth:`drain`)."""
+        with self._lock:
+            for job in self.jobs.values():
+                if not job.state.finished:
+                    self._finish(job, JobState.CANCELLED)
+                    self._counters["cancelled"] += 1
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.pool.stop()
+
+    def __enter__(self) -> "Service":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one request; returns its :class:`Job` immediately.
+
+        Order of resolution: coalesce onto an identical in-flight job,
+        else resolve from the result store, else admit to the queue
+        (raising :class:`AdmissionBusy` past the bound). Checking
+        in-flight *before* the store keeps the store's miss counter
+        equal to the number of simulations actually executed.
+        """
+        self._validate(spec)
+        digest = spec.digest()
+        with self._lock:
+            self._counters["submitted"] += 1
+            primary = self._inflight.get(digest)
+            if primary is not None and not primary.state.finished:
+                primary.followers += 1
+                self._counters["coalesced"] += 1
+                if self.store is not None:
+                    self.store.note_coalesced()
+                return primary
+            if self.store is not None:
+                record = self.store.get(digest)
+                if record is not None:
+                    job = Job(spec, digest)
+                    job.from_store = True
+                    job.result_payload = record
+                    job.result_digest = record.get("result_digest")
+                    self.jobs[job.id] = job
+                    self._finish(job, JobState.DONE)
+                    self._counters["store_hits"] += 1
+                    self._counters["completed"] += 1
+                    return job
+            job = Job(spec, digest)
+            try:
+                self.queue.submit(job, workers=self.pool.size)
+            except AdmissionBusy:
+                self._counters["rejected"] += 1
+                raise
+            self._counters["admitted"] += 1
+            self.jobs[job.id] = job
+            self._inflight[digest] = job
+            return job
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a pending or running job; True if it was cancelled.
+
+        A running job's worker is terminated and its slot respawned —
+        cancellation is immediate, not cooperative. Coalesced followers
+        share the Job, so cancelling cancels every waiter.
+        """
+        with self._lock:
+            if job.state.finished:
+                return False
+            if job.state is JobState.RUNNING and job.worker is not None:
+                handle = self.pool.find(job.worker)
+                if handle is not None:
+                    self.pool.kill(handle)
+            elif job.state is JobState.PENDING:
+                self.queue.forget_cancelled(job)
+            self._finish(job, JobState.CANCELLED)
+            self._counters["cancelled"] += 1
+            return True
+
+    def subscribe(self, job: Job, maxsize: int = 256) -> Subscription:
+        """A progress stream for ``job`` (ends when the job finishes)."""
+        sub = Subscription(maxsize=maxsize)
+        with self._lock:
+            if job.state.finished:
+                sub.close()
+            else:
+                job._subscribers.append(sub)
+        return sub
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every submitted job to finish; True if all did."""
+        deadline = (time.monotonic() + timeout) if timeout else None
+        with self._lock:
+            snapshot = list(self.jobs.values())
+        for job in snapshot:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+            if not job.wait(remaining):
+                return False
+        return True
+
+    def metrics(self) -> Dict[str, Any]:
+        """Counters + queue depth + store stats + per-worker health."""
+        with self._lock:
+            running = sum(1 for j in self.jobs.values()
+                          if j.state is JobState.RUNNING)
+            out: Dict[str, Any] = dict(self._counters)
+        out["pending"] = self.queue.pending
+        out["running"] = running
+        out["worker_restarts"] = self.pool.restarts
+        out["store"] = (self.store.stats.as_dict()
+                        if self.store is not None else None)
+        out["workers"] = self.pool.health()
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _validate(self, spec: JobSpec) -> None:
+        if spec.is_synthetic:
+            if spec.experiment.startswith("sleep:"):
+                try:
+                    float(spec.experiment.split(":", 1)[1])
+                except ValueError:
+                    raise ValueError(f"bad sleep spec {spec.experiment!r}")
+            return
+        from ..harness import EXPERIMENTS
+
+        if spec.experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {spec.experiment!r}; have "
+                f"{sorted(EXPERIMENTS)} or sleep:<seconds> / suite")
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            for kind, handle, job_id, payload in self.pool.poll(0.05):
+                if kind == "progress":
+                    self._on_progress(job_id, payload)
+                elif kind == "result":
+                    self._on_result(job_id, payload)
+                elif kind == "died":
+                    self._on_death(handle, job_id)
+            self._dispatch_pending()
+
+    def _dispatch_pending(self) -> None:
+        with self._lock:
+            for handle in self.pool.idle_workers():
+                job = self.queue.pop()
+                if job is None:
+                    return
+                job.state = JobState.RUNNING
+                job.worker = handle.id
+                job.attempts += 1
+                job.started = time.time()
+                self.pool.dispatch(handle, job.id, job.spec)
+
+    def _on_progress(self, job_id: Optional[int], payload: dict) -> None:
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return
+            job.last_progress = payload
+            subscribers = list(job._subscribers)
+        for sub in subscribers:
+            sub.feed(payload)
+
+    def _on_result(self, job_id: Optional[int], payload: dict) -> None:
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None or job.state is not JobState.RUNNING:
+                return  # cancelled while completing: drop the payload
+            duration = payload.get("duration_s")
+            if duration is not None:
+                self.queue.note_duration(duration)
+            if payload.get("ok"):
+                record = self._record(job, payload)
+                if self.store is not None:
+                    self.store.put(job.digest, record)
+                job.result_payload = record
+                job.result_digest = record["result_digest"]
+                self._finish(job, JobState.DONE)
+                self._counters["completed"] += 1
+            else:
+                job.error = payload.get("error", "worker error")
+                self._finish(job, JobState.FAILED)
+                self._counters["failed"] += 1
+
+    @staticmethod
+    def _record(job: Job, payload: dict) -> dict:
+        """The store record: deterministic result + advisory metadata.
+
+        The result digest covers only the simulation-determined fields
+        (rendered report + expectation verdict) so a crash-retried job
+        digests identically to an undisturbed run — wall-clock metadata
+        stays outside the hash.
+        """
+        result_digest = digest_of({"rendered": payload["rendered"],
+                                   "all_ok": payload["all_ok"]})
+        return {
+            "spec": job.spec.canonical(),
+            "rendered": payload["rendered"],
+            "all_ok": payload["all_ok"],
+            "result_digest": result_digest,
+            "metadata": {
+                "duration_s": payload.get("duration_s"),
+                "worker_id": payload.get("worker_id"),
+                "worker_jobs_before": payload.get("worker_jobs_before"),
+                "suite_warm": payload.get("suite_warm"),
+                "events_seen": payload.get("events_seen"),
+                "watchdog": payload.get("watchdog"),
+                "attempts": job.attempts,
+            },
+        }
+
+    def _on_death(self, handle: WorkerHandle, job_id: Optional[int]) -> None:
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None or job.state is not JobState.RUNNING:
+                return  # idle crash or cancelled job: slot already respawned
+            if job.attempts > self.max_attempts:
+                job.error = (f"worker died {job.attempts} times "
+                             f"(exitcode of last: "
+                             f"{handle.process.exitcode})")
+                self._finish(job, JobState.FAILED)
+                self._counters["failed"] += 1
+                return
+            # retry on a fresh worker, ahead of every priority class;
+            # nothing was stored, so a retried job cannot leave a
+            # partial result behind
+            job.state = JobState.PENDING
+            job.worker = None
+            self.queue.requeue_front(job)
+            self._counters["retries"] += 1
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        """Transition to a terminal state (caller holds the lock)."""
+        job.state = state
+        job.finished_at = time.time()
+        self._inflight.pop(job.digest, None)
+        job._done.set()
+        for sub in job._subscribers:
+            sub.close()
+        job._subscribers.clear()

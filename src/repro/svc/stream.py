@@ -1,0 +1,140 @@
+"""Streaming job progress across the pool boundary (``repro.svc.stream``).
+
+Clients subscribe to a job and receive, while it runs, a sampled view
+of its ``repro.obs`` bus: run milestones, every Nth event (the job's
+``stream_interval``), pathology warnings, and a final metrics snapshot.
+
+Worker side, :class:`StreamProcessor` attaches to each simulated
+system's event bus (via the capture ``on_attach`` hook) and forwards
+*wire dicts* — the same JSON shape :mod:`repro.obs.export` writes to
+JSONL, so a client can reconstruct typed events with
+``repro.obs.events.event_from_json``. Forwarding is sampled, not
+per-event: a pipe write per simulated event would drown the
+coordinator, and progress needs heartbeats, not a transcript (a full
+transcript is what ``CaptureSpec.events_path`` is for, written
+worker-locally).
+
+Coordinator side, :class:`Subscription` is a bounded queue the service
+feeds from worker messages; iteration yields progress dicts and ends on
+job completion. Slow subscribers lose oldest-first rather than stalling
+the pool — observability is fire-and-forget, durability is the result
+store's job (see the design note in :mod:`repro.svc.store`).
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Callable, Dict, Iterator, Optional
+
+from ..obs.events import RunEnd, RunStart
+from ..obs.export import event_to_dict
+
+__all__ = ["StreamProcessor", "Subscription", "MILESTONES"]
+
+#: event classes always forwarded regardless of the sample interval
+MILESTONES = (RunStart, RunEnd)
+
+
+class StreamProcessor:
+    """Worker-side bus processor that forwards sampled events.
+
+    ``send`` is the pool-boundary emitter (a pipe send wrapped by the
+    worker); each payload is a small JSON-able dict::
+
+        {"kind": "event", "run": 0, "seq": 12000, "cycle": 48210,
+         "event": {"event": "walker_retire", ...wire fields...}}
+
+    Milestone events (run start/end) are always forwarded; everything
+    else every ``interval`` events (0 = milestones only). ``seq`` counts
+    every event *seen*, so a client can read sampling density off the
+    stream.
+    """
+
+    def __init__(self, send: Callable[[dict], None], run: int,
+                 interval: int = 0) -> None:
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        self.send = send
+        self.run = run
+        self.interval = interval
+        self.seen = 0
+        self.forwarded = 0
+
+    def handle(self, event) -> None:
+        self.seen += 1
+        milestone = isinstance(event, MILESTONES)
+        if not milestone and (
+                self.interval == 0 or self.seen % self.interval):
+            return
+        self.forwarded += 1
+        self.send({
+            "kind": "event",
+            "run": self.run,
+            "seq": self.seen,
+            "cycle": event.cycle,
+            "event": event_to_dict(event),
+        })
+
+
+class Subscription:
+    """Client-side view of one job's progress stream.
+
+    A bounded queue: when a subscriber falls ``maxsize`` payloads
+    behind, the oldest payload is dropped (counted in ``dropped``) so a
+    stalled reader can never backpressure the coordinator loop.
+    Iteration ends when the job finishes.
+    """
+
+    _DONE = object()
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+        self.dropped = 0
+        self._closed = False
+
+    # -- coordinator side ----------------------------------------------
+    def feed(self, payload: dict) -> None:
+        if self._closed:
+            return
+        while True:
+            try:
+                self._queue.put_nowait(payload)
+                return
+            except queue.Full:
+                try:
+                    self._queue.get_nowait()
+                    self.dropped += 1
+                except queue.Empty:  # pragma: no cover - racing reader
+                    pass
+
+    def close(self) -> None:
+        """Signal end-of-stream (job finished)."""
+        if not self._closed:
+            self._closed = True
+            self.feed_sentinel()
+
+    def feed_sentinel(self) -> None:
+        while True:
+            try:
+                self._queue.put_nowait(self._DONE)
+                return
+            except queue.Full:
+                try:
+                    self._queue.get_nowait()
+                    self.dropped += 1
+                except queue.Empty:  # pragma: no cover - racing reader
+                    pass
+
+    # -- subscriber side -----------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """Next payload, or None at end-of-stream; raises queue.Empty on
+        timeout."""
+        payload = self._queue.get(timeout=timeout)
+        return None if payload is self._DONE else payload
+
+    def __iter__(self) -> Iterator[Dict]:
+        while True:
+            payload = self._queue.get()
+            if payload is self._DONE:
+                return
+            yield payload

@@ -74,6 +74,42 @@ def test_suite_disk_cache_tolerates_corruption(tmp_path, monkeypatch):
         assert result["dasx"].all_checked
         # and the fresh run repaired the disk entry
         with cached.open("rb") as fh:
-            assert "dasx" in pickle.load(fh)
+            assert "dasx" in pickle.load(fh)["suite"]
+    finally:
+        suite.clear_cache()
+
+
+def test_suite_disk_cache_invalidates_old_format(tmp_path, monkeypatch):
+    """Entries written by older revisions are treated as misses.
+
+    The pre-service layout pickled the suite dict bare (no wrapper, no
+    key, filename digest from ``repr()``); such a file at today's path
+    must invalidate quietly — fresh run, overwritten entry — never crash
+    or serve a stale suite.
+    """
+    monkeypatch.setenv(SUITE_CACHE_ENV, str(tmp_path))
+    suite.clear_cache()
+    try:
+        key = ("ci", ("dasx",))
+        path = suite._disk_cache_path(key)
+        with path.open("wb") as fh:
+            pickle.dump({"dasx": "stale-old-format-entry"}, fh)
+        result = run_fig14_suite("ci", workloads=("dasx",))
+        assert result["dasx"].all_checked  # simulated fresh, not stale
+        with path.open("rb") as fh:
+            repaired = pickle.load(fh)
+        assert repaired["format"] == suite.SUITE_CACHE_FORMAT
+        assert repaired["key"] == suite._canonical_key(key)
+
+        # a wrapper whose key disagrees (e.g. another code version)
+        # also invalidates
+        suite.clear_cache()
+        stale_key = dict(suite._canonical_key(key), code="0" * 16)
+        with path.open("wb") as fh:
+            pickle.dump({"format": suite.SUITE_CACHE_FORMAT,
+                         "key": stale_key,
+                         "suite": {"dasx": "wrong-code-version"}}, fh)
+        result = run_fig14_suite("ci", workloads=("dasx",))
+        assert result["dasx"].all_checked
     finally:
         suite.clear_cache()
