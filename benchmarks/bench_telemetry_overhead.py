@@ -1,0 +1,156 @@
+"""Service-telemetry overhead: spans + registry + ledger must be free.
+
+The telemetry plane hangs per-job work off every lifecycle transition —
+monotonic stamps, five summary observations, a flushed ledger line —
+all coordinator-side, never on the simulation event path. Per job that
+is ~60 microseconds (measured: ~2 us per counter inc, ~4 us per summary
+observation, ~22 us per flushed ledger line); this bench proves the
+discipline holds end to end as a number:
+
+* **plain vs armed** — the same batch of distinct ci experiment jobs
+  (the ``BENCH_svc.json`` warm-pool workload: per-job seed overrides,
+  nothing dedups) driven through (a) a service with ``telemetry=False``
+  (no registry, no ledger — the PR-7 baseline configuration) and (b)
+  one with the registry armed *and* a run ledger appending per job.
+  Both sides use one warm worker with boot excluded, interleaved
+  plain/armed/plain/armed so machine drift hits both equally.
+  ``telemetry_overhead_x`` (plain/armed, lower is better, 1.0 = free)
+  is the gated metric: CI holds it to 1.05 via an explicit
+  ``--tolerance``, i.e. the armed service keeps >=95% of the warm-pool
+  jobs/sec the committed baseline records.
+* **scrape rate** — ``Service.prometheus()`` calls/sec against a
+  populated registry (gauge sync + store-stat pinning + quantile
+  rendering per call), showing a scraper cannot meaningfully tax the
+  coordinator.
+
+Run standalone to emit ``BENCH_telemetry.json``::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py \\
+        --out BENCH_telemetry.json
+
+Under pytest the module asserts the overhead bound directly (set
+``REPRO_BENCH_SMOKE=1`` for a correctness-only smoke run, as CI does
+on shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.svc.jobs import JobSpec
+from repro.svc.service import Service
+
+DEFAULT_JOBS = 6
+DEFAULT_SCRAPES = 300
+EXPERIMENT = "fig04"
+PROFILE = "ci"
+OVERHEAD_CEILING_X = 1.05      # armed keeps >= 95% of plain throughput
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def make_specs(jobs: int, salt: int = 0):
+    """Distinct jobs (per-job seed override) so neither the store nor
+    in-flight coalescing short-circuits a single dispatch."""
+    return [JobSpec(experiment=EXPERIMENT, profile=PROFILE,
+                    profile_overrides=(("seed", salt * 1000 + i),))
+            for i in range(jobs)]
+
+
+def drive(specs, *, telemetry: bool, ledger=None) -> float:
+    """Jobs/sec through one warm worker (boot excluded)."""
+    service = Service(workers=1, store=None, health=False,
+                      telemetry=telemetry, ledger=ledger,
+                      max_pending=len(specs) + 1).start(wait_ready=True)
+    try:
+        start = time.perf_counter()
+        handles = [service.submit(spec) for spec in specs]
+        for job in handles:
+            job.result(timeout=600)
+        return len(specs) / (time.perf_counter() - start)
+    finally:
+        service.close()
+
+
+def drive_scrapes(scrapes: int) -> float:
+    """Prometheus renders/sec against a populated registry."""
+    service = Service(workers=1, health=False,
+                      max_pending=64).start(wait_ready=True)
+    try:
+        for job in [service.submit(JobSpec(
+                experiment="sleep:0",
+                profile_overrides=(("seed", i),))) for i in range(24)]:
+            job.result(timeout=600)
+        start = time.perf_counter()
+        for _ in range(scrapes):
+            service.prometheus()
+        return scrapes / (time.perf_counter() - start)
+    finally:
+        service.close()
+
+
+def compare(jobs: int = DEFAULT_JOBS,
+            scrapes: int = DEFAULT_SCRAPES) -> dict:
+    with tempfile.TemporaryDirectory() as td:
+        ledger = os.path.join(td, "bench-ledger.jsonl")
+        # interleave so drift (thermal, noisy neighbours) hits both
+        # sides equally; each drive gets fresh seeds so every job
+        # simulates fully
+        plain_a = drive(make_specs(jobs, salt=1), telemetry=False)
+        armed_a = drive(make_specs(jobs, salt=2), telemetry=True,
+                        ledger=ledger)
+        plain_b = drive(make_specs(jobs, salt=3), telemetry=False)
+        armed_b = drive(make_specs(jobs, salt=4), telemetry=True,
+                        ledger=ledger)
+    plain = (plain_a + plain_b) / 2
+    armed = (armed_a + armed_b) / 2
+    return {
+        "benchmark": "telemetry_overhead",
+        "experiment": EXPERIMENT,
+        "profile": PROFILE,
+        "workers": 1,
+        "jobs": jobs,
+        "scrapes": scrapes,
+        "plain_jobs_per_sec": round(plain, 3),
+        "telemetry_jobs_per_sec": round(armed, 3),
+        "telemetry_overhead_x": round(max(plain / armed, 1.0), 4),
+        "scrape_per_sec": round(drive_scrapes(scrapes), 1),
+    }
+
+
+def test_telemetry_overhead():
+    """Registry + ledger hold >=95% of plain warm-pool throughput."""
+    smoke = bool(os.environ.get(SMOKE_ENV))
+    jobs = 2 if smoke else DEFAULT_JOBS
+    scrapes = 30 if smoke else DEFAULT_SCRAPES
+    result = compare(jobs, scrapes)
+    print()
+    print(json.dumps(result, indent=2))
+    assert result["telemetry_jobs_per_sec"] > 0
+    assert result["scrape_per_sec"] > 0
+    if not smoke:
+        assert result["telemetry_overhead_x"] <= OVERHEAD_CEILING_X, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--scrapes", type=int, default=DEFAULT_SCRAPES)
+    parser.add_argument("--out", default=None,
+                        help="write the result record as JSON here")
+    args = parser.parse_args(argv)
+    result = compare(args.jobs, args.scrapes)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

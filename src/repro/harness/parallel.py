@@ -88,14 +88,18 @@ def run_serial(targets: Sequence[str], profile: str,
 
 def run_parallel(targets: Sequence[str], profile: str, jobs: int,
                  cache_dir: Optional[str] = None,
-                 capture: Optional[CaptureSpec] = None
+                 capture: Optional[CaptureSpec] = None,
+                 telemetry: Optional[dict] = None
                  ) -> List[Tuple[str, bool]]:
     """Fan experiments out over a warm pool of ``jobs`` workers.
 
     Returns ``(rendered_report, all_ok)`` pairs in ``targets`` order —
     the same sequence :func:`run_serial` produces. ``cache_dir`` is the
     shared suite cache directory; a temporary one is created (and
-    removed) when not given.
+    removed) when not given. Pass a dict as ``telemetry`` to receive the
+    inner service's observability state: its ``metrics()`` dict and the
+    registry ``snapshot`` (mergeable across batches via
+    :func:`repro.svc.telemetry.merge_snapshots`).
     """
     if jobs <= 1 or len(targets) <= 1:
         return run_serial(targets, profile, capture)
@@ -133,6 +137,9 @@ def run_parallel(targets: Sequence[str], profile: str, jobs: int,
             for t in targets:
                 payload = handles[t].result()
                 results.append((payload["rendered"], payload["all_ok"]))
+            if telemetry is not None:
+                telemetry["metrics"] = svc.metrics()
+                telemetry["snapshot"] = svc.telemetry_snapshot()
             return results
     finally:
         if previous is None:

@@ -30,7 +30,7 @@ import json
 import pathlib
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import IO, Iterator, List, Optional
+from typing import IO, Dict, Iterator, List, Optional
 
 from repro.sim.stats import StatGroup
 
@@ -65,6 +65,7 @@ class CaptureSpec:
     spans_path: Optional[str] = None      # SLO summary JSON (implies spans)
     explain_top: int = 0                  # drill down K slowest (implies spans)
     watchdog: bool = False                # pathology warnings in the report
+    job_scoped: bool = False              # service applies for_job() paths
     exp_id: Optional[str] = None          # set by for_experiment()
 
     @property
@@ -99,6 +100,46 @@ class CaptureSpec:
             spans_path=scoped(self.spans_path),
             exp_id=exp_id,
         )
+
+    def for_job(self, job_id: int) -> "CaptureSpec":
+        """Namespace the output paths for one service job.
+
+        Applied worker-side *before* :meth:`for_experiment`, so a
+        service sweep that captures gets per-job files (``t.jsonl`` →
+        ``t.job3.jsonl`` → ``t.job3.fig04.jsonl``) the run ledger can
+        point ``repro.obs.explain`` at. Job scoping leaves ``exp_id``
+        unset, so experiment scoping still applies afterwards.
+
+        Only specs with ``job_scoped=True`` get this treatment (the
+        ``repro.svc`` CLI sets it); the parallel harness rides the same
+        pool but keeps its documented per-experiment-only paths
+        (``p.jsonl`` → ``p.fig04.jsonl``).
+        """
+        tag = f"job{job_id}"
+
+        def scoped(path: Optional[str]) -> Optional[str]:
+            return _with_exp_id(path, tag) if path else None
+
+        return replace(
+            self,
+            events_path=scoped(self.events_path),
+            perfetto_path=scoped(self.perfetto_path),
+            prof_path=scoped(self.prof_path),
+            timeseries_path=scoped(self.timeseries_path),
+            spans_path=scoped(self.spans_path),
+        )
+
+    def output_paths(self) -> Dict[str, str]:
+        """The non-None output paths by kind (what the run ledger
+        records so ``explain --ledger`` can find a job's events)."""
+        paths = {
+            "events": self.events_path,
+            "perfetto": self.perfetto_path,
+            "prof": self.prof_path,
+            "timeseries": self.timeseries_path,
+            "spans": self.spans_path,
+        }
+        return {k: v for k, v in paths.items() if v}
 
 
 class Capture:

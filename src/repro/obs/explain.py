@@ -17,6 +17,18 @@ Two modes:
 
       python -m repro.obs.explain --run fig04 --profile ci --top 3
 
+* **Ledger** — drill a *service job* down to its simulated critical
+  path: look a ``job_id`` up in a ``repro.svc`` run ledger and replay
+  the per-job event capture its entry points at::
+
+      REPRO_SVC_LEDGER=runs.jsonl python -m repro.svc sweep fig04 \\
+          --events t.jsonl
+      python -m repro.obs.explain --ledger runs.jsonl --job 3
+
+  The header shows the job's host-time latency split (queue_wait /
+  dispatch / sim_exec / store_write) before the in-sim blame table —
+  one command crosses the service/simulation boundary.
+
 Either way the output is the per-DSA blame table (which bucket of
 {hit_path, sched_wait, exec, dram, queue_stall} owns the request
 cycles) followed by a drill-down of the K slowest requests: arrival,
@@ -181,6 +193,36 @@ def slo_summary(agg: CritPathAggregator, suite: str) -> dict:
     return {"suite": suite, "components": agg.summary_dict()}
 
 
+def format_job_header(entry: dict) -> str:
+    """The service-side half of a ledger drilldown: who ran the job,
+    where its wall-clock time went."""
+    timings = entry.get("timings") or {}
+    split = " ".join(
+        f"{key}={timings.get(key, 0):.3f}s"
+        for key in ("queue_wait", "dispatch", "sim_exec", "store_write"))
+    workers = ",".join(str(w) for w in entry.get("worker_history", ()))
+    lines = [
+        (f"-- service job {entry.get('job')} "
+         f"({entry.get('experiment')}/{entry.get('profile')}) "
+         f"state={entry.get('state')} --"),
+        (f"digest={str(entry.get('digest', ''))[:12]} "
+         f"workers=[{workers or '-'}] "
+         f"attempts={entry.get('attempts', 0)}"),
+        f"host time: end_to_end={timings.get('end_to_end', 0):.3f}s "
+        f"({split})",
+    ]
+    for retry in entry.get("retries", ()):
+        lines.append(f"  retry: worker {retry.get('worker')} died "
+                     f"(exitcode={retry.get('exitcode')}, "
+                     f"lost {retry.get('lost_s', 0):.3f}s)")
+    return "\n".join(lines)
+
+
+def _ledger_events_path(entry: dict) -> Optional[str]:
+    capture = entry.get("capture") or {}
+    return capture.get("events")
+
+
 def _run_live(exp_id: str, profile: str, top: int
               ) -> Tuple[CritPathAggregator, int, str]:
     """Run one experiment under a span capture; explain it."""
@@ -209,6 +251,12 @@ def main(argv=None) -> int:
     parser.add_argument("--run", default=None, metavar="EXP",
                         help="run this experiment live instead of "
                              "replaying a trace")
+    parser.add_argument("--ledger", default=None, metavar="LEDGER.jsonl",
+                        help="repro.svc run ledger to resolve --job in")
+    parser.add_argument("--job", type=int, default=None, metavar="ID",
+                        help="service job id to drill into (needs "
+                             "--ledger; replays the job's recorded "
+                             "event capture)")
     parser.add_argument("--profile", default="ci",
                         choices=("ci", "quick", "full"),
                         help="profile for --run (default: ci)")
@@ -223,10 +271,32 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.top < 0:
         parser.error("--top must be >= 0")
-    if (args.events is None) == (args.run is None):
-        parser.error("give exactly one of PATH.jsonl or --run EXP")
+    if (args.ledger is None) != (args.job is None):
+        parser.error("--ledger and --job go together")
+    modes = sum(x is not None for x in (args.events, args.run, args.ledger))
+    if modes != 1:
+        parser.error("give exactly one of PATH.jsonl, --run EXP, "
+                     "or --ledger/--job")
 
-    if args.run is not None:
+    if args.ledger is not None:
+        from repro.svc.telemetry import RunLedger
+
+        entry = RunLedger.find_job(args.ledger, args.job)
+        if entry is None:
+            print(f"job {args.job} not found in {args.ledger}",
+                  file=sys.stderr)
+            return 2
+        print(format_job_header(entry))
+        events_path = _ledger_events_path(entry)
+        if events_path is None:
+            print("(no event capture recorded for this job — submit "
+                  "with --events to enable the in-sim drilldown)",
+                  file=sys.stderr)
+            return 2
+        agg, _assemblers = replay_events(events_path, top=args.top)
+        suite = args.suite or f"job{args.job}"
+        dropped = 0
+    elif args.run is not None:
         agg, dropped, _report = _run_live(args.run, args.profile, args.top)
         suite = args.suite or args.run
     else:

@@ -21,9 +21,12 @@ __all__ = [
     "JobCancelled",
     "JobFailed",
     "JobQueue",
+    "JobSpan",
     "JobSpec",
     "JobState",
+    "MetricsRegistry",
     "ResultStore",
+    "RunLedger",
     "Service",
     "ServiceClient",
     "StreamProcessor",
@@ -32,6 +35,8 @@ __all__ = [
     "canonical_json",
     "code_version",
     "digest_of",
+    "merge_snapshots",
+    "render_prometheus",
     "sweep_specs",
 ]
 
@@ -41,9 +46,12 @@ _EXPORTS = {
     "JobCancelled": "jobs",
     "JobFailed": "jobs",
     "JobQueue": "jobs",
+    "JobSpan": "telemetry",
     "JobSpec": "jobs",
     "JobState": "jobs",
+    "MetricsRegistry": "telemetry",
     "ResultStore": "store",
+    "RunLedger": "telemetry",
     "Service": "service",
     "ServiceClient": "client",
     "StreamProcessor": "stream",
@@ -52,6 +60,8 @@ _EXPORTS = {
     "canonical_json": "store",
     "code_version": "store",
     "digest_of": "store",
+    "merge_snapshots": "telemetry",
+    "render_prometheus": "telemetry",
     "sweep_specs": "service",
 }
 

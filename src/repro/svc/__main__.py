@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.svc <serve|submit|status|result|cancel|metrics|sweep>``.
+"""CLI: ``python -m repro.svc <serve|submit|status|result|cancel|metrics|sweep|history|top>``.
 
 Quickstart (two terminals)::
 
@@ -24,6 +24,7 @@ instead of simulating again.
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
 import time
@@ -35,9 +36,19 @@ from .service import Service, sweep_specs
 PROFILES = ("ci", "quick", "full")
 
 
+def _capture_from_args(args):
+    events = getattr(args, "events", None)
+    if not events:
+        return None
+    from ..obs.capture import CaptureSpec
+
+    return CaptureSpec(events_path=events, job_scoped=True)
+
+
 def _spec_from_args(args, overrides=()) -> JobSpec:
     return JobSpec(experiment=args.experiment, profile=args.profile,
                    profile_overrides=tuple(overrides),
+                   capture=_capture_from_args(args),
                    priority=getattr(args, "priority", 0),
                    stream_interval=getattr(args, "stream_interval", 0),
                    tag=getattr(args, "tag", ""))
@@ -75,17 +86,31 @@ def _cmd_serve(args) -> int:
     from .client import ServiceServer
 
     service = Service(workers=args.workers, store=args.store or "memory",
-                      max_pending=args.max_pending).start(wait_ready=True)
+                      max_pending=args.max_pending,
+                      ledger=args.ledger or "env").start(wait_ready=True)
     server = ServiceServer(service, host=args.host, port=args.port).start()
     host, port = server.address
     print(f"repro.svc listening on {host}:{port} "
           f"({args.workers} workers)", flush=True)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from .telemetry import MetricsHTTPServer
+
+        metrics_server = MetricsHTTPServer(
+            service.prometheus, host=args.host,
+            port=args.metrics_port).start()
+        print(f"metrics on http://{host}:{metrics_server.port}/metrics",
+              flush=True)
+    if service.ledger is not None:
+        print(f"run ledger at {service.ledger.path}", flush=True)
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
         print("shutting down", flush=True)
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         server.stop()
         service.close()
     return 0
@@ -125,13 +150,59 @@ def _cmd_cancel(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
-    print(json.dumps(_client(args).metrics(), indent=1, sort_keys=True))
+    if args.prom:
+        print(_client(args).metrics(prom=True)["prom"], end="")
+    else:
+        print(json.dumps(_client(args).metrics(), indent=1,
+                         sort_keys=True))
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from .telemetry import RunLedger, format_history
+
+    if args.ledger:
+        entries = RunLedger.read(args.ledger)
+    else:
+        entries = _client(args).history(args.limit)
+    if args.limit:
+        entries = entries[-args.limit:]
+    if args.json:
+        for entry in entries:
+            print(json.dumps(entry, sort_keys=True))
+    else:
+        print(format_history(entries))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from .telemetry import render_top
+
+    client = _client(args)
+    previous, last = None, None
+    frames = (range(args.iterations) if args.iterations
+              else itertools.count())
+    try:
+        for index in frames:
+            metrics = client.metrics()
+            now = time.monotonic()
+            dt = (now - last) if last is not None else 0.0
+            sys.stdout.write(render_top(
+                metrics, previous, dt, address=args.connect,
+                color=sys.stdout.isatty(), clear=not args.no_clear))
+            sys.stdout.flush()
+            previous, last = metrics, now
+            if not args.iterations or index < args.iterations - 1:
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
 def _cmd_sweep(args) -> int:
     specs = sweep_specs(args.experiment, args.profile,
-                        grid=_parse_grid(args.grid), repeat=args.repeat)
+                        grid=_parse_grid(args.grid), repeat=args.repeat,
+                        capture=_capture_from_args(args))
     print(f"sweep: {len(specs)} submissions "
           f"({len(specs) // max(1, args.repeat)} distinct points)")
     if args.local:
@@ -205,6 +276,10 @@ def _add_spec_args(sub) -> None:
                      dest="stream_interval", metavar="N",
                      help="forward every Nth obs event as progress")
     sub.add_argument("--tag", default="")
+    sub.add_argument("--events", default=None, metavar="PATH.jsonl",
+                     help="capture the job's obs events to per-job "
+                          "JSONL files (worker-local paths; recorded "
+                          "in the run ledger for explain --ledger)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -222,6 +297,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7791,
                        help="0 picks an ephemeral port")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       dest="metrics_port", metavar="PORT",
+                       help="serve Prometheus text on this port "
+                            "(GET /metrics; 0 picks an ephemeral port)")
+    serve.add_argument("--ledger", default=None, metavar="PATH.jsonl",
+                       help="append-only run ledger (default: the "
+                            "REPRO_SVC_LEDGER environment variable)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = commands.add_parser("submit", help="submit one job")
@@ -243,7 +325,34 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     metrics = commands.add_parser("metrics", help="service counters")
     _add_connect(metrics)
+    metrics.add_argument("--prom", action="store_true",
+                         help="print Prometheus text exposition "
+                              "instead of JSON")
     metrics.set_defaults(func=_cmd_metrics)
+
+    history = commands.add_parser(
+        "history", help="replay the service run ledger")
+    _add_connect(history)
+    history.add_argument("--ledger", default=None, metavar="PATH.jsonl",
+                         help="read this ledger file directly instead "
+                              "of asking the service")
+    history.add_argument("--limit", type=int, default=0, metavar="N",
+                         help="only the last N entries (0 = all)")
+    history.add_argument("--json", action="store_true",
+                         help="one JSON entry per line instead of the "
+                              "table")
+    history.set_defaults(func=_cmd_history)
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard over the service")
+    _add_connect(top)
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between polls (default: 1.0)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="render N frames then exit (0 = until ^C)")
+    top.add_argument("--no-clear", action="store_true", dest="no_clear",
+                     help="append frames instead of redrawing in place")
+    top.set_defaults(func=_cmd_top)
 
     sweep = commands.add_parser(
         "sweep", help="fan a parameter grid into jobs")

@@ -178,7 +178,25 @@ class ServiceServer:
                        "job": job.status()})
 
     def _op_metrics(self, conn, request: dict) -> None:
-        conn.send({"ok": True, "metrics": self.service.metrics()})
+        response: Dict[str, Any] = {"ok": True,
+                                    "metrics": self.service.metrics()}
+        if request.get("prom"):
+            try:
+                response["prom"] = self.service.prometheus()
+            except RuntimeError as exc:
+                conn.send({"ok": False, "kind": "invalid",
+                           "error": str(exc)})
+                return
+        conn.send(response)
+
+    def _op_history(self, conn, request: dict) -> None:
+        if self.service.ledger is None:
+            conn.send({"ok": False, "kind": "invalid",
+                       "error": "service has no run ledger (start it "
+                                "with --ledger or REPRO_SVC_LEDGER)"})
+            return
+        limit = int(request.get("limit") or 0)
+        conn.send({"ok": True, "entries": self.service.history(limit)})
 
     def _op_watch(self, conn, request: dict) -> None:
         """Stream progress payloads until the job finishes."""
@@ -249,8 +267,18 @@ class ServiceClient:
     def cancel(self, job_id: int) -> bool:
         return self._call({"op": "cancel", "job": job_id})["cancelled"]
 
-    def metrics(self) -> Dict[str, Any]:
-        return self._call({"op": "metrics"})["metrics"]
+    def metrics(self, prom: bool = False) -> Dict[str, Any]:
+        """The service metrics dict; with ``prom=True`` the response
+        also carries the Prometheus exposition under ``"prom"``."""
+        response = self._call({"op": "metrics", "prom": prom})
+        if prom:
+            return {"metrics": response["metrics"],
+                    "prom": response["prom"]}
+        return response["metrics"]
+
+    def history(self, limit: int = 0) -> list:
+        """The server's run-ledger entries (last ``limit`` if > 0)."""
+        return self._call({"op": "history", "limit": limit})["entries"]
 
     def watch(self, job_id: int) -> Iterator[Dict[str, Any]]:
         """Yield progress dicts as the job runs; the final yield is

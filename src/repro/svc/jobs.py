@@ -147,6 +147,8 @@ class Job:
         self.attempts = 0            # dispatches (crash retries bump it)
         self.followers = 0           # coalesced identical submits
         self.worker: Optional[int] = None
+        self.worker_history: List[int] = []   # every worker it ran on
+        self.retry_log: List[dict] = []       # one entry per crash retry
         self.result_payload: Optional[dict] = None
         self.result_digest: Optional[str] = None
         self.error: Optional[str] = None
@@ -155,8 +157,19 @@ class Job:
         self.started: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.last_progress: Optional[dict] = None
+        # monotonic host timestamps stamped at lifecycle transitions
+        # (submitted/admitted/dispatched/...), assembled into the
+        # telemetry JobSpan's exact wall-clock latency split
+        self.ts: Dict[str, float] = {"submitted": time.monotonic()}
+        self.store_write_s = 0.0     # coordinator's store.put duration
         self._done = threading.Event()
         self._subscribers: List[queue.Queue] = []
+
+    def stamp(self, transition: str) -> float:
+        """Record a monotonic timestamp for one lifecycle transition."""
+        now = time.monotonic()
+        self.ts[transition] = now
+        return now
 
     # ------------------------------------------------------------------
     # waiting / results
@@ -188,6 +201,7 @@ class Job:
             "followers": self.followers,
             "from_store": self.from_store,
             "worker": self.worker,
+            "worker_history": list(self.worker_history),
             "result_digest": self.result_digest,
             "error": self.error,
             "progress": self.last_progress,

@@ -88,7 +88,7 @@ def _render_suite(suite) -> str:
 
 
 def _execute_spec(spec: JobSpec, health: bool, send_progress,
-                  jobs_before: int) -> dict:
+                  jobs_before: int, job_id: Optional[int] = None) -> dict:
     """Run one job in this worker; returns the result payload."""
     from ..core.messages import reset_ids
 
@@ -96,6 +96,7 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
     streams: list = []
     dogs: list = []
     suite_warm = None
+    capture_paths: Optional[Dict[str, str]] = None
 
     if spec.experiment.startswith("sleep:"):
         seconds = float(spec.experiment.split(":", 1)[1])
@@ -117,6 +118,18 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
     else:
         from ..harness.parallel import execute_one
 
+        # scope capture outputs per job *then* per experiment, so the
+        # final paths are known here and land in the run ledger — how
+        # ``explain --ledger --job N`` finds this job's event file.
+        # Opt-in via job_scoped: the parallel harness keeps plain
+        # per-experiment paths.
+        capture = spec.capture
+        if (capture is not None and capture.active and capture.job_scoped
+                and job_id is not None):
+            capture = capture.for_job(job_id).for_experiment(spec.experiment)
+        if capture is not None:
+            capture_paths = capture.output_paths() or None
+
         on_attach = None
         if health or spec.stream_interval > 0:
             from ..obs.watchdog import WatchdogProcessor
@@ -132,7 +145,7 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
                     dogs.append(bus.attach(WatchdogProcessor()))
 
         rendered, all_ok = execute_one(
-            spec.experiment, _resolve_profile(spec), spec.capture,
+            spec.experiment, _resolve_profile(spec), capture,
             on_attach=on_attach)
 
     return {
@@ -144,6 +157,7 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
         "suite_warm": suite_warm,
         "events_seen": sum(s.seen for s in streams),
         "watchdog": _watchdog_counts(dogs),
+        "capture_paths": capture_paths,
     }
 
 
@@ -181,7 +195,8 @@ def _worker_main(conn, worker_id: int, health: bool) -> None:
         send_progress({"kind": "phase", "phase": "start",
                        "experiment": spec.experiment})
         try:
-            payload = _execute_spec(spec, health, send_progress, jobs_done)
+            payload = _execute_spec(spec, health, send_progress, jobs_done,
+                                    job_id=job_id)
         except BaseException:
             payload = {"ok": False, "error": traceback.format_exc()}
         payload["worker_id"] = worker_id
@@ -255,7 +270,7 @@ class WorkerPool:
     """N long-lived worker processes with crash detection + replacement."""
 
     def __init__(self, workers: int = 2, health: bool = True,
-                 start_method: str = "spawn") -> None:
+                 start_method: str = "spawn", registry=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.size = workers
@@ -264,6 +279,12 @@ class WorkerPool:
         self._slots: List[WorkerHandle] = []
         self._ids = itertools.count(1)
         self.restarts = 0
+        #: per-kind totals of worker-reported watchdog pathologies —
+        #: health reports feed metrics, they are not merely logged
+        self.watchdog_counts: Dict[str, int] = {}
+        # telemetry registry (repro.svc.telemetry.MetricsRegistry) the
+        # owning Service shares with the pool; None = standalone pool
+        self.registry = registry
         self._started = False
 
     # ------------------------------------------------------------------
@@ -351,8 +372,16 @@ class WorkerPool:
                         handle.ready = True
                     elif kind == "result":
                         handle.jobs_done += 1
-                        handle.warnings += sum(
-                            payload.get("watchdog", {}).values())
+                        watchdog = payload.get("watchdog") or {}
+                        handle.warnings += sum(watchdog.values())
+                        for warn_kind, count in sorted(watchdog.items()):
+                            self.watchdog_counts[warn_kind] = (
+                                self.watchdog_counts.get(warn_kind, 0)
+                                + count)
+                            if self.registry is not None:
+                                self.registry.inc(
+                                    "watchdog_warnings_total", count,
+                                    kind=warn_kind)
                         handle.job_id = None
                     messages.append((kind, handle, job_id, payload))
             except (EOFError, OSError):
@@ -370,6 +399,8 @@ class WorkerPool:
 
     def _replace(self, handle: WorkerHandle) -> None:
         self.restarts += 1
+        if self.registry is not None:
+            self.registry.set("worker_restarts_total", self.restarts)
         self._slots[self._slots.index(handle)] = self._spawn()
 
     def kill(self, handle: WorkerHandle) -> None:

@@ -45,8 +45,22 @@ from .jobs import (
 from .pool import WorkerHandle, WorkerPool
 from .store import ResultStore, digest_of
 from .stream import Subscription
+from .telemetry import LEDGER_ENV, JobSpan, MetricsRegistry, RunLedger
 
 __all__ = ["Service", "sweep_specs"]
+
+#: legacy one-shot counter key -> registry counter family
+_COUNTER_FAMILIES = {
+    "submitted": "jobs_submitted_total",
+    "admitted": "jobs_admitted_total",
+    "rejected": "jobs_rejected_total",
+    "store_hits": "jobs_from_store_total",
+    "coalesced": "jobs_coalesced_total",
+    "completed": "jobs_completed_total",
+    "failed": "jobs_failed_total",
+    "cancelled": "jobs_cancelled_total",
+    "retries": "jobs_retried_total",
+}
 
 
 def sweep_specs(experiment: str, profile: str = "ci",
@@ -99,6 +113,8 @@ class Service:
                  store: Union[ResultStore, str, os.PathLike, None] = "memory",
                  max_pending: int = 64, max_attempts: int = 2,
                  health: bool = True, start_method: str = "spawn",
+                 telemetry: bool = True,
+                 ledger: Union[str, os.PathLike, None] = "env",
                  ) -> None:
         if store == "memory":
             self.store: Optional[ResultStore] = ResultStore()
@@ -106,9 +122,16 @@ class Service:
             self.store = store
         else:
             self.store = ResultStore(store)
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if telemetry else None)
+        if ledger == "env":
+            ledger = os.environ.get(LEDGER_ENV) or None
+        self.ledger: Optional[RunLedger] = (
+            RunLedger(ledger) if (telemetry and ledger) else None)
         self.queue = JobQueue(max_pending=max_pending)
         self.pool = WorkerPool(workers=workers, health=health,
-                               start_method=start_method)
+                               start_method=start_method,
+                               registry=self.registry)
         self.max_attempts = max_attempts
         self.jobs: Dict[int, Job] = {}
         self._inflight: Dict[str, Job] = {}   # digest -> pending/running job
@@ -120,6 +143,61 @@ class Service:
             "store_hits": 0, "coalesced": 0, "completed": 0,
             "failed": 0, "cancelled": 0, "retries": 0,
         }
+        if self.registry is not None:
+            self._declare_metrics(self.registry)
+
+    @staticmethod
+    def _declare_metrics(reg: MetricsRegistry) -> None:
+        """Pre-register every family so a scrape sees zeros, not gaps
+        (the CI smoke greps ``worker_restarts_total`` before any crash)."""
+        reg.counter("jobs_submitted_total", "Submits accepted or resolved.")
+        reg.counter("jobs_admitted_total", "Jobs admitted to the queue.")
+        reg.counter("jobs_rejected_total",
+                    "Submits refused by bounded admission.")
+        reg.counter("jobs_from_store_total",
+                    "Submits resolved by a result-store hit.")
+        reg.counter("jobs_coalesced_total",
+                    "Submits coalesced onto an in-flight identical job.")
+        reg.counter("jobs_completed_total", "Jobs finished DONE.")
+        reg.counter("jobs_failed_total", "Jobs finished FAILED.")
+        reg.counter("jobs_cancelled_total", "Jobs cancelled.")
+        reg.counter("jobs_retried_total",
+                    "Crash retries re-queued on a fresh worker.")
+        reg.counter("worker_restarts_total",
+                    "Worker slots respawned after a death or kill.")
+        reg.counter("watchdog_warnings_total",
+                    "In-sim pathology warnings reported by workers.")
+        reg.counter("stream_dropped_total",
+                    "Progress payloads dropped by slow subscribers.")
+        reg.counter("ledger_entries_total", "Run-ledger lines written.")
+        reg.counter("store_hits_total", "Result-store lookup hits.")
+        reg.counter("store_misses_total", "Result-store lookup misses.")
+        reg.counter("store_writes_total", "Result-store records written.")
+        reg.counter("store_coalesced_total",
+                    "In-flight coalesces recorded by the store.")
+        reg.counter("store_invalidated_total",
+                    "Stale/foreign on-disk store entries rejected.")
+        reg.gauge("queue_depth", "Jobs pending in the admission queue.")
+        reg.gauge("jobs_running", "Jobs currently executing on workers.")
+        reg.gauge("workers_total", "Worker slots in the pool.")
+        reg.gauge("workers_busy", "Workers currently running a job.")
+        reg.summary("job_latency_seconds",
+                    "End-to-end wall latency of executed jobs.")
+        reg.summary("job_queue_wait_seconds",
+                    "Admission-to-dispatch wait of executed jobs.")
+        reg.summary("job_dispatch_seconds",
+                    "Pool-boundary overhead of executed jobs.")
+        reg.summary("job_sim_exec_seconds",
+                    "Worker-measured execution time of executed jobs.")
+        reg.summary("job_store_write_seconds",
+                    "Result-store write time of executed jobs.")
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        """Bump a legacy one-shot counter and its registry family
+        (caller holds the lock)."""
+        self._counters[key] += amount
+        if self.registry is not None:
+            self.registry.inc(_COUNTER_FAMILIES[key], amount)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -141,12 +219,14 @@ class Service:
             for job in self.jobs.values():
                 if not job.state.finished:
                     self._finish(job, JobState.CANCELLED)
-                    self._counters["cancelled"] += 1
+                    self._count("cancelled")
         self._stop.set()
         if self._thread is not None:
             self._thread.join(5.0)
             self._thread = None
         self.pool.stop()
+        if self.ledger is not None:
+            self.ledger.close()
 
     def __enter__(self) -> "Service":
         return self.start()
@@ -169,11 +249,11 @@ class Service:
         self._validate(spec)
         digest = spec.digest()
         with self._lock:
-            self._counters["submitted"] += 1
+            self._count("submitted")
             primary = self._inflight.get(digest)
             if primary is not None and not primary.state.finished:
                 primary.followers += 1
-                self._counters["coalesced"] += 1
+                self._count("coalesced")
                 if self.store is not None:
                     self.store.note_coalesced()
                 return primary
@@ -184,18 +264,20 @@ class Service:
                     job.from_store = True
                     job.result_payload = record
                     job.result_digest = record.get("result_digest")
+                    job.stamp("admitted")
                     self.jobs[job.id] = job
                     self._finish(job, JobState.DONE)
-                    self._counters["store_hits"] += 1
-                    self._counters["completed"] += 1
+                    self._count("store_hits")
+                    self._count("completed")
                     return job
             job = Job(spec, digest)
             try:
                 self.queue.submit(job, workers=self.pool.size)
             except AdmissionBusy:
-                self._counters["rejected"] += 1
+                self._count("rejected")
                 raise
-            self._counters["admitted"] += 1
+            self._count("admitted")
+            job.stamp("admitted")
             self.jobs[job.id] = job
             self._inflight[digest] = job
             return job
@@ -217,12 +299,17 @@ class Service:
             elif job.state is JobState.PENDING:
                 self.queue.forget_cancelled(job)
             self._finish(job, JobState.CANCELLED)
-            self._counters["cancelled"] += 1
+            self._count("cancelled")
             return True
 
     def subscribe(self, job: Job, maxsize: int = 256) -> Subscription:
         """A progress stream for ``job`` (ends when the job finishes)."""
-        sub = Subscription(maxsize=maxsize)
+        on_drop = None
+        if self.registry is not None:
+            reg = self.registry
+            on_drop = (lambda count:
+                       reg.inc("stream_dropped_total", count))
+        sub = Subscription(maxsize=maxsize, on_drop=on_drop)
         with self._lock:
             if job.state.finished:
                 sub.close()
@@ -257,7 +344,54 @@ class Service:
         out["store"] = (self.store.stats.as_dict()
                         if self.store is not None else None)
         out["workers"] = self.pool.health()
+        out["watchdog"] = dict(self.pool.watchdog_counts)
+        out["telemetry"] = self.telemetry_snapshot()
         return out
+
+    def telemetry_snapshot(self) -> Optional[dict]:
+        """The registry snapshot with scrape-time state folded in.
+
+        Instantaneous gauges (queue depth, busy workers) and the store's
+        own counters are synced here — pinned, not incremented, so a
+        snapshot is idempotent and never double-counts.
+        """
+        reg = self.registry
+        if reg is None:
+            return None
+        with self._lock:
+            running = sum(1 for j in self.jobs.values()
+                          if j.state is JobState.RUNNING)
+        reg.set("queue_depth", self.queue.pending)
+        reg.set("jobs_running", running)
+        health = self.pool.health()
+        reg.set("workers_total", len(health))
+        reg.set("workers_busy",
+                sum(1 for w in health if w.get("state") == "busy"))
+        reg.set("worker_restarts_total", self.pool.restarts)
+        if self.store is not None:
+            stats = self.store.stats
+            reg.set("store_hits_total", stats.hits)
+            reg.set("store_misses_total", stats.misses)
+            reg.set("store_writes_total", stats.stores)
+            reg.set("store_coalesced_total", stats.coalesced)
+            reg.set("store_invalidated_total", stats.invalidated)
+        return reg.snapshot()
+
+    def prometheus(self) -> str:
+        """The current registry state as Prometheus text exposition."""
+        from .telemetry import render_prometheus
+
+        snapshot = self.telemetry_snapshot()
+        if snapshot is None:
+            raise RuntimeError("service started with telemetry=False")
+        return render_prometheus(snapshot)
+
+    def history(self, limit: int = 0) -> List[dict]:
+        """The run-ledger entries written so far (last ``limit`` if >0)."""
+        if self.ledger is None:
+            return []
+        entries = RunLedger.read(self.ledger.path)
+        return entries[-limit:] if limit > 0 else entries
 
     # ------------------------------------------------------------------
     # internals
@@ -296,8 +430,10 @@ class Service:
                     return
                 job.state = JobState.RUNNING
                 job.worker = handle.id
+                job.worker_history.append(handle.id)
                 job.attempts += 1
                 job.started = time.time()
+                job.stamp("dispatched")
                 self.pool.dispatch(handle, job.id, job.spec)
 
     def _on_progress(self, job_id: Optional[int], payload: dict) -> None:
@@ -318,18 +454,21 @@ class Service:
             duration = payload.get("duration_s")
             if duration is not None:
                 self.queue.note_duration(duration)
+            job.ts["sim_exec"] = float(payload.get("duration_s") or 0.0)
             if payload.get("ok"):
                 record = self._record(job, payload)
                 if self.store is not None:
+                    write_started = time.monotonic()
                     self.store.put(job.digest, record)
+                    job.store_write_s = time.monotonic() - write_started
                 job.result_payload = record
                 job.result_digest = record["result_digest"]
                 self._finish(job, JobState.DONE)
-                self._counters["completed"] += 1
+                self._count("completed")
             else:
                 job.error = payload.get("error", "worker error")
                 self._finish(job, JobState.FAILED)
-                self._counters["failed"] += 1
+                self._count("failed")
 
     @staticmethod
     def _record(job: Job, payload: dict) -> dict:
@@ -354,6 +493,7 @@ class Service:
                 "suite_warm": payload.get("suite_warm"),
                 "events_seen": payload.get("events_seen"),
                 "watchdog": payload.get("watchdog"),
+                "capture_paths": payload.get("capture_paths"),
                 "attempts": job.attempts,
             },
         }
@@ -368,22 +508,90 @@ class Service:
                              f"(exitcode of last: "
                              f"{handle.process.exitcode})")
                 self._finish(job, JobState.FAILED)
-                self._counters["failed"] += 1
+                self._count("failed")
                 return
             # retry on a fresh worker, ahead of every priority class;
             # nothing was stored, so a retried job cannot leave a
             # partial result behind
             job.state = JobState.PENDING
             job.worker = None
+            job.retry_log.append({
+                "worker": handle.id,
+                "exitcode": handle.process.exitcode,
+                "lost_s": round(time.monotonic()
+                                - job.ts.get("dispatched",
+                                             time.monotonic()), 6),
+            })
             self.queue.requeue_front(job)
-            self._counters["retries"] += 1
+            self._count("retries")
 
     def _finish(self, job: Job, state: JobState) -> None:
-        """Transition to a terminal state (caller holds the lock)."""
+        """Transition to a terminal state (caller holds the lock).
+
+        This is where the job's lifecycle span closes: the ``finished``
+        stamp lands, the wall-clock split feeds the registry summaries,
+        and the ledger line is appended — all coordinator-side work,
+        never on the simulation event path.
+        """
         job.state = state
         job.finished_at = time.time()
+        job.stamp("finished")
         self._inflight.pop(job.digest, None)
+        span = self.job_span(job)
+        if (self.registry is not None and state is JobState.DONE
+                and not job.from_store):
+            reg = self.registry
+            reg.observe("job_latency_seconds", span.end_to_end,
+                        experiment=job.spec.experiment)
+            reg.observe("job_queue_wait_seconds", span.queue_wait)
+            reg.observe("job_dispatch_seconds", max(0.0, span.dispatch))
+            reg.observe("job_sim_exec_seconds", span.sim_exec)
+            reg.observe("job_store_write_seconds", span.store_write)
+        if self.ledger is not None:
+            self.ledger.record(self._ledger_entry(job, span))
+            if self.registry is not None:
+                self.registry.inc("ledger_entries_total")
         job._done.set()
         for sub in job._subscribers:
             sub.close()
         job._subscribers.clear()
+
+    @staticmethod
+    def job_span(job: Job) -> JobSpan:
+        """Assemble the wall-clock lifecycle span for ``job``."""
+        span = JobSpan(job.id, job.digest, job.spec.experiment)
+        span.state = job.state.value
+        span.from_store = job.from_store
+        span.submitted = job.ts.get("submitted")
+        span.admitted = job.ts.get("admitted")
+        span.dispatched = job.ts.get("dispatched")
+        span.finished = job.ts.get("finished")
+        span.sim_exec = float(job.ts.get("sim_exec", 0.0))
+        span.store_write = job.store_write_s
+        return span
+
+    def _ledger_entry(self, job: Job, span: JobSpan) -> dict:
+        metadata = ((job.result_payload or {}).get("metadata") or {})
+        timings = {k: round(v, 6) for k, v in span.split().items()}
+        timings["end_to_end"] = round(span.end_to_end, 6)
+        return {
+            "kind": "job",
+            "job": job.id,
+            "digest": job.digest,
+            "experiment": job.spec.experiment,
+            "profile": job.spec.profile,
+            "tag": job.spec.tag,
+            "state": job.state.value,
+            "ok": job.state is JobState.DONE,
+            "result_digest": job.result_digest,
+            "worker": job.worker,
+            "worker_history": list(job.worker_history),
+            "attempts": job.attempts,
+            "retries": list(job.retry_log),
+            "followers": job.followers,
+            "from_store": job.from_store,
+            "wall_submitted": round(job.created, 6),
+            "timings": timings,
+            "capture": metadata.get("capture_paths"),
+            "error": job.error,
+        }

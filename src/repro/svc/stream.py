@@ -24,6 +24,8 @@ store's job (see the design note in :mod:`repro.svc.store`).
 from __future__ import annotations
 
 import queue
+import threading
+from collections import deque
 from typing import Callable, Dict, Iterator, Optional
 
 from ..obs.events import RunEnd, RunStart
@@ -79,62 +81,84 @@ class StreamProcessor:
 class Subscription:
     """Client-side view of one job's progress stream.
 
-    A bounded queue: when a subscriber falls ``maxsize`` payloads
-    behind, the oldest payload is dropped (counted in ``dropped``) so a
-    stalled reader can never backpressure the coordinator loop.
-    Iteration ends when the job finishes.
+    A bounded buffer: when a subscriber falls ``maxsize`` payloads
+    behind, the oldest *samplable* payload is dropped — counted in
+    ``dropped`` and reported through ``on_drop`` (the service wires it
+    to the telemetry registry's ``stream_dropped_total``) — so a stalled
+    reader can never backpressure the coordinator loop. Phase milestones
+    (``kind == "phase"``) and the end-of-stream sentinel are **never**
+    evicted: a slow reader loses density, not the job's shape. Iteration
+    ends when the job finishes.
     """
 
     _DONE = object()
 
-    def __init__(self, maxsize: int = 256) -> None:
-        self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
+    def __init__(self, maxsize: int = 256,
+                 on_drop: Optional[Callable[[int], None]] = None) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.on_drop = on_drop
         self.dropped = 0
+        self._items: deque = deque()
+        self._cond = threading.Condition()
         self._closed = False
+
+    @classmethod
+    def _droppable(cls, item) -> bool:
+        if item is cls._DONE:
+            return False
+        return not (isinstance(item, dict) and item.get("kind") == "phase")
 
     # -- coordinator side ----------------------------------------------
     def feed(self, payload: dict) -> None:
-        if self._closed:
-            return
-        while True:
-            try:
-                self._queue.put_nowait(payload)
+        with self._cond:
+            if self._closed:
                 return
-            except queue.Full:
-                try:
-                    self._queue.get_nowait()
-                    self.dropped += 1
-                except queue.Empty:  # pragma: no cover - racing reader
-                    pass
+            self._items.append(payload)
+            if len(self._items) > self.maxsize:
+                self._evict_locked()
+            self._cond.notify()
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest samplable payload; if the buffer holds only
+        milestones it is allowed to exceed the bound (milestones are
+        rare by construction — a handful per run, not per event)."""
+        for index, item in enumerate(self._items):
+            if self._droppable(item):
+                del self._items[index]
+                self.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(1)
+                return
 
     def close(self) -> None:
         """Signal end-of-stream (job finished)."""
-        if not self._closed:
-            self._closed = True
-            self.feed_sentinel()
-
-    def feed_sentinel(self) -> None:
-        while True:
-            try:
-                self._queue.put_nowait(self._DONE)
+        with self._cond:
+            if self._closed:
                 return
-            except queue.Full:
-                try:
-                    self._queue.get_nowait()
-                    self.dropped += 1
-                except queue.Empty:  # pragma: no cover - racing reader
-                    pass
+            self._closed = True
+            self._items.append(self._DONE)
+            self._cond.notify_all()
 
     # -- subscriber side -----------------------------------------------
     def get(self, timeout: Optional[float] = None) -> Optional[dict]:
         """Next payload, or None at end-of-stream; raises queue.Empty on
         timeout."""
-        payload = self._queue.get(timeout=timeout)
-        return None if payload is self._DONE else payload
+        with self._cond:
+            if not self._cond.wait_for(lambda: bool(self._items), timeout):
+                raise queue.Empty
+            payload = self._items.popleft()
+            if payload is self._DONE:
+                # leave the sentinel for any other reader: every get()
+                # after close drains real payloads then sees the end
+                self._items.append(payload)
+                return None
+            return payload
 
     def __iter__(self) -> Iterator[Dict]:
         while True:
-            payload = self._queue.get()
-            if payload is self._DONE:
+            payload = self.get()
+            if payload is None:
                 return
             yield payload

@@ -1,0 +1,701 @@
+"""Host-time observability for the service plane (``repro.svc.telemetry``).
+
+The simulated machine has deep observability (the ``repro.obs`` event
+bus, profiler, span trees, critical-path SLO gates) — all measured in
+*simulated cycles*. The service that actually runs jobs lives in host
+wall-clock time, and this module is its observability plane:
+
+* :class:`MetricsRegistry` — a lock-cheap counter/gauge/summary registry
+  covering queue depth, admission rejects, worker restarts, store
+  hit/miss/coalesced, and per-experiment job latency percentiles
+  (p50/p95/p99 via the same sparse-histogram machinery
+  :class:`~repro.sim.stats.StatGroup` uses for simulated latencies).
+  Snapshots are JSON-able, merge deterministically (sharded services,
+  ``--parallel`` fan-outs), and render as Prometheus text exposition.
+* :class:`JobSpan` — the per-job lifecycle span: monotonic host
+  timestamps stamped at every transition (submitted → admitted →
+  dispatched → running → stored/failed/retried) assembled into an exact
+  wall-clock latency split ``{queue_wait, dispatch, sim_exec,
+  store_write}`` that tiles ``[admitted, finished)`` by construction —
+  the service-plane mirror of :mod:`repro.obs.critpath`, in seconds
+  instead of cycles.
+* :class:`RunLedger` — an append-only JSONL audit log of every job:
+  spec digest, timings, result digest, worker id, and the retry chain.
+  Written by the coordinator *outside* the event path (the same
+  Checkpointer-vs-EventProcessor discipline the result store follows),
+  replayable by ``python -m repro.svc history`` and drillable by
+  ``python -m repro.obs.explain --ledger L.jsonl --job N`` straight
+  into the job's *simulated* critical path via its recorded capture.
+* :class:`MetricsHTTPServer` — the registry over a stdlib
+  ``http.server`` endpoint (``GET /metrics``, Prometheus text format),
+  armed with ``python -m repro.svc serve --metrics-port``.
+* :func:`render_top` — the frame renderer behind ``python -m repro.svc
+  top``, a live ANSI terminal view over the remote metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .store import canonical_json
+
+__all__ = [
+    "MetricsRegistry",
+    "JobSpan",
+    "RunLedger",
+    "MetricsHTTPServer",
+    "render_prometheus",
+    "merge_snapshots",
+    "render_top",
+    "QUANTILES",
+    "LEDGER_ENV",
+]
+
+#: environment default for the service run ledger path ("" = off)
+LEDGER_ENV = "REPRO_SVC_LEDGER"
+
+#: quantiles exposed for every summary metric
+QUANTILES = (0.5, 0.95, 0.99)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _quantize_us(value_us: int) -> int:
+    """Round a microsecond value to 2 significant digits.
+
+    Bounds the summary bucket count (≤ ~90 buckets per decade) so a
+    service that runs for days cannot grow a histogram without limit,
+    while keeping quantiles within 1% of exact.
+    """
+    if value_us <= 0:
+        return 0
+    scale = 10 ** max(0, int(math.floor(math.log10(value_us))) - 1)
+    return (value_us // scale) * scale
+
+
+class _Summary:
+    """Sparse quantized histogram over microsecond buckets.
+
+    The same sorted-bucket/weighted-count machinery as
+    :class:`repro.sim.stats.Histogram` (which backs the simulated-cycle
+    percentiles), specialised to wall-clock seconds: observations are
+    quantized microseconds, quantiles come back in seconds.
+    """
+
+    __slots__ = ("buckets", "count", "sum_us")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum_us = 0
+
+    def observe(self, seconds: float) -> None:
+        us = _quantize_us(int(round(seconds * 1e6)))
+        self.buckets[us] = self.buckets.get(us, 0) + 1
+        self.count += 1
+        self.sum_us += us
+
+    def quantile(self, q: float) -> float:
+        if not self.count:
+            return 0.0
+        need = q * self.count
+        seen = 0
+        for value in sorted(self.buckets):
+            seen += self.buckets[value]
+            if seen >= need:
+                return value / 1e6
+        return max(self.buckets) / 1e6
+
+    def as_jsonable(self) -> dict:
+        return {"count": self.count, "sum_us": self.sum_us,
+                "buckets": sorted(self.buckets.items())}
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "_Summary":
+        out = cls()
+        out.count = int(data.get("count", 0))
+        out.sum_us = int(data.get("sum_us", 0))
+        out.buckets = {int(v): int(w) for v, w in data.get("buckets", ())}
+        return out
+
+    def merge(self, other: "_Summary") -> None:
+        for value, weight in other.buckets.items():
+            self.buckets[value] = self.buckets.get(value, 0) + weight
+        self.count += other.count
+        self.sum_us += other.sum_us
+
+
+class MetricsRegistry:
+    """Counters, gauges, and latency summaries for the service plane.
+
+    One lock, taken per service-rate operation (job transitions, store
+    lookups, scrapes) — never per simulated event, so the registry costs
+    nothing on the simulation hot path. Metric families are declared
+    with :meth:`counter` / :meth:`gauge` / :meth:`summary` (idempotent;
+    declaring pre-registers a zero-valued series so exposition includes
+    the metric before its first increment), and bumped with
+    :meth:`inc` / :meth:`set` / :meth:`observe`. Label sets are
+    canonicalized, so two processes bumping the same series merge
+    losslessly via :func:`merge_snapshots`.
+    """
+
+    def __init__(self, namespace: str = "repro_svc") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        # name -> {"type", "help", "series": {label_items: value|_Summary}}
+        self._families: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # declaration
+    # ------------------------------------------------------------------
+    def _declare(self, name: str, kind: str, help_text: str) -> dict:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = {
+                "type": kind, "help": help_text, "series": {}}
+            if kind in ("counter", "gauge"):
+                family["series"][()] = 0
+        elif family["type"] != kind:
+            raise ValueError(
+                f"metric {name!r} already declared as {family['type']}")
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> "MetricsRegistry":
+        with self._lock:
+            self._declare(name, "counter", help_text)
+        return self
+
+    def gauge(self, name: str, help_text: str = "") -> "MetricsRegistry":
+        with self._lock:
+            self._declare(name, "gauge", help_text)
+        return self
+
+    def summary(self, name: str, help_text: str = "") -> "MetricsRegistry":
+        with self._lock:
+            self._declare(name, "summary", help_text)
+        return self
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: Union[int, float] = 1,
+            **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            family = self._declare(name, "counter", "")
+            series = family["series"]
+            series[key] = series.get(key, 0) + amount
+
+    def set(self, name: str, value: Union[int, float],
+            **labels: Any) -> None:
+        """Set a gauge — or pin a counter to an externally maintained
+        monotonic total (how store stats sync into the scrape)."""
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._declare(name, "gauge", "")
+            family["series"][key] = value
+
+    def observe(self, name: str, seconds: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            family = self._declare(name, "summary", "")
+            series = family["series"]
+            summary = series.get(key)
+            if summary is None:
+                summary = series[key] = _Summary()
+            summary.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def value(self, name: str, default: Union[int, float] = 0,
+              **labels: Any) -> Union[int, float]:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family["type"] == "summary":
+                return default
+            return family["series"].get(_label_key(labels), default)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-able copy of every family (the wire/merge format)."""
+        with self._lock:
+            out: Dict[str, dict] = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                series = []
+                for key in sorted(family["series"]):
+                    value = family["series"][key]
+                    if isinstance(value, _Summary):
+                        value = value.as_jsonable()
+                    series.append([list(map(list, key)), value])
+                out[name] = {"type": family["type"],
+                             "help": family["help"], "series": series}
+            return out
+
+    def render(self) -> str:
+        return render_prometheus(self.snapshot(), namespace=self.namespace)
+
+    def load(self, snapshot: Mapping[str, dict]) -> None:
+        """Replace this registry's contents with a snapshot's (used to
+        rebuild a registry from a merged snapshot)."""
+        with self._lock:
+            self._families = _families_from_snapshot(snapshot)
+
+
+def _families_from_snapshot(snapshot: Mapping[str, dict]) -> Dict[str, dict]:
+    families: Dict[str, dict] = {}
+    for name, family in snapshot.items():
+        series: Dict[LabelItems, Any] = {}
+        for key, value in family.get("series", ()):
+            items = tuple((str(k), str(v)) for k, v in key)
+            if family.get("type") == "summary":
+                value = _Summary.from_jsonable(value)
+            series[items] = value
+        families[name] = {"type": family.get("type", "counter"),
+                          "help": family.get("help", ""), "series": series}
+    return families
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, dict]]
+                    ) -> Dict[str, dict]:
+    """Merge registry snapshots deterministically.
+
+    Counters and summaries accumulate; gauges take the maximum (a gauge
+    is a point-in-time reading, so "max across shards" is the only
+    order-independent choice that never hides saturation). The result
+    is independent of snapshot order — the property the ``--parallel``
+    merge test pins.
+    """
+    merged = MetricsRegistry()
+    families = merged._families
+    for snap in snapshots:
+        for name, incoming in _families_from_snapshot(snap).items():
+            family = families.get(name)
+            if family is None:
+                families[name] = incoming
+                continue
+            kind = family["type"]
+            for key, value in incoming["series"].items():
+                mine = family["series"].get(key)
+                if mine is None:
+                    family["series"][key] = value
+                elif kind == "summary":
+                    mine.merge(value)
+                elif kind == "gauge":
+                    family["series"][key] = max(mine, value)
+                else:
+                    family["series"][key] = mine + value
+            if incoming["help"] and not family["help"]:
+                family["help"] = incoming["help"]
+    return merged.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+def _escape_label(text: str) -> str:
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_labels(items: Iterable[Sequence[str]]) -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in items]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: Mapping[str, dict],
+                      namespace: str = "repro_svc") -> str:
+    """Render a registry snapshot as Prometheus text format (0.0.4).
+
+    Deterministic: families alphabetical, series by sorted label items,
+    summaries expose the :data:`QUANTILES` plus ``_sum``/``_count``.
+    """
+    lines: List[str] = []
+    prefix = f"{namespace}_" if namespace else ""
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        full = f"{prefix}{name}"
+        if family.get("help"):
+            lines.append(f"# HELP {full} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {full} {family.get('type', 'counter')}")
+        for key, value in family.get("series", ()):
+            if family.get("type") == "summary":
+                summary = (value if isinstance(value, _Summary)
+                           else _Summary.from_jsonable(value))
+                for q in QUANTILES:
+                    labels = _format_labels(
+                        list(key) + [("quantile", f"{q:g}")])
+                    lines.append(
+                        f"{full}{labels} "
+                        f"{_format_value(summary.quantile(q))}")
+                tail = _format_labels(key)
+                lines.append(f"{full}_sum{tail} "
+                             f"{_format_value(summary.sum_us / 1e6)}")
+                lines.append(f"{full}_count{tail} {summary.count}")
+            else:
+                lines.append(
+                    f"{full}{_format_labels(key)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# per-job lifecycle spans
+# ----------------------------------------------------------------------
+
+class JobSpan:
+    """Wall-clock lifecycle span of one service job.
+
+    Monotonic timestamps are stamped by the coordinator at each
+    transition; the split tiles ``[admitted, finished)`` *exactly*:
+
+    * ``queue_wait``   — admitted → (last) dispatch to a worker;
+    * ``sim_exec``     — the worker-measured execution time
+      (``duration_s``, a ``perf_counter`` duration on the worker);
+    * ``store_write``  — the coordinator's result-store write;
+    * ``dispatch``     — everything else crossing the pool boundary:
+      the dispatch pipe send, the worker picking the job up, the result
+      pipe transfer and coordinator poll latency. Computed as the
+      residual, so the four buckets always sum to ``end_to_end``. A
+      crash-retried job's lost attempt lands here too (the simulation
+      time that produced no result is service overhead, not exec).
+    """
+
+    __slots__ = ("job_id", "digest", "experiment", "state", "submitted",
+                 "admitted", "dispatched", "finished", "sim_exec",
+                 "store_write", "from_store")
+
+    def __init__(self, job_id: int, digest: str, experiment: str) -> None:
+        self.job_id = job_id
+        self.digest = digest
+        self.experiment = experiment
+        self.state = "pending"
+        self.submitted: Optional[float] = None
+        self.admitted: Optional[float] = None
+        self.dispatched: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.sim_exec: float = 0.0
+        self.store_write: float = 0.0
+        self.from_store = False
+
+    @property
+    def end_to_end(self) -> float:
+        if self.admitted is None or self.finished is None:
+            return 0.0
+        return self.finished - self.admitted
+
+    @property
+    def queue_wait(self) -> float:
+        if self.admitted is None or self.dispatched is None:
+            return 0.0
+        return self.dispatched - self.admitted
+
+    @property
+    def dispatch(self) -> float:
+        return (self.end_to_end - self.queue_wait - self.sim_exec
+                - self.store_write)
+
+    def split(self) -> Dict[str, float]:
+        """The exact latency split; sums to :attr:`end_to_end`."""
+        return {"queue_wait": self.queue_wait, "dispatch": self.dispatch,
+                "sim_exec": self.sim_exec, "store_write": self.store_write}
+
+
+# ----------------------------------------------------------------------
+# run ledger
+# ----------------------------------------------------------------------
+
+class RunLedger:
+    """Append-only JSONL audit log of finished jobs.
+
+    One canonical-JSON line per terminal job state, flushed per entry so
+    a crashed coordinator loses at most the in-flight line. Writing
+    happens from the coordinator loop (or a client thread resolving a
+    store hit) — never from a worker, never from a simulation event
+    handler — per the Checkpointer-vs-EventProcessor discipline.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.written = 0
+
+    def record(self, entry: Mapping[str, Any]) -> None:
+        line = canonical_json(dict(entry))
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    # -- replay --------------------------------------------------------
+    @staticmethod
+    def read(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+        """Parse a ledger file back into entry dicts (bad lines — e.g.
+        a torn final write — are skipped, not fatal)."""
+        entries: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    entries.append(record)
+        return entries
+
+    @staticmethod
+    def find_job(path: Union[str, os.PathLike],
+                 job_id: int) -> Optional[Dict[str, Any]]:
+        """The last ledger entry for ``job_id`` (last wins: a resubmit
+        after service restart may reuse ids)."""
+        found = None
+        for entry in RunLedger.read(path):
+            if entry.get("job") == job_id:
+                found = entry
+        return found
+
+
+def format_history(entries: Sequence[Mapping[str, Any]],
+                   limit: int = 0) -> str:
+    """Render ledger entries as the ``svc history`` table."""
+    if limit:
+        entries = list(entries)[-limit:]
+    lines = [f"{'job':>5} {'state':<9} {'experiment':<12} "
+             f"{'e2e_s':>8} {'queue_s':>8} {'exec_s':>8} "
+             f"{'attempts':>8} {'workers':<10} digest"]
+    for e in entries:
+        timings = e.get("timings") or {}
+        workers = ",".join(str(w) for w in e.get("worker_history", ()))
+        lines.append(
+            f"{e.get('job', '?'):>5} {e.get('state', '?'):<9} "
+            f"{e.get('experiment', '?'):<12} "
+            f"{timings.get('end_to_end', 0):>8.3f} "
+            f"{timings.get('queue_wait', 0):>8.3f} "
+            f"{timings.get('sim_exec', 0):>8.3f} "
+            f"{e.get('attempts', 0):>8} {workers or '-':<10} "
+            f"{str(e.get('digest', ''))[:12]}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus HTTP endpoint
+# ----------------------------------------------------------------------
+
+class MetricsHTTPServer:
+    """Serve ``GET /metrics`` from a render callable (stdlib only).
+
+    ``provider`` returns the exposition text per scrape (the service
+    refreshes its gauges inside it), so the endpoint is always current
+    without any background sampling thread.
+    """
+
+    def __init__(self, provider: Callable[[], str],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404)
+                    return
+                try:
+                    body = outer.provider().encode("utf-8")
+                except Exception as exc:  # pragma: no cover - defensive
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-scrape logs
+                pass
+
+        self.provider = provider
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-svc-metrics", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(2.0)
+            self._thread = None
+
+
+# ----------------------------------------------------------------------
+# `svc top` frame rendering
+# ----------------------------------------------------------------------
+
+_CLEAR = "\x1b[H\x1b[2J"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+_WORKER_GLYPH = {"idle": ".", "busy": "#", "booting": "~", "dead": "x"}
+
+
+def _snapshot_value(snapshot: Mapping[str, dict], name: str,
+                    default: Union[int, float] = 0) -> Union[int, float]:
+    family = snapshot.get(name)
+    if not family:
+        return default
+    total: Union[int, float] = 0
+    seen = False
+    for _key, value in family.get("series", ()):
+        if isinstance(value, (int, float)):
+            total += value
+            seen = True
+    return total if seen else default
+
+
+def _snapshot_summary(snapshot: Mapping[str, dict],
+                      name: str) -> _Summary:
+    merged = _Summary()
+    family = snapshot.get(name) or {}
+    for _key, value in family.get("series", ()):
+        if isinstance(value, Mapping):
+            merged.merge(_Summary.from_jsonable(value))
+    return merged
+
+
+def render_top(metrics: Mapping[str, Any],
+               previous: Optional[Mapping[str, Any]] = None,
+               dt: float = 0.0, address: str = "",
+               color: bool = True, clear: bool = True) -> str:
+    """Render one ``svc top`` frame from a ``Service.metrics()`` dict.
+
+    ``previous``/``dt`` (the prior poll and the seconds between) turn
+    the monotonic counters into rates: jobs/s completed and events
+    streamed since the last frame. Pure function — the CLI loop owns
+    polling and timing, tests feed it fabricated snapshots.
+    """
+    bold, dim, reset = (_BOLD, _DIM, _RESET) if color else ("", "", "")
+    snap = metrics.get("telemetry") or {}
+    prev_snap = (previous or {}).get("telemetry") or {}
+
+    completed = metrics.get("completed", 0)
+    rate = 0.0
+    if previous is not None and dt > 0:
+        rate = max(0.0, (completed - previous.get("completed", 0)) / dt)
+
+    store = metrics.get("store") or {}
+    hits = store.get("hits", 0)
+    lookups = hits + store.get("misses", 0)
+    hit_rate = (100.0 * hits / lookups) if lookups else 0.0
+
+    latency = _snapshot_summary(snap, "job_latency_seconds")
+    queue_wait = _snapshot_summary(snap, "job_queue_wait_seconds")
+
+    workers = metrics.get("workers") or []
+    strip = "".join(_WORKER_GLYPH.get(w.get("state"), "?")
+                    for w in workers)
+    busy = sum(1 for w in workers if w.get("state") == "busy")
+
+    lines = []
+    if clear:
+        lines.append(_CLEAR.rstrip("\n"))
+    title = "repro.svc top"
+    if address:
+        title += f" — {address}"
+    lines.append(f"{bold}{title}{reset}")
+    lines.append(
+        f"jobs      submitted={metrics.get('submitted', 0)} "
+        f"completed={completed} failed={metrics.get('failed', 0)} "
+        f"cancelled={metrics.get('cancelled', 0)} "
+        f"rejected={metrics.get('rejected', 0)} "
+        f"retries={metrics.get('retries', 0)}")
+    lines.append(
+        f"queue     depth={metrics.get('pending', 0)} "
+        f"running={metrics.get('running', 0)} "
+        f"throughput={rate:.2f} jobs/s")
+    lines.append(
+        f"latency   p50={latency.quantile(0.5):.3f}s "
+        f"p95={latency.quantile(0.95):.3f}s "
+        f"p99={latency.quantile(0.99):.3f}s (n={latency.count}) | "
+        f"queue-wait p99={queue_wait.quantile(0.99):.3f}s")
+    lines.append(
+        f"store     hit-rate={hit_rate:.1f}% hits={hits} "
+        f"misses={store.get('misses', 0)} "
+        f"coalesced={metrics.get('coalesced', 0)} "
+        f"stores={store.get('stores', 0)}")
+    restarts = metrics.get("worker_restarts", 0)
+    dropped = int(_snapshot_value(snap, "stream_dropped_total"))
+    lines.append(
+        f"workers   [{strip}] busy={busy}/{len(workers)} "
+        f"restarts={restarts} stream-drops={dropped}")
+    watchdog = metrics.get("watchdog") or {}
+    if watchdog:
+        kinds = " ".join(f"{k}={v}" for k, v in sorted(watchdog.items()))
+        lines.append(f"watchdog  {kinds}")
+    for w in workers:
+        lines.append(
+            f"{dim}  worker {w.get('worker')}: {w.get('state'):<8} "
+            f"pid={w.get('pid')} jobs={w.get('jobs_done', 0)} "
+            f"warnings={w.get('warnings', 0)} "
+            f"job={w.get('job') if w.get('job') is not None else '-'}"
+            f"{reset}")
+    del prev_snap  # rates beyond completed/s not needed yet
+    return "\n".join(lines) + "\n"
