@@ -309,7 +309,7 @@ class ActionExecutor:
             self.c.dataram.free(entry.sector_start,
                                 entry.sector_end - entry.sector_start)
             entry.sector_start = entry.sector_end = -1
-        entry.active = True
+        self.c.metatags.mark_active(entry)
         entry.ctx_id = walker.ctx.ctx_id
         walker.entry = entry
         self.c.note_allocm(walker)

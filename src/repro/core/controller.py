@@ -167,6 +167,11 @@ class Controller(Component):
         self.store_merge = store_merge
 
         self.metatags = MetaTagArray(config.ways, config.sets, config.tag_fields)
+        # cache-contents observability: the array publishes fills and
+        # evictions itself (with set/way coordinates) once ensure_bus
+        # propagates the controller's bus into it
+        self.metatags.sim = sim
+        self.metatags.component = self.name
         self.dataram = DataRAM(config.data_sectors, config.sector_bytes,
                                access_bytes=config.wlen * 8)
         self.xregs = XRegisterFile(config.num_active, config.xregs_per_walker)
@@ -219,6 +224,17 @@ class Controller(Component):
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def ensure_bus(self):
+        """Create/return the bus, sharing it with the meta-tag array.
+
+        Every arming path (capture attach, tracer assignment, direct
+        ``observe``) funnels through here, so the array's fill/evict
+        publish sites see the same bus as the controller's.
+        """
+        bus = super().ensure_bus()
+        self.metatags.bus = bus
+        return bus
+
     @property
     def tracer(self):
         """The attached legacy :class:`~repro.sim.trace.Tracer` (or None).
@@ -276,9 +292,12 @@ class Controller(Component):
             self.stats.inc("meta_loads")
         bus = self.bus
         if bus is not None:
-            bus.publish(RequestArrive(cycle=self.sim.now,
-                                      component=self.name,
-                                      tag=tag, op="load", req_id=msg.uid))
+            self.metatags.announce(bus)
+            if bus.wants(RequestArrive):
+                bus.publish(RequestArrive(cycle=self.sim.now,
+                                          component=self.name,
+                                          tag=tag, op="load",
+                                          req_id=msg.uid))
         return msg
 
     def meta_store(self, tag: Tag, payload_bits: int,
@@ -296,9 +315,12 @@ class Controller(Component):
             self.stats.inc("meta_stores")
         bus = self.bus
         if bus is not None:
-            bus.publish(RequestArrive(cycle=self.sim.now,
-                                      component=self.name,
-                                      tag=tag, op="store", req_id=msg.uid))
+            self.metatags.announce(bus)
+            if bus.wants(RequestArrive):
+                bus.publish(RequestArrive(cycle=self.sim.now,
+                                          component=self.name,
+                                          tag=tag, op="store",
+                                          req_id=msg.uid))
         return msg
 
     # ------------------------------------------------------------------
@@ -382,7 +404,7 @@ class Controller(Component):
             return
         walker.fills_outstanding -= 1
         bus = self.bus
-        if bus is not None:
+        if bus is not None and bus.wants(Fill):
             bus.publish(Fill(cycle=self.sim.now, component=self.name,
                              tag=tag, addr=resp.addr, nbytes=hi - lo,
                              walk_id=walker.walk_id))
@@ -432,7 +454,7 @@ class Controller(Component):
         make the pop order identical to the stable sort it replaced.
         """
         bus = self.bus
-        if bus is not None:
+        if bus is not None and bus.wants(Reclaim):
             bus.publish(Reclaim(cycle=self.sim.now, component=self.name,
                                 nsectors=nsectors))
         victims = [
@@ -451,7 +473,7 @@ class Controller(Component):
             self.dataram.free(released.sector_start,
                               released.sector_end - released.sector_start)
             self.stats.inc("capacity_evictions")
-            if bus is not None:
+            if bus is not None and bus.wants(Evict):
                 bus.publish(Evict(
                     cycle=self.sim.now, component=self.name,
                     tag=victim_tag,
@@ -633,12 +655,13 @@ class Controller(Component):
                         f"no routine for event {msg.event!r}"
                     )
                 del self._internal[i]
-                if self.bus is not None:
-                    self.bus.publish(WalkerWake(cycle=self.sim.now,
-                                                component=self.name,
-                                                tag=walker.tag,
-                                                reason=msg.event,
-                                                walk_id=walker.walk_id))
+                bus = self.bus
+                if bus is not None and bus.wants(WalkerWake):
+                    bus.publish(WalkerWake(cycle=self.sim.now,
+                                           component=self.name,
+                                           tag=walker.tag,
+                                           reason=msg.event,
+                                           walk_id=walker.walk_id))
                 self._dispatch(walker, routine, msg)
                 return
         # 2) admit a new walker for the oldest dispatchable miss
@@ -665,22 +688,24 @@ class Controller(Component):
             pending = self._pending_allocs.get(set_index, 0)
             if self.metatags.claimable_ways(msg.tag) <= pending:
                 self.stats.inc("stall_set_conflict")
-                if self.bus is not None:
-                    self.bus.publish(QueueStall(cycle=self.sim.now,
-                                                component=self.name,
-                                                tag=msg.tag,
-                                                reason="set_conflict",
-                                                req_id=msg.uid))
+                bus = self.bus
+                if bus is not None and bus.wants(QueueStall):
+                    bus.publish(QueueStall(cycle=self.sim.now,
+                                           component=self.name,
+                                           tag=msg.tag,
+                                           reason="set_conflict",
+                                           req_id=msg.uid))
                 continue
             ctx = self.xregs.allocate(self.sim.now)
             if ctx is None:
                 self.stats.inc("stall_no_context")
-                if self.bus is not None:
-                    self.bus.publish(QueueStall(cycle=self.sim.now,
-                                                component=self.name,
-                                                tag=msg.tag,
-                                                reason="no_context",
-                                                req_id=msg.uid))
+                bus = self.bus
+                if bus is not None and bus.wants(QueueStall):
+                    bus.publish(QueueStall(cycle=self.sim.now,
+                                           component=self.name,
+                                           tag=msg.tag,
+                                           reason="no_context",
+                                           req_id=msg.uid))
                 return
             self.metaio_in.remove(msg)
             self._pending_allocs[set_index] = pending + 1
@@ -696,7 +721,8 @@ class Controller(Component):
                                       component=self.name,
                                       tag=msg.tag, op=msg.event,
                                       req_id=msg.uid,
-                                      walk_id=walker.walk_id))
+                                      walk_id=walker.walk_id,
+                                      set_index=set_index))
             self._dispatch(walker, routine, msg)
             return
 
@@ -741,13 +767,18 @@ class Controller(Component):
         self._execq.append(inflight)
         if self._count_stats:
             self.stats.inc("routines_dispatched")
-        if self.bus is not None:
-            walker.inflight.costs = [0] * len(ACTION_CATEGORIES)
-            self.bus.publish(WalkerDispatch(cycle=self.sim.now,
-                                            component=self.name,
-                                            tag=walker.tag,
-                                            routine=routine.name,
-                                            walk_id=walker.walk_id))
+        bus = self.bus
+        if bus is not None:
+            # per-category cost accounting taxes every executed action,
+            # and only WalkerRetire consumers (span explain) read it
+            if bus.wants(WalkerRetire):
+                walker.inflight.costs = [0] * len(ACTION_CATEGORIES)
+            if bus.wants(WalkerDispatch):
+                bus.publish(WalkerDispatch(cycle=self.sim.now,
+                                           component=self.name,
+                                           tag=walker.tag,
+                                           routine=routine.name,
+                                           walk_id=walker.walk_id))
 
     # ------------------------------------------------------------------
     # trace compilation (hot-path recording and binding)
@@ -855,7 +886,7 @@ class Controller(Component):
             budget -= result.cost
             charge(ex.walker.ctx, result.cost)
             if ex.costs is not None:
-                ex.costs[_OP_CAT_INDEX[action.op]] += result.cost
+                ex.costs[action.cat_index] += result.cost
             rec = ex.recording
             if rec is not None and not ex.record_mask[ex.pc]:
                 rec.append((ex.pc,
@@ -887,7 +918,7 @@ class Controller(Component):
             walker.last_trace = ex.trace
         if terminated:
             self._complete_walker(walker, ex)
-        elif self.bus is not None:
+        elif self.bus is not None and self.bus.wants(WalkerYield):
             self.bus.publish(WalkerYield(cycle=self.sim.now,
                                          component=self.name,
                                          tag=walker.tag,
@@ -910,7 +941,7 @@ class Controller(Component):
         served: Optional[List[int]] = [] if bus is not None else None
         entry = walker.entry
         if walker.found and entry is not None:
-            entry.active = False
+            self.metatags.clear_active(entry)
             entry.ctx_id = -1
             self.metatags.touch(entry, now)
         requests = ([] if walker.origin is None else [walker.origin])
@@ -959,7 +990,7 @@ class Controller(Component):
                     )
                 self.stats.inc("takes")
                 consumed = True
-        if bus is not None:
+        if bus is not None and bus.wants(WalkerRetire):
             costs = ex.costs if ex is not None else None
             bus.publish(WalkerRetire(cycle=now, component=self.name,
                                      tag=walker.tag,

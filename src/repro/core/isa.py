@@ -125,6 +125,12 @@ OPCODE_CATEGORY: Dict[Opcode, ActionCategory] = {
     Opcode.WRITE: ActionCategory.DATA,
 }
 
+# declaration order matches repro.obs.events.ACTION_CATEGORIES, the
+# canonical index space for per-category cost tuples
+_CATEGORY_ORDER: Dict[ActionCategory, int] = {
+    cat: i for i, cat in enumerate(ActionCategory)
+}
+
 
 # Which of an action's operand slots the executor statically resolves,
 # per opcode. This is the routine compiler's (and the linter's
@@ -251,6 +257,15 @@ class Action:
     target: Optional[int] = None
     queue: Optional[str] = None
     attrs: Tuple[Tuple[str, object], ...] = ()
+    # resolved once at construction: index into the canonical category
+    # order (repro.obs.events.ACTION_CATEGORIES). The armed profiling
+    # path charges ``costs[action.cat_index]`` per executed action, and
+    # an enum-keyed dict lookup there costs a Python-level __hash__.
+    cat_index: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cat_index",
+                           _CATEGORY_ORDER[OPCODE_CATEGORY[self.op]])
 
     @property
     def category(self) -> ActionCategory:

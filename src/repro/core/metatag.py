@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.events import CacheEvict, CacheFill, CacheModel
 from ..sim.stats import StatGroup
 from .messages import DEFAULT_STATE, VALID_STATE, Message
 
@@ -74,6 +75,18 @@ class MetaTagArray:
         ]
         self._index: Dict[Tag, MetaTagEntry] = {}
         self.stats = StatGroup("meta-tags")
+        # observability: the owning controller propagates its event bus
+        # and simulator here (see Controller.ensure_bus) so fills and
+        # evictions publish with (set, way) coordinates. Unarmed cost is
+        # one `bus is None` check per allocate/evict/deallocate.
+        self.bus = None
+        self.sim = None
+        self.component = "meta-tags"
+        self._announced = False
+        # incremental active-walker count: `active` flips only through
+        # mark_active/clear_active and the internal evict/dealloc paths,
+        # so active_walkers() is O(1) instead of an index scan
+        self._active_count = 0
 
     # ------------------------------------------------------------------
     # indexing
@@ -110,6 +123,62 @@ class MetaTagArray:
 
     def touch(self, entry: MetaTagEntry, now: int) -> None:
         entry.last_used = now
+
+    # ------------------------------------------------------------------
+    # active-bitmap bookkeeping (O(1) active_walkers)
+    # ------------------------------------------------------------------
+    def mark_active(self, entry: MetaTagEntry) -> None:
+        """Set the entry's active bit (a walker is in flight)."""
+        if not entry.active:
+            entry.active = True
+            self._active_count += 1
+
+    def clear_active(self, entry: MetaTagEntry) -> None:
+        """Clear the entry's active bit (the walker released it)."""
+        if entry.active:
+            entry.active = False
+            self._active_count -= 1
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _now(self) -> int:
+        return self.sim.now if self.sim is not None else 0
+
+    def announce(self, bus) -> None:
+        """Publish the one-shot :class:`CacheModel` geometry event.
+
+        Called lazily from every armed publish path (and from the
+        controller before its first request-path event), so any
+        cache-contents observer sees the geometry before the first
+        access it must classify. One flag check when already announced.
+        """
+        if self._announced:
+            return
+        if not bus.wants(CacheModel):
+            return
+        self._announced = True
+        bus.publish(CacheModel(
+            cycle=self._now(), component=self.component, kind="meta",
+            ways=self.ways, sets=self.sets,
+            tag_class=",".join(self.tag_fields)))
+
+    def _publish_fill(self, bus, entry: MetaTagEntry) -> None:
+        self.announce(bus)
+        if not bus.wants(CacheFill):
+            return
+        assert entry.tag is not None
+        bus.publish(CacheFill(cycle=self._now(), component=self.component,
+                              tag=entry.tag, set_index=entry.set_index,
+                              way=entry.way))
+
+    def _publish_evict(self, bus, tag: Tag, set_index: int, way: int,
+                       reason: str) -> None:
+        if not bus.wants(CacheEvict):
+            return
+        bus.publish(CacheEvict(cycle=self._now(), component=self.component,
+                               tag=tag, set_index=set_index, way=way,
+                               reason=reason))
 
     def can_allocate(self, tag: Tag) -> bool:
         """True when ALLOCM for ``tag`` would succeed (free/evictable way)."""
@@ -154,17 +223,25 @@ class MetaTagArray:
         # the claimant (ALLOCM / warm) must free before use.
         self._index[tag] = target
         self.stats.inc("allocations")
+        if self.bus is not None:
+            self._publish_fill(self.bus, target)
         return target
 
     def _evict(self, entry: MetaTagEntry) -> None:
         assert entry.tag is not None
         del self._index[entry.tag]
+        if entry.active:
+            self._active_count -= 1
+        victim_tag = entry.tag
         start, end = entry.sector_start, entry.sector_end
         entry.reset()
         # preserve the orphaned sector range for the claimant to free
         entry.sector_start = start
         entry.sector_end = end
         self.stats.inc("evictions")
+        if self.bus is not None:
+            self._publish_evict(self.bus, victim_tag, entry.set_index,
+                                entry.way, "conflict")
 
     def deallocate(self, tag: Tag) -> MetaTagEntry:
         """Free an entry (the DEALLOCM action); returns it for cleanup."""
@@ -172,11 +249,16 @@ class MetaTagArray:
         if entry is None:
             raise KeyError(f"tag {tag} not present")
         del self._index[tag]
+        if entry.active:
+            self._active_count -= 1
         released = MetaTagEntry(entry.set_index, entry.way)
         released.sector_start = entry.sector_start
         released.sector_end = entry.sector_end
         entry.reset()
         self.stats.inc("deallocations")
+        if self.bus is not None:
+            self._publish_evict(self.bus, tag, entry.set_index, entry.way,
+                                "dealloc")
         return released
 
     # ------------------------------------------------------------------
@@ -186,6 +268,12 @@ class MetaTagArray:
         return len(self._index)
 
     def active_walkers(self) -> int:
+        # incremental counter, not an index scan: this sits on armed
+        # publish paths (heatmap sampling) and service health probes
+        return self._active_count
+
+    def active_walkers_scan(self) -> int:
+        """Reference O(n) count (the counters-vs-scan equivalence check)."""
         return sum(1 for e in self._index.values() if e.active)
 
     def entries(self):

@@ -189,11 +189,12 @@ class ThreadController(Component):
             walk_steps = fused
         self._pending.append(_Walk(walk_steps, submitted_at=self.sim.now,
                                    uid=uid))
-        if self.bus is not None:
-            self.bus.publish(RequestArrive(cycle=self.sim.now,
-                                           component=self.name,
-                                           tag=(uid,), op="walk",
-                                           req_id=uid))
+        bus = self.bus
+        if bus is not None and bus.wants(RequestArrive):
+            bus.publish(RequestArrive(cycle=self.sim.now,
+                                      component=self.name,
+                                      tag=(uid,), op="walk",
+                                      req_id=uid))
         self._try_start()
 
     def _try_start(self) -> None:
@@ -205,27 +206,31 @@ class ThreadController(Component):
             walk.on_fill = partial(self._resume_after_fill, walk)
             self._resident += 1
             self.stats.inc("walks_started")
-            if self.bus is not None:
+            bus = self.bus
+            if bus is not None:
                 # a blocking thread's walk IS its request: uid doubles
                 # as req_id and walk_id (the paper's point — the whole
                 # journey pins one pipeline)
-                self.bus.publish(Miss(cycle=self.sim.now,
-                                      component=self.name,
-                                      tag=(walk.uid,), op="walk",
-                                      req_id=walk.uid, walk_id=walk.uid))
-                self.bus.publish(WalkerDispatch(cycle=self.sim.now,
-                                                component=self.name,
-                                                tag=(walk.uid,),
-                                                routine="thread-walk",
-                                                walk_id=walk.uid))
+                if bus.wants(Miss):
+                    bus.publish(Miss(cycle=self.sim.now,
+                                     component=self.name,
+                                     tag=(walk.uid,), op="walk",
+                                     req_id=walk.uid, walk_id=walk.uid))
+                if bus.wants(WalkerDispatch):
+                    bus.publish(WalkerDispatch(cycle=self.sim.now,
+                                               component=self.name,
+                                               tag=(walk.uid,),
+                                               routine="thread-walk",
+                                               walk_id=walk.uid))
             self._step(walk)
 
     def _resume_after_fill(self, walk: _Walk, resp: MemResponse) -> None:
-        if self.bus is not None:
-            self.bus.publish(WalkerWake(cycle=self.sim.now,
-                                        component=self.name,
-                                        tag=(walk.uid,), reason="fill",
-                                        walk_id=walk.uid))
+        bus = self.bus
+        if bus is not None and bus.wants(WalkerWake):
+            bus.publish(WalkerWake(cycle=self.sim.now,
+                                   component=self.name,
+                                   tag=(walk.uid,), reason="fill",
+                                   walk_id=walk.uid))
         self._step(walk)
 
     def _step(self, walk: _Walk) -> None:
@@ -239,14 +244,15 @@ class ThreadController(Component):
             self.sim.call_after(max(1, step.cycles), walk.resume)
         else:
             self.stats.inc("dram_fetches")
-            if self.bus is not None:
+            bus = self.bus
+            if bus is not None and bus.wants(WalkerYield):
                 # the thread blocks here: the profiler books the stall
                 # as dram_wait against the (only) thread-walk routine
-                self.bus.publish(WalkerYield(cycle=self.sim.now,
-                                             component=self.name,
-                                             tag=(walk.uid,),
-                                             routine="thread-walk",
-                                             fills=1, walk_id=walk.uid))
+                bus.publish(WalkerYield(cycle=self.sim.now,
+                                        component=self.name,
+                                        tag=(walk.uid,),
+                                        routine="thread-walk",
+                                        fills=1, walk_id=walk.uid))
             self.dram.request(MemRequest(step.addr, walk_id=walk.uid),
                               walk.on_fill)
 
@@ -259,8 +265,9 @@ class ThreadController(Component):
         self.stats.histogram("walk_turnaround").add(
             self.sim.now - walk.submitted_at
         )
-        if self.bus is not None:
-            self.bus.publish(WalkerRetire(
+        bus = self.bus
+        if bus is not None and bus.wants(WalkerRetire):
+            bus.publish(WalkerRetire(
                 cycle=self.sim.now, component=self.name, tag=(walk.uid,),
                 found=True, lifetime=self.sim.now - walk.started_at,
                 walk_id=walk.uid, served=(walk.uid,)))

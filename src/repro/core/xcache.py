@@ -101,6 +101,22 @@ class XCacheSystem:
         asm = self.observe(SpanAssembler(sink=agg.add))
         return asm, agg
 
+    def observe_cachelens(self, reuse_sample: int = 8,
+                          heatmap_window: int = 1000):
+        """Arm cache-contents observability; returns the lens.
+
+        ::
+
+            lens = system.observe_cachelens()
+            ...issue requests...
+            system.run()
+            print(lens.report())
+        """
+        from ..obs.cachelens import CacheLensProcessor
+
+        return self.observe(CacheLensProcessor(
+            reuse_sample=reuse_sample, heatmap_window=heatmap_window))
+
     def _collect(self, resp: MetaResponse) -> None:
         self.responses.append(resp)
         if self._user_handler is not None:

@@ -28,7 +28,14 @@ Observability (the ``repro.obs`` plane; all flags compose with
 * ``--explain-top K`` drills down the K slowest requests in each
   report (implies span assembly);
 * ``--watchdog`` appends livelock / MSHR-saturation / starvation
-  warnings to each report.
+  warnings to each report;
+* ``--misses`` classifies every cache miss (compulsory / capacity /
+  conflict, with would-have-hit-if shadow counters) and appends the
+  why-miss table plus reuse-distance histograms to each report;
+* ``--heatmap h.csv`` writes per-set occupancy/eviction-pressure rows
+  over ``--heatmap-window`` cycle windows (implies ``--misses``);
+* ``--reuse-sample N`` computes the Mattson reuse-distance scan on
+  every Nth access (1 = exact; larger = cheaper).
 
 Experiments that reload the memoized fig-14 suite from a warm cache
 export events only for the systems actually simulated in-process.
@@ -87,6 +94,20 @@ def main(argv=None) -> int:
     parser.add_argument("--watchdog", action="store_true",
                         help="append pathology warnings (livelock, MSHR "
                              "saturation, starvation) to each report")
+    parser.add_argument("--misses", action="store_true",
+                        help="classify misses (compulsory/capacity/"
+                             "conflict + would-hit-if shadows) and "
+                             "append the why-miss table to each report")
+    parser.add_argument("--heatmap", default=None, metavar="PATH.csv",
+                        help="write per-set occupancy/eviction heatmap "
+                             "rows (per experiment: PATH.<exp_id>.csv; "
+                             "implies --misses)")
+    parser.add_argument("--heatmap-window", type=int, default=1000,
+                        metavar="CYCLES",
+                        help="heatmap window width (default: 1000)")
+    parser.add_argument("--reuse-sample", type=int, default=8, metavar="N",
+                        help="compute the reuse-distance scan on every "
+                             "Nth access (default: 8; 1 = exact)")
     args = parser.parse_args(argv)
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
@@ -94,6 +115,10 @@ def main(argv=None) -> int:
         parser.error("--timeseries-window must be >= 1")
     if args.explain_top < 0:
         parser.error("--explain-top must be >= 0")
+    if args.heatmap_window < 1:
+        parser.error("--heatmap-window must be >= 1")
+    if args.reuse_sample < 1:
+        parser.error("--reuse-sample must be >= 1")
 
     targets = args.experiments or sorted(EXPERIMENTS)
     unknown = [t for t in targets if t not in EXPERIMENTS]
@@ -108,7 +133,11 @@ def main(argv=None) -> int:
                           timeseries_window=args.timeseries_window,
                           spans_path=args.spans,
                           explain_top=args.explain_top,
-                          watchdog=args.watchdog)
+                          watchdog=args.watchdog,
+                          misses=args.misses,
+                          heatmap_path=args.heatmap,
+                          heatmap_window=args.heatmap_window,
+                          reuse_sample=args.reuse_sample)
     if not capture.active:
         capture = None
 

@@ -44,7 +44,8 @@ SHARED_SUITE_EXPERIMENTS = ("fig14", "fig15", "fig16")
 
 def execute_one(exp_id: str, profile: str,
                 spec: Optional[CaptureSpec] = None,
-                on_attach: Optional[Callable] = None) -> Tuple[str, bool]:
+                on_attach: Optional[Callable] = None,
+                telemetry: Optional[dict] = None) -> Tuple[str, bool]:
     """Run one experiment; return (rendered report, all_ok).
 
     When a :class:`CaptureSpec` rides along, the experiment runs inside
@@ -60,6 +61,13 @@ def execute_one(exp_id: str, profile: str,
     service worker add its own processors — progress streaming, the
     health watchdog — to every system the driver builds; passing it
     forces a capture scope even when ``spec`` exports nothing.
+
+    Pass a dict as ``telemetry`` to receive what the capture observed
+    beyond its file exports: per-kind watchdog warning counts
+    (``"watchdog"``) and the cache-lens why-miss summary
+    (``"cachelens"``) — the hook the service worker uses to land
+    harness-path pathologies and cache health in its
+    :class:`~repro.svc.telemetry.MetricsRegistry`.
     """
     from . import run_experiment
 
@@ -73,6 +81,13 @@ def execute_one(exp_id: str, profile: str,
             report = run_experiment(exp_id, profile)
     finally:
         summary = capture.finish()
+        if telemetry is not None:
+            counts: dict = {}
+            for warning in capture.watchdog_warnings:
+                counts[warning.kind] = counts.get(warning.kind, 0) + 1
+            telemetry["watchdog"] = counts
+            if capture.spec.wants_misses:
+                telemetry["cachelens"] = capture.merged_cachelens()
     rendered = report.render()
     if summary:
         rendered = f"{rendered}\n{summary}"

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 __all__ = ["Expectation", "ExperimentReport", "format_table",
-           "cycles_breakdown_table", "why_slow_table"]
+           "cycles_breakdown_table", "why_slow_table", "why_miss_table"]
 
 
 @dataclass
@@ -102,6 +102,42 @@ def why_slow_table(summary) -> str:
             row.append(f"{100.0 * share:.1f}%")
         rows.append(row)
     headers = ["dsa", "requests", "p50", "p99"] + list(BLAME_BUCKETS)
+    return format_table(headers, rows)
+
+
+def why_miss_table(summary) -> str:
+    """Render the per-cache miss-taxonomy blame table.
+
+    ``summary`` is ``{cache: {hits, misses, compulsory, capacity,
+    conflict, would_hit_more_ways, would_hit_more_sets, hit_rate, ...}}``
+    (see ``CacheLensProcessor.summary`` /
+    ``cachelens.merge_summaries``). Taxonomy columns show each class's
+    share of the cache's misses; the would-hit-if columns answer the
+    sizing question directly (share of misses that a 2x-ways / 2x-sets
+    geometry would have turned into hits); returns "" when there is
+    nothing to show.
+    """
+    from repro.obs.cachelens import MISS_CLASSES
+
+    if not summary:
+        return ""
+    rows = []
+    for cache in sorted(summary):
+        entry = summary[cache]
+        misses = entry.get("misses", 0)
+        row: List[object] = [cache,
+                             entry.get("accesses", 0),
+                             f"{100.0 * entry.get('hit_rate', 0.0):.1f}%",
+                             misses]
+        for cls in MISS_CLASSES:
+            share = entry.get(cls, 0) / misses if misses else 0.0
+            row.append(f"{100.0 * share:.1f}%")
+        for key in ("would_hit_more_ways", "would_hit_more_sets"):
+            share = entry.get(key, 0) / misses if misses else 0.0
+            row.append(f"{100.0 * share:.1f}%")
+        rows.append(row)
+    headers = (["cache", "accesses", "hit_rate", "misses"]
+               + list(MISS_CLASSES) + ["+ways", "+sets"])
     return format_table(headers, rows)
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..obs.events import CacheAccess, CacheEvict, CacheFill, CacheModel
 from ..sim import Component, Simulator
 from .dram import DRAMModel, MemRequest, MemResponse
 from .mshr import MSHRFile
@@ -75,6 +76,9 @@ class AddressCache(Component):
         # in the same cycle) would otherwise make eviction order depend
         # on way position.
         self._lru_tick = 0
+        # geometry announce for cache-contents observers: lazily, before
+        # this component's first armed cache event (armed path only)
+        self._announced = False
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -94,6 +98,27 @@ class AddressCache(Component):
     def contains(self, addr: int) -> bool:
         """Probe without side effects (testing / warm-up checks)."""
         return self._find(self._block_of(addr)) is not None
+
+    # ------------------------------------------------------------------
+    # observability (armed paths only; one `bus is None` check unarmed)
+    # ------------------------------------------------------------------
+    def _announce(self, bus) -> None:
+        if not self._announced and bus.wants(CacheModel):
+            self._announced = True
+            bus.publish(CacheModel(
+                cycle=self.sim.now, component=self.name, kind="addr",
+                ways=self.config.ways, sets=self.config.sets,
+                block_bytes=self.config.block_bytes, tag_class="addr"))
+
+    def _publish_access(self, bus, block: int, outcome: str,
+                        is_write: bool) -> None:
+        self._announce(bus)
+        if not bus.wants(CacheAccess):
+            return
+        bus.publish(CacheAccess(cycle=self.sim.now, component=self.name,
+                                tag=(block,),
+                                set_index=self._set_index(block),
+                                outcome=outcome, is_write=is_write))
 
     # ------------------------------------------------------------------
     # access path
@@ -138,6 +163,8 @@ class AddressCache(Component):
             if is_write:
                 line.dirty = True
             self.stats.inc("hits")
+            if self.bus is not None:
+                self._publish_access(self.bus, block, "hit", is_write)
             self.sim.call_after(self.config.hit_latency,
                                 lambda: callback(self.sim.now - start))
             return
@@ -156,13 +183,19 @@ class AddressCache(Component):
         if self._mshrs.lookup(block) is not None:
             self._mshrs.allocate(block, on_fill, is_write)
             self.stats.inc("mshr_merges")
+            if self.bus is not None:
+                self._publish_access(self.bus, block, "merge", is_write)
             return
         if self._mshrs.full:
             # Back-pressure: retry once an MSHR frees up.
             self.stats.inc("mshr_stalls")
+            if self.bus is not None:
+                self._publish_access(self.bus, block, "mshr_stall", is_write)
             self._stalled.append(lambda: self.access(addr, is_write, callback))
             return
 
+        if self.bus is not None:
+            self._publish_access(self.bus, block, "miss", is_write)
         self._mshrs.allocate(block, on_fill, is_write)
         self._issue_fill(block)
 
@@ -178,7 +211,8 @@ class AddressCache(Component):
         self.lower.request(MemRequest(addr=block), on_response)
 
     def _evict_for(self, block: int) -> None:
-        lines = self._sets[self._set_index(block)]
+        set_index = self._set_index(block)
+        lines = self._sets[set_index]
         for line in lines:
             if not line.valid:
                 return
@@ -190,6 +224,13 @@ class AddressCache(Component):
             self.lower.request(
                 MemRequest(addr=victim.tag, is_write=True), lambda resp: None
             )
+        if self.bus is not None:
+            self._announce(self.bus)
+            if self.bus.wants(CacheEvict):
+                self.bus.publish(CacheEvict(
+                cycle=self.sim.now, component=self.name, tag=(victim.tag,),
+                set_index=set_index, way=lines.index(victim),
+                reason="replace"))
         victim.valid = False
         victim.tag = -1
         victim.dirty = False
@@ -214,6 +255,13 @@ class AddressCache(Component):
         self._lru_tick += 1
         target.last_used = self._lru_tick
         self.stats.inc("fills")
+        if self.bus is not None:
+            self._announce(self.bus)
+            if self.bus.wants(CacheFill):
+                self.bus.publish(CacheFill(
+                cycle=self.sim.now, component=self.name, tag=(block,),
+                set_index=self._set_index(block),
+                way=lines.index(target)))
 
     def _drain_stalled(self) -> None:
         if self._stalled and not self._mshrs.full:

@@ -259,19 +259,21 @@ class DRAMModel(Component):
         resp._pool = pool
         bus = self.bus
         if bus is not None:
-            bus.publish(DRAMIssue(cycle=now, component=self.name,
-                                  addr=block, is_write=req.is_write,
-                                  bank=bank_index, row_result=row_stat,
-                                  complete_at=done,
-                                  nbytes=cfg.block_bytes,
-                                  walk_id=req.walk_id))
+            if bus.wants(DRAMIssue):
+                bus.publish(DRAMIssue(cycle=now, component=self.name,
+                                      addr=block, is_write=req.is_write,
+                                      bank=bank_index, row_result=row_stat,
+                                      complete_at=done,
+                                      nbytes=cfg.block_bytes,
+                                      walk_id=req.walk_id))
             # the completion event rides on the response (published at
             # ``done``, after the callback) so stream exporters see a
             # chronological event order without a second kernel event
-            resp._bus = bus
-            resp._complete = DRAMComplete(cycle=done, component=self.name,
-                                          addr=block, latency=done - now,
-                                          walk_id=req.walk_id)
+            if bus.wants(DRAMComplete):
+                resp._bus = bus
+                resp._complete = DRAMComplete(
+                    cycle=done, component=self.name, addr=block,
+                    latency=done - now, walk_id=req.walk_id)
         self.sim.call_at(done, resp)
         return done
 
@@ -321,6 +323,8 @@ class DRAMModel(Component):
         block_bytes = cfg.block_bytes
         image = self.image
         bus = self.bus
+        wants_issue = bus is not None and bus.wants(DRAMIssue)
+        wants_complete = bus is not None and bus.wants(DRAMComplete)
         name = self.name
         pool = self._resp_pool
         hist = self._latency_hist if (self._count_stats
@@ -378,15 +382,19 @@ class DRAMModel(Component):
             resp._callback = callback
             resp._pool = pool
             if bus is not None:
-                bus.publish(DRAMIssue(cycle=now, component=name, addr=block,
-                                      is_write=req.is_write, bank=bank_index,
-                                      row_result=row_stat, complete_at=done,
-                                      nbytes=block_bytes,
-                                      walk_id=req.walk_id))
-                resp._bus = bus
-                resp._complete = DRAMComplete(cycle=done, component=name,
-                                              addr=block, latency=latency,
-                                              walk_id=req.walk_id)
+                if wants_issue:
+                    bus.publish(DRAMIssue(cycle=now, component=name,
+                                          addr=block, is_write=req.is_write,
+                                          bank=bank_index,
+                                          row_result=row_stat,
+                                          complete_at=done,
+                                          nbytes=block_bytes,
+                                          walk_id=req.walk_id))
+                if wants_complete:
+                    resp._bus = bus
+                    resp._complete = DRAMComplete(cycle=done, component=name,
+                                                  addr=block, latency=latency,
+                                                  walk_id=req.walk_id)
             scheduled.append((done, resp))
             dones.append(done)
         self._bus_free_at = bus_free

@@ -93,6 +93,22 @@ class EventBus:
     # ------------------------------------------------------------------
     # publication
     # ------------------------------------------------------------------
+    def wants(self, cls: Type[Event]) -> bool:
+        """True when publishing ``cls`` would reach any subscriber.
+
+        Hot publish sites gate event *construction* on this, so a bus
+        armed for one concern (say, miss taxonomy) does not tax every
+        other instrumentation site with dataclass construction::
+
+            bus = self.bus
+            if bus is not None and bus.wants(QueueEnter):
+                bus.publish(QueueEnter(...))
+
+        Cost when False is two attribute loads and a dict probe —
+        within noise of the unarmed ``bus is None`` test.
+        """
+        return bool(self._catch_all) or cls in self._by_type
+
     def publish(self, event: Event) -> None:
         cls = event.__class__
         handlers = self._resolved.get(cls)

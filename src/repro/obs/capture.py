@@ -34,12 +34,13 @@ from typing import IO, Dict, Iterator, List, Optional
 
 from repro.sim.stats import StatGroup
 
+from .cachelens import CacheLensProcessor, merge_summaries, why_miss_report
 from .critpath import CritPathAggregator
 from .export import JsonlExporter, PerfettoExporter
 from .processors import MetricsProcessor, summarize_metrics
 from .prof import ProfileProcessor, write_folded
 from .spans import SpanAssembler
-from .timeseries import TimeSeriesProcessor, write_csv
+from .timeseries import TimeSeriesProcessor, write_csv, write_heatmap_csv
 from .watchdog import WatchdogProcessor
 
 __all__ = ["CaptureSpec", "Capture", "capture_scope", "current_capture",
@@ -65,6 +66,11 @@ class CaptureSpec:
     spans_path: Optional[str] = None      # SLO summary JSON (implies spans)
     explain_top: int = 0                  # drill down K slowest (implies spans)
     watchdog: bool = False                # pathology warnings in the report
+    misses: bool = False                  # miss taxonomy + why-miss table
+    heatmap_path: Optional[str] = None    # per-set heatmap CSV (implies misses)
+    heatmap_window: int = 1000            # heatmap window, cycles
+    reuse_sample: int = 8                 # Mattson scan every Nth access
+                                          # (DEFAULT_REUSE_SAMPLE; 1 = exact)
     job_scoped: bool = False              # service applies for_job() paths
     exp_id: Optional[str] = None          # set by for_experiment()
 
@@ -73,10 +79,15 @@ class CaptureSpec:
         return bool(self.spans or self.spans_path or self.explain_top)
 
     @property
+    def wants_misses(self) -> bool:
+        return bool(self.misses or self.heatmap_path)
+
+    @property
     def active(self) -> bool:
         return bool(self.events_path or self.perfetto_path or self.metrics
                     or self.prof_path or self.timeseries_path
-                    or self.wants_spans or self.watchdog)
+                    or self.wants_spans or self.watchdog
+                    or self.wants_misses)
 
     def for_experiment(self, exp_id: str) -> "CaptureSpec":
         """Namespace the output paths for one experiment run.
@@ -98,6 +109,7 @@ class CaptureSpec:
             prof_path=scoped(self.prof_path),
             timeseries_path=scoped(self.timeseries_path),
             spans_path=scoped(self.spans_path),
+            heatmap_path=scoped(self.heatmap_path),
             exp_id=exp_id,
         )
 
@@ -127,6 +139,7 @@ class CaptureSpec:
             prof_path=scoped(self.prof_path),
             timeseries_path=scoped(self.timeseries_path),
             spans_path=scoped(self.spans_path),
+            heatmap_path=scoped(self.heatmap_path),
         )
 
     def output_paths(self) -> Dict[str, str]:
@@ -138,6 +151,7 @@ class CaptureSpec:
             "prof": self.prof_path,
             "timeseries": self.timeseries_path,
             "spans": self.spans_path,
+            "heatmap": self.heatmap_path,
         }
         return {k: v for k, v in paths.items() if v}
 
@@ -164,6 +178,7 @@ class Capture:
         self._assemblers: List[SpanAssembler] = []
         self._critpaths: List[CritPathAggregator] = []
         self._watchdogs: List[WatchdogProcessor] = []
+        self._lenses: List[CacheLensProcessor] = []
         self._closed = False
         self.summary_text: Optional[str] = None
         if spec.perfetto_path:
@@ -200,6 +215,10 @@ class Capture:
                 SpanAssembler(sink=agg.add, max_kept=0)))
         if self.spec.watchdog:
             self._watchdogs.append(bus.attach(WatchdogProcessor()))
+        if self.spec.wants_misses:
+            self._lenses.append(bus.attach(CacheLensProcessor(
+                reuse_sample=self.spec.reuse_sample,
+                heatmap_window=self.spec.heatmap_window)))
         if self.on_attach is not None:
             self.on_attach(system, run)
 
@@ -234,6 +253,24 @@ class Capture:
         return merged
 
     @property
+    def lenses(self) -> List[CacheLensProcessor]:
+        return list(self._lenses)
+
+    def merged_cachelens(self) -> Dict[str, Dict[str, object]]:
+        """Per-cache why-miss summary folded across observed systems
+        (counter sums — order-independent under ``--parallel``)."""
+        return merge_summaries(lens.summary() for lens in self._lenses)
+
+    def merged_conflict_sets(self) -> Dict[str, Dict[int, int]]:
+        merged: Dict[str, Dict[int, int]] = {}
+        for lens in self._lenses:
+            for name, counts in lens.conflict_sets_by_cache().items():
+                slot = merged.setdefault(name, {})
+                for set_index, count in counts.items():
+                    slot[set_index] = slot.get(set_index, 0) + count
+        return merged
+
+    @property
     def spans_dropped(self) -> int:
         return sum(asm.dropped for asm in self._assemblers)
 
@@ -264,20 +301,40 @@ class Capture:
         if self.spec.timeseries_path:
             write_csv(self.spec.timeseries_path,
                       [(i, proc) for i, proc in enumerate(self._timeseries)])
+        lens_summary = (self.merged_cachelens()
+                        if self.spec.wants_misses else None)
         if self.spec.wants_spans:
             from .explain import explain_report, slo_summary
 
             merged = self.merged_critpath()
             if self.spec.spans_path:
                 suite = self.spec.exp_id or "run"
+                doc = slo_summary(merged, suite)
+                if lens_summary:
+                    # fold cache-contents health into the SLO document
+                    # so obs.regress --slo can budget hit-rate and
+                    # conflict share next to latency percentiles
+                    for name, comp in doc["components"].items():
+                        entry = lens_summary.get(name)
+                        if entry is not None:
+                            comp["hit_rate"] = entry["hit_rate"]
+                            comp["conflict_share"] = (
+                                entry["conflict_share"])
                 with open(self.spec.spans_path, "w",
                           encoding="utf-8") as fh:
-                    json.dump(slo_summary(merged, suite), fh, indent=1,
-                              sort_keys=True)
+                    json.dump(doc, fh, indent=1, sort_keys=True)
                     fh.write("\n")
             pieces.append(explain_report(merged,
                                          dropped=self.spans_dropped,
                                          top=self.spec.explain_top))
+        if lens_summary is not None:
+            if self.spec.heatmap_path:
+                write_heatmap_csv(
+                    self.spec.heatmap_path,
+                    [(i, lens.heat_rows())
+                     for i, lens in enumerate(self._lenses)])
+            pieces.append(why_miss_report(lens_summary,
+                                          self.merged_conflict_sets()))
         if self._watchdogs:
             warnings = self.watchdog_warnings
             lines = ["-- watchdog (repro.obs.watchdog) --",

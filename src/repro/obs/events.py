@@ -50,6 +50,10 @@ __all__ = [
     "Evict",
     "Reclaim",
     "QueueStall",
+    "CacheModel",
+    "CacheFill",
+    "CacheEvict",
+    "CacheAccess",
     "EVENT_TYPES",
     "ALL_EVENT_TYPES",
     "ACTION_CATEGORIES",
@@ -136,6 +140,7 @@ class Miss(Event):
     op: str = ""              # the triggering MetaIO event name
     req_id: int = -1          # the request whose miss started the walk
     walk_id: int = -1         # the admitted walk episode
+    set_index: int = -1       # meta-tag set the miss mapped to
 
 
 @dataclass(frozen=True)
@@ -277,10 +282,87 @@ class QueueStall(Event):
     req_id: int = -1          # the request that could not be admitted
 
 
+@dataclass(frozen=True)
+class CacheModel(Event):
+    """A cache announced its geometry (lazy, once per armed component).
+
+    Published immediately before a component's first cache-contents
+    event (:class:`CacheFill` / :class:`CacheEvict` /
+    :class:`CacheAccess`), so shadow-cache processors
+    (:mod:`repro.obs.cachelens`) can size their structures without an
+    attach-order handshake. ``kind`` distinguishes the meta-tag array
+    ("meta") from a conventional address-tagged cache ("addr");
+    ``tag_class`` names the tag schema (joined tag fields, or "addr")
+    so reuse-distance histograms group comparable tags.
+    """
+
+    name: ClassVar[str] = "cache_model"
+
+    kind: str = "meta"        # "meta" | "addr"
+    ways: int = 0
+    sets: int = 0
+    block_bytes: int = 0      # 0 for the meta-tag array (decoupled data)
+    tag_class: str = ""       # e.g. "key" | "row,col" | "addr"
+
+
+@dataclass(frozen=True)
+class CacheFill(Event):
+    """A cache installed a tag into a (set, way) slot.
+
+    Published by ``MetaTagArray.allocate`` (ALLOCM and experiment
+    warm-up alike) and ``AddressCache._install``. For address caches
+    the tag tuple is ``(block_address,)``.
+    """
+
+    name: ClassVar[str] = "cache_fill"
+
+    tag: Tag = ()
+    set_index: int = -1
+    way: int = -1
+
+
+@dataclass(frozen=True)
+class CacheEvict(Event):
+    """A cache removed a tag from a (set, way) slot.
+
+    ``reason`` separates replacement pressure from program intent:
+    "conflict" (meta-tag LRU victim on allocate), "replace" (address
+    cache LRU victim), "dealloc" (DEALLOCM / take-invalidate /
+    capacity reclaim — the program removed it on purpose).
+    """
+
+    name: ClassVar[str] = "cache_evict"
+
+    tag: Tag = ()
+    set_index: int = -1
+    way: int = -1
+    reason: str = ""          # "conflict" | "replace" | "dealloc"
+
+
+@dataclass(frozen=True)
+class CacheAccess(Event):
+    """One timed access to an address-tagged cache.
+
+    The meta-tag access stream already exists as :class:`Hit` /
+    :class:`Miss` / :class:`Merge`; this event gives the conventional
+    :class:`~repro.mem.addrcache.AddressCache` an equivalent stream
+    (it publishes nothing else on its hot path). ``outcome`` is one of
+    "hit", "miss" (primary miss), "merge" (MSHR merge), "mshr_stall".
+    """
+
+    name: ClassVar[str] = "cache_access"
+
+    tag: Tag = ()             # (block_address,)
+    set_index: int = -1
+    outcome: str = ""
+    is_write: bool = False
+
+
 ALL_EVENT_TYPES: Tuple[Type[Event], ...] = (
     RunStart, RunEnd, RequestArrive, Hit, Miss, Merge,
     WalkerDispatch, WalkerWake, WalkerYield, WalkerRetire,
     DRAMIssue, DRAMComplete, Fill, Evict, Reclaim, QueueStall,
+    CacheModel, CacheFill, CacheEvict, CacheAccess,
 )
 
 #: wire-name -> event class (drives TypedEventProcessor auto-dispatch)

@@ -36,8 +36,16 @@ admission stalls, each walk episode with its phase timeline and DRAM
 children, and the exact blame split — the numbers sum to the request's
 latency by construction.
 
+``--misses`` adds the *why-miss* half (``repro.obs.cachelens``): every
+miss classified compulsory / capacity / conflict, would-have-hit-if
+shadow counters, and reuse-distance histograms — in any of the three
+modes (replayed traces carry the cache events when captured armed, so
+``explain t.fig04.jsonl --misses`` works offline).
+
 ``--json`` additionally writes the machine-readable summary the SLO
-gate (``python -m repro.obs.regress --slo``) consumes.
+gate (``python -m repro.obs.regress --slo``) consumes; with
+``--misses`` each component entry also carries ``hit_rate`` and
+``conflict_share`` for the cache-contents SLO budgets.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ from .spans import RequestSpan, SpanAssembler
 
 __all__ = [
     "replay_events",
+    "replay_misses",
     "format_drilldown",
     "explain_report",
     "slo_summary",
@@ -96,6 +105,55 @@ def replay_events(source, top: int = 5, verify: bool = True
         if close:
             fh.close()
     return agg, assemblers
+
+
+def replay_misses(source, reuse_sample: int = 8
+                  ) -> Tuple[Dict[str, dict], Dict[str, Dict[int, int]]]:
+    """Rebuild cache-lens state from a JSONL trace (path or iterable).
+
+    Returns ``(merged_summary, conflict_sets)`` with cache names
+    run-namespaced exactly like :func:`replay_events` spans, so the two
+    halves of the report line up. ``reuse_sample`` must match the rate
+    the trace was captured with for the reuse histogram to reproduce
+    the live one (sampling is deterministic, so at the same rate it
+    does, bit for bit).
+    """
+    from .cachelens import CacheLensProcessor, merge_summaries
+
+    lenses: Dict[int, CacheLensProcessor] = {}
+    if isinstance(source, str):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh, close = source, False
+    try:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                event = event_from_json(record)
+            except KeyError:
+                continue
+            run = record.get("run", 0)
+            lens = lenses.get(run)
+            if lens is None:
+                lens = lenses[run] = CacheLensProcessor(
+                    reuse_sample=reuse_sample)
+            lens.handle(event)
+    finally:
+        if close:
+            fh.close()
+    summaries = []
+    conflicts: Dict[str, Dict[int, int]] = {}
+    for run, lens in lenses.items():
+        prefix = f"run{run}/" if run else ""
+        summaries.append({prefix + name: entry
+                          for name, entry in lens.summary().items()})
+        for name, counts in lens.conflict_sets_by_cache().items():
+            conflicts[prefix + name] = counts
+    return merge_summaries(summaries), conflicts
 
 
 def _blame_line(blame: Dict[str, int]) -> str:
@@ -223,20 +281,24 @@ def _ledger_events_path(entry: dict) -> Optional[str]:
     return capture.get("events")
 
 
-def _run_live(exp_id: str, profile: str, top: int
-              ) -> Tuple[CritPathAggregator, int, str]:
-    """Run one experiment under a span capture; explain it."""
+def _run_live(exp_id: str, profile: str, top: int, misses: bool = False,
+              reuse_sample: int = 8):
+    """Run one experiment under a span (and optionally lens) capture."""
     from repro.harness import run_experiment
     from repro.harness.suite import clear_cache
     from .capture import CaptureSpec, capture_scope
 
     clear_cache()   # a warm memoized suite would publish no events
-    spec = CaptureSpec(spans=True, explain_top=max(top, 1))
+    spec = CaptureSpec(spans=True, explain_top=max(top, 1),
+                       misses=misses, reuse_sample=reuse_sample)
     with capture_scope(spec) as cap:
         report = run_experiment(exp_id, profile)
     assert cap is not None
     agg = cap.merged_critpath()
-    return agg, cap.spans_dropped, report.render()
+    lens_summary = cap.merged_cachelens() if misses else None
+    lens_conflicts = cap.merged_conflict_sets() if misses else None
+    return agg, cap.spans_dropped, report.render(), lens_summary, \
+        lens_conflicts
 
 
 def main(argv=None) -> int:
@@ -263,6 +325,14 @@ def main(argv=None) -> int:
     parser.add_argument("--top", type=int, default=5, metavar="K",
                         help="slowest requests to drill into "
                              "(default: 5)")
+    parser.add_argument("--misses", action="store_true",
+                        help="append the why-miss analysis (miss "
+                             "taxonomy, would-hit-if shadows, reuse "
+                             "distances)")
+    parser.add_argument("--reuse-sample", type=int, default=8,
+                        metavar="N",
+                        help="reuse-distance scan stride for --misses "
+                             "(default: 1, exact)")
     parser.add_argument("--json", default=None, metavar="PATH.json",
                         help="also write the SLO-gate summary JSON")
     parser.add_argument("--suite", default=None,
@@ -271,6 +341,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.top < 0:
         parser.error("--top must be >= 0")
+    if args.reuse_sample < 1:
+        parser.error("--reuse-sample must be >= 1")
     if (args.ledger is None) != (args.job is None):
         parser.error("--ledger and --job go together")
     modes = sum(x is not None for x in (args.events, args.run, args.ledger))
@@ -296,18 +368,39 @@ def main(argv=None) -> int:
         agg, _assemblers = replay_events(events_path, top=args.top)
         suite = args.suite or f"job{args.job}"
         dropped = 0
+        lens_summary = lens_conflicts = None
+        if args.misses:
+            lens_summary, lens_conflicts = replay_misses(
+                events_path, reuse_sample=args.reuse_sample)
     elif args.run is not None:
-        agg, dropped, _report = _run_live(args.run, args.profile, args.top)
+        agg, dropped, _report, lens_summary, lens_conflicts = _run_live(
+            args.run, args.profile, args.top, misses=args.misses,
+            reuse_sample=args.reuse_sample)
         suite = args.suite or args.run
     else:
         agg, _assemblers = replay_events(args.events, top=args.top)
         suite = args.suite or args.events.rsplit("/", 1)[-1]
         dropped = 0
+        lens_summary = lens_conflicts = None
+        if args.misses:
+            lens_summary, lens_conflicts = replay_misses(
+                args.events, reuse_sample=args.reuse_sample)
 
     print(explain_report(agg, dropped=dropped, top=args.top))
+    if lens_summary is not None:
+        from .cachelens import why_miss_report
+
+        print(why_miss_report(lens_summary, lens_conflicts))
     if args.json:
+        doc = slo_summary(agg, suite)
+        if lens_summary:
+            for name, comp in doc["components"].items():
+                entry = lens_summary.get(name)
+                if entry is not None:
+                    comp["hit_rate"] = entry["hit_rate"]
+                    comp["conflict_share"] = entry["conflict_share"]
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(slo_summary(agg, suite), fh, indent=1, sort_keys=True)
+            json.dump(doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
     return 0 if agg.conservation_ok else 1
 

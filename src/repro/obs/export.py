@@ -15,6 +15,8 @@ import json
 from typing import Dict, IO, List, Optional, Tuple, Union
 
 from .events import (
+    CacheEvict,
+    CacheFill,
     DRAMComplete,
     DRAMIssue,
     Event,
@@ -132,6 +134,9 @@ class PerfettoExporter(EventProcessor):
         # request-journey flow arrows: req_id -> flow id
         self._flow_seq = 0
         self._flows: Dict[int, int] = {}
+        # cache-contents counter tracks: pid -> (occupancy, evictions)
+        self._cache_occ: Dict[int, int] = {}
+        self._cache_evicts: Dict[int, int] = {}
         self._closed = False
 
     # -- capture plumbing ---------------------------------------------
@@ -245,6 +250,17 @@ class PerfettoExporter(EventProcessor):
                     "pid": pid, "tid": 0, "ts": event.cycle,
                     "id": slice_id,
                 })
+        elif cls is CacheFill:
+            pid = self._pid(event.component)
+            occ = self._cache_occ.get(pid, 0) + 1
+            self._cache_occ[pid] = occ
+            self._cache_counter(pid, event.cycle, occ)
+        elif cls is CacheEvict:
+            pid = self._pid(event.component)
+            occ = max(self._cache_occ.get(pid, 0) - 1, 0)
+            self._cache_occ[pid] = occ
+            self._cache_evicts[pid] = self._cache_evicts.get(pid, 0) + 1
+            self._cache_counter(pid, event.cycle, occ)
         elif cls is RunStart or cls is RunEnd:
             pid = self._pid(event.component)
             self.trace_events.append({
@@ -252,6 +268,16 @@ class PerfettoExporter(EventProcessor):
                 "name": cls.name, "pid": pid, "tid": 0,
                 "ts": event.cycle,
             })
+
+    def _cache_counter(self, pid: int, cycle: int, occ: int) -> None:
+        """Counter track ("ph":"C") per cache: live entries + cumulative
+        evictions, so contents churn plots next to the walk spans."""
+        self.trace_events.append({
+            "ph": "C", "name": "cache contents", "pid": pid, "tid": 0,
+            "ts": cycle,
+            "args": {"entries": occ,
+                     "evictions": self._cache_evicts.get(pid, 0)},
+        })
 
     def _end_routine(self, key: Tuple[int, object], pid: int,
                      cycle: int) -> None:

@@ -148,6 +148,11 @@ def _num(value) -> float:
 #: except min_requests which guards against a silently empty suite)
 SLO_METRICS = ("latency_p50", "latency_p99")
 
+#: cache-contents budgets (summaries carry the fields when the capture
+#: was lens-armed: ``--misses`` / ``explain --misses --json``)
+SLO_MIN_METRICS = (("min_hit_rate", "hit_rate"),)
+SLO_MAX_METRICS = (("max_conflict_share", "conflict_share"),)
+
 
 def check_slo(summary: Dict, policy: Dict) -> List[MetricCheck]:
     """Gate one span summary against the SLO policy.
@@ -157,10 +162,14 @@ def check_slo(summary: Dict, policy: Dict) -> List[MetricCheck]:
 
         {"suites": {"fig14": {"latency_p50": 80, "latency_p99": 900,
                               "min_requests": 10,
+                              "min_hit_rate": 0.7,
+                              "max_conflict_share": 0.1,
                               "components": {"dsa-name": {...overrides}}}}}
 
     Suite budgets apply to every component; a ``components`` entry
-    overrides per DSA. A suite absent from the policy raises (exit 2 at
+    overrides per DSA. The cache-contents budgets (``min_hit_rate``
+    higher-better, ``max_conflict_share`` lower-better) gate only
+    summaries that carry those fields — i.e. lens-armed captures. A suite absent from the policy raises (exit 2 at
     the CLI) — an ungated suite is a configuration error, not a pass.
     """
     suites = policy.get("suites")
@@ -190,6 +199,24 @@ def check_slo(summary: Dict, policy: Dict) -> List[MetricCheck]:
                 continue
             checks.append(MetricCheck(
                 f"{name}.{metric}", _num(budget), _num(value),
+                _num(budget), _num(value) <= _num(budget),
+                "slo: lower-better"))
+        for budget_key, field in SLO_MIN_METRICS:
+            budget = scoped.get(budget_key)
+            value = entry.get(field)
+            if budget is None or value is None:
+                continue
+            checks.append(MetricCheck(
+                f"{name}.{field}", _num(budget), _num(value),
+                _num(budget), _num(value) >= _num(budget),
+                "slo: higher-better"))
+        for budget_key, field in SLO_MAX_METRICS:
+            budget = scoped.get(budget_key)
+            value = entry.get(field)
+            if budget is None or value is None:
+                continue
+            checks.append(MetricCheck(
+                f"{name}.{field}", _num(budget), _num(value),
                 _num(budget), _num(value) <= _num(budget),
                 "slo: lower-better"))
     return checks

@@ -32,7 +32,8 @@ from .events import (
 )
 from .processors import TypedEventProcessor
 
-__all__ = ["TimeSeriesProcessor", "CSV_COLUMNS", "write_csv"]
+__all__ = ["TimeSeriesProcessor", "CSV_COLUMNS", "write_csv",
+           "HEATMAP_COLUMNS", "write_heatmap_csv"]
 
 #: Column order for every row dict / CSV export.
 CSV_COLUMNS: Tuple[str, ...] = (
@@ -180,6 +181,37 @@ def write_csv(target: Union[str, TextIO],
                 value = row[col]
                 cells.append(f"{value:.6g}" if isinstance(value, float)
                              else str(value))
+            lines.append(",".join(cells))
+    text = "".join(line + "\n" for line in lines)
+    if hasattr(target, "write"):
+        target.write(text)
+    else:
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return len(lines) - 1
+
+
+#: Column order for per-set heatmap rows (``--heatmap``).
+HEATMAP_COLUMNS: Tuple[str, ...] = (
+    "window_start", "window_end", "set", "occupancy", "fills", "evicts",
+)
+
+
+def write_heatmap_csv(target: Union[str, TextIO],
+                      runs: Sequence[Tuple[str, Sequence]]) -> int:
+    """Write per-set occupancy/pressure heatmap rows as one CSV.
+
+    ``runs`` is ``(run_id, rows)`` where ``rows`` is the
+    ``(cache, row_dict)`` sequence from
+    :meth:`repro.obs.cachelens.CacheLensProcessor.heat_rows`; the
+    ``run`` and ``cache`` columns keep ``--parallel`` and
+    multi-controller output merge-stable. Returns data rows written.
+    """
+    lines = ["run,cache," + ",".join(HEATMAP_COLUMNS)]
+    for run_id, rows in runs:
+        for cache, row in rows:
+            cells = [str(run_id), cache]
+            cells.extend(str(row[col]) for col in HEATMAP_COLUMNS)
             lines.append(",".join(cells))
     text = "".join(line + "\n" for line in lines)
     if hasattr(target, "write"):

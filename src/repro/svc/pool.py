@@ -97,6 +97,7 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
     dogs: list = []
     suite_warm = None
     capture_paths: Optional[Dict[str, str]] = None
+    capture_telemetry: dict = {}
 
     if spec.experiment.startswith("sleep:"):
         seconds = float(spec.experiment.split(":", 1)[1])
@@ -146,8 +147,13 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
 
         rendered, all_ok = execute_one(
             spec.experiment, _resolve_profile(spec), capture,
-            on_attach=on_attach)
+            on_attach=on_attach, telemetry=capture_telemetry)
 
+    # harness-path watchdogs (armed via the capture spec, not worker
+    # health) fold into the same per-kind counts the registry scrapes
+    watchdog = _watchdog_counts(dogs)
+    for kind, count in (capture_telemetry.get("watchdog") or {}).items():
+        watchdog[kind] = watchdog.get(kind, 0) + count
     return {
         "ok": True,
         "rendered": rendered,
@@ -156,7 +162,8 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
         "worker_jobs_before": jobs_before,
         "suite_warm": suite_warm,
         "events_seen": sum(s.seen for s in streams),
-        "watchdog": _watchdog_counts(dogs),
+        "watchdog": watchdog,
+        "cachelens": capture_telemetry.get("cachelens"),
         "capture_paths": capture_paths,
     }
 
@@ -382,6 +389,20 @@ class WorkerPool:
                                 self.registry.inc(
                                     "watchdog_warnings_total", count,
                                     kind=warn_kind)
+                        if self.registry is not None:
+                            lens = payload.get("cachelens") or {}
+                            for cache, entry in sorted(lens.items()):
+                                self.registry.set(
+                                    "sim_cache_hit_rate",
+                                    entry.get("hit_rate", 0.0),
+                                    cache=cache)
+                                self.registry.set(
+                                    "sim_cache_conflict_share",
+                                    entry.get("conflict_share", 0.0),
+                                    cache=cache)
+                                self.registry.inc(
+                                    "sim_cache_misses_total",
+                                    entry.get("misses", 0), cache=cache)
                         handle.job_id = None
                     messages.append((kind, handle, job_id, payload))
             except (EOFError, OSError):

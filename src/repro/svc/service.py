@@ -191,6 +191,15 @@ class Service:
                     "Worker-measured execution time of executed jobs.")
         reg.summary("job_store_write_seconds",
                     "Result-store write time of executed jobs.")
+        # cache-contents health from lens-armed jobs (--misses captures);
+        # labelled per simulated cache by the pool when results land
+        reg.gauge("sim_cache_hit_rate",
+                  "Hit rate of a simulated cache, from the last "
+                  "lens-armed job that observed it.")
+        reg.gauge("sim_cache_conflict_share",
+                  "Share of that cache's misses classified conflict.")
+        reg.counter("sim_cache_misses_total",
+                    "Simulated cache misses observed by lens-armed jobs.")
 
     def _count(self, key: str, amount: int = 1) -> None:
         """Bump a legacy one-shot counter and its registry family

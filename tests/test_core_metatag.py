@@ -73,7 +73,7 @@ def test_lru_eviction_of_inactive():
 def test_active_entries_never_evicted():
     tags = make(ways=1, sets=1)
     e1 = tags.allocate((1,), now=0)
-    e1.active = True
+    tags.mark_active(e1)
     assert tags.allocate((2,), now=1) is None
     assert tags.stats.get("alloc_conflicts") == 1
     assert not tags.can_allocate((2,))
@@ -82,7 +82,7 @@ def test_active_entries_never_evicted():
 def test_can_allocate_with_free_way():
     tags = make(ways=2, sets=1)
     e1 = tags.allocate((1,), now=0)
-    e1.active = True
+    tags.mark_active(e1)
     assert tags.can_allocate((2,))
 
 
@@ -115,9 +115,34 @@ def test_occupancy_and_active_count():
     tags = make(ways=4, sets=4)
     e1 = tags.allocate((1,), now=0)
     tags.allocate((2,), now=0)
-    e1.active = True
+    tags.mark_active(e1)
     assert tags.occupancy() == 2
     assert tags.active_walkers() == 1
+    assert tags.active_walkers() == tags.active_walkers_scan()
+
+
+def test_active_counter_tracks_scan_through_churn():
+    """The O(1) counter stays equal to the reference scan through
+    mark/clear (idempotent), conflict evictions, and deallocations."""
+    tags = make(ways=2, sets=2)
+    entries = {}
+    for k in range(4):
+        entries[k] = tags.allocate((k,), now=k)
+        assert tags.active_walkers() == tags.active_walkers_scan()
+    tags.mark_active(entries[0])
+    tags.mark_active(entries[0])      # idempotent
+    tags.mark_active(entries[1])
+    assert tags.active_walkers() == 2 == tags.active_walkers_scan()
+    tags.clear_active(entries[0])
+    tags.clear_active(entries[0])     # idempotent
+    assert tags.active_walkers() == 1 == tags.active_walkers_scan()
+    # dealloc of an active entry drops the counter with it
+    tags.deallocate(entries[1].tag)
+    assert tags.active_walkers() == 0 == tags.active_walkers_scan()
+    # conflict eviction of an inactive victim leaves it untouched
+    tags.mark_active(entries[2])
+    tags.allocate((10,), now=10)      # evicts an inactive way
+    assert tags.active_walkers() == 1 == tags.active_walkers_scan()
 
 
 def test_entries_iteration():

@@ -12,6 +12,10 @@ from repro.obs.critpath import (
 )
 from repro.obs.events import (
     ALL_EVENT_TYPES,
+    CacheAccess,
+    CacheEvict,
+    CacheFill,
+    CacheModel,
     DRAMComplete,
     DRAMIssue,
     Evict,
@@ -48,7 +52,7 @@ def _one_of_each():
         Hit(cycle=5, component="c", tag=(3,), store=True, take=True,
             load_to_use=7, req_id=8, status=0),
         Miss(cycle=9, component="c", tag=(4,), op="load", req_id=10,
-             walk_id=11),
+             walk_id=11, set_index=5),
         Merge(cycle=12, component="c", tag=(5,), req_id=13, walk_id=14),
         WalkerDispatch(cycle=15, component="c", tag=(6,), routine="r",
                        walk_id=16),
@@ -70,6 +74,14 @@ def _one_of_each():
         Reclaim(cycle=32, component="c", nsectors=4),
         QueueStall(cycle=33, component="c", tag=(12,),
                    reason="no_context", req_id=34),
+        CacheModel(cycle=35, component="c", kind="addr", ways=4,
+                   sets=64, block_bytes=32, tag_class="addr"),
+        CacheFill(cycle=36, component="c", tag=(13,), set_index=6,
+                  way=1),
+        CacheEvict(cycle=37, component="c", tag=(14,), set_index=7,
+                   way=2, reason="dealloc"),
+        CacheAccess(cycle=38, component="c", tag=(4096,), set_index=8,
+                    outcome="merge", is_write=True),
     ]
 
 
