@@ -127,6 +127,22 @@ class _RoutineExec:
     recording: Optional[List[Tuple[int, int, bool, bool]]] = None
     record_mask: Optional[Tuple[bool, ...]] = None
 
+    def __getstate__(self):
+        # Bound blocks and traces hold generated closures; serialize
+        # presence markers and let Controller._rebind_compiled re-point
+        # this exec at the freshly rebuilt artifacts after restore. The
+        # resume cursor (pc/trace_pos) is plain data and rides along, so
+        # a mid-trace execution re-enters through the lazy cursor-entry
+        # dispatcher exactly where it left off.
+        state = self.__dict__.copy()
+        state["compiled"] = self.compiled is not None
+        state["trace"] = (self.trace.routine_name
+                          if self.trace is not None else None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
 
 @dataclass
 class WalkerRun:
@@ -149,6 +165,31 @@ class WalkerRun:
     # the episode trace that cleanly completed this walker's previous
     # routine — next dispatch follows its next_on edge (episode chain)
     last_trace: Optional[BoundTrace] = None
+
+    def __getstate__(self):
+        # see _RoutineExec.__getstate__: traces serialize as their
+        # routine name and are re-pointed by Controller._rebind_compiled
+        state = self.__dict__.copy()
+        state["last_trace"] = (self.last_trace.routine_name
+                               if self.last_trace is not None else None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+@dataclass
+class _SerializedTraces:
+    """Pickled stand-in for a controller's bound-trace table.
+
+    Bound traces hold generated closures, so the snapshot keeps only the
+    routine names and the episode next_on edges (by routine name);
+    :meth:`Controller._rebind_compiled` rebuilds the closures from the
+    recorded :class:`~repro.core.trace_compile.TracePath`\\ s.
+    """
+
+    names: List[str]
+    edges: Dict[str, Dict[str, str]]
 
 
 class Controller(Component):
@@ -418,19 +459,22 @@ class Controller(Component):
 
     def raise_internal(self, walker: WalkerRun, event: str,
                        fields: Dict[str, int], delay: int) -> None:
-        tag = walker.tag
+        # scheduled as a partial of a bound method (not a closure) so a
+        # pending delivery survives snapshot/restore (repro.sim.checkpoint)
+        self.sim.call_after(max(1, delay),
+                            partial(self._deliver_internal, walker.tag,
+                                    event, fields))
 
-        def deliver() -> None:
-            if tag in self._walkers:
-                self._internal.append(
-                    Message(event, tag=tag, fields=fields,
-                            issued_at=self.sim.now)
-                )
-                self.wake()
-            else:
-                self.stats.inc("orphan_events")
-
-        self.sim.call_after(max(1, delay), deliver)
+    def _deliver_internal(self, tag: Tag, event: str,
+                          fields: Dict[str, int]) -> None:
+        if tag in self._walkers:
+            self._internal.append(
+                Message(event, tag=tag, fields=fields,
+                        issued_at=self.sim.now)
+            )
+            self.wake()
+        else:
+            self.stats.inc("orphan_events")
 
     def walker_respond(self, walker: WalkerRun, fields: Dict[str, int]) -> None:
         """Explicit enq-resp from microcode (beyond the auto-response)."""
@@ -735,11 +779,7 @@ class Controller(Component):
         if bound is not None:
             blocks = bound.get(routine.name)
             if blocks is None:
-                blocks = bound[routine.name] = bind_routine(
-                    self.program.ram.compiled_routine(
-                        routine.name, self.config.min_fuse_len),
-                    self.stats, _OP_CAT_INDEX,
-                    self.config.xregs_per_walker, self.config.num_exe)
+                blocks = self._bind_blocks(routine.name)
             inflight.compiled = blocks
             traces = self._traces
             if traces is not None:
@@ -779,6 +819,95 @@ class Controller(Component):
                                            tag=walker.tag,
                                            routine=routine.name,
                                            walk_id=walker.walk_id))
+
+    def _bind_blocks(self, name: str) -> Tuple[Optional[BoundBlock], ...]:
+        """Bind (and cache) routine ``name``'s fused-block table."""
+        bound = self._bound_routines
+        assert bound is not None
+        blocks = bound[name] = bind_routine(
+            self.program.ram.compiled_routine(name, self.config.min_fuse_len),
+            self.stats, _OP_CAT_INDEX,
+            self.config.xregs_per_walker, self.config.num_exe)
+        return blocks
+
+    # ------------------------------------------------------------------
+    # snapshot/restore (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Serialize without the derivable compiled artifacts.
+
+        Everything architectural (queues, walkers, meta-tags, stats,
+        resume cursors) pickles as-is; the fused-block tables and bound
+        episode traces hold generated closures, so they serialize as
+        name lists / :class:`_SerializedTraces` and are rebuilt
+        deterministically by :meth:`_rebind_compiled`.
+        """
+        state = self.__dict__.copy()
+        bound = state.get("_bound_routines")
+        if bound is not None:
+            state["_bound_routines"] = sorted(bound)
+        traces = state.get("_traces")
+        if traces is not None:
+            state["_traces"] = _SerializedTraces(
+                names=sorted(traces),
+                edges={name: {event: target.routine_name
+                              for event, target in trace.next_on.items()}
+                       for name, trace in traces.items()})
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def _rebind_compiled(self) -> None:
+        """Rebuild fused blocks and episode traces after unpickling.
+
+        Must run after the whole object graph is restored (the program
+        RAM's recorded trace paths have to be re-installed first — see
+        repro.sim.checkpoint) and after any fork-safe config overrides,
+        so the rebuilt artifacts reflect the effective config. Binding
+        is a pure function of (program, config, stats identity), so the
+        rebuilt closures behave byte-identically to the dropped ones.
+        """
+        bound = self._bound_routines
+        if isinstance(bound, list):
+            self._bound_routines = {}
+            for name in bound:
+                self._bind_blocks(name)
+        serialized = self._traces
+        if isinstance(serialized, _SerializedTraces):
+            self._traces = {}
+            for name in serialized.names:
+                path = self.program.ram.trace_path(name)
+                if path is None:
+                    # trace store not carried over (legacy snapshot):
+                    # fall back to re-learning at runtime
+                    continue
+                self._bind_trace(self.program.ram.routine_named(name), path)
+            for name, edges in serialized.edges.items():
+                trace = self._traces.get(name)
+                if trace is None:
+                    continue
+                for event, target_name in edges.items():
+                    target = self._traces.get(target_name)
+                    if target is not None:
+                        trace.next_on[event] = target
+        traces = self._traces
+        for ex in self._execq:
+            if ex.compiled is True:
+                table = self._bound_routines
+                ex.compiled = (None if table is None else
+                               table.get(ex.routine.name)
+                               or self._bind_blocks(ex.routine.name))
+            elif ex.compiled is False:
+                ex.compiled = None
+            if isinstance(ex.trace, str):
+                # a vanished trace deopts to the block path — the
+                # architecturally identical fallback
+                ex.trace = None if traces is None else traces.get(ex.trace)
+        for walker in self._walkers.values():
+            if isinstance(walker.last_trace, str):
+                walker.last_trace = (None if traces is None
+                                     else traces.get(walker.last_trace))
 
     # ------------------------------------------------------------------
     # trace compilation (hot-path recording and binding)

@@ -69,11 +69,19 @@ class DasxXCacheModel:
         self._failures = 0
         self._last_done = 0
 
-    def run(self) -> RunResult:
+    def start(self) -> None:
+        """Attach handlers and issue the first round (no simulation)."""
         self.system.on_response(self._on_response)
         self._walk_fields = {"table": self.index.table_addr}
         self._start_preload(0)
+
+    def run(self) -> RunResult:
+        self.start()
         self.system.run()
+        return self.finish()
+
+    def finish(self) -> RunResult:
+        """Assemble the result after the simulation has drained."""
         ctrl = self.system.controller
         energy = EnergyModel().xcache_breakdown(ctrl, self._last_done)
         stats = ctrl.stats

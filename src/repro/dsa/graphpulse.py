@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional
 
 from collections import deque
@@ -119,12 +120,22 @@ class GraphPulseXCacheModel:
         self._outstanding_stores = 0
         self._takes: Dict[int, int] = {}   # msg uid -> vertex
         self._store_acks: Dict[int, Callable[[], None]] = {}
+        # adjacency-stream / share-emission fan-in, keyed by a unique
+        # token (the same vertex can be in flight twice): token ->
+        # [remaining, v, share]. Plain data + bound-method partials, so
+        # in-flight fan-ins survive snapshot/restore.
+        self._streams: Dict[int, List] = {}
+        self._stream_seq = 0
+        self._emit_waits: Dict[int, int] = {}
+        self._emit_seq = 0
         self._events_processed = 0
         self._last_done = 0
         self._idle_pes = 0
+        self._max_cycles = 50_000_000
 
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 50_000_000) -> RunResult:
+    def start(self) -> None:
+        """Attach handlers and seed the initial residuals."""
         n = self.graph.num_vertices
         self.system.on_response(self._on_response)
         seed = (1.0 - self.damping) / n
@@ -132,7 +143,15 @@ class GraphPulseXCacheModel:
             self._emit(v, seed)
         self._idle_pes = self.num_pes
         self._schedule_pes()
+
+    def run(self, max_cycles: int = 50_000_000) -> RunResult:
+        self._max_cycles = max_cycles
+        self.start()
         self.system.run(until=max_cycles)
+        return self.finish()
+
+    def finish(self) -> RunResult:
+        """Assemble + validate the result after the run drains."""
         ctrl = self.system.controller
         energy = EnergyModel().xcache_breakdown(ctrl, self._last_done)
         stats = ctrl.stats
@@ -219,15 +238,19 @@ class GraphPulseXCacheModel:
         last = self.layout.indices_entry(self.graph.indptr[v + 1] - 1)
         blocks = [self.layout.indptr_entry(v) & ~63]
         blocks.extend(range(first & ~63, (last & ~63) + 64, 64))
-        remaining = {"n": len(blocks)}
-
-        def on_block(_lat) -> None:
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                self._emit_shares(v, share)
-
+        self._stream_seq += 1
+        token = self._stream_seq
+        self._streams[token] = [len(blocks), v, share]
+        on_block = partial(self._on_struct_block, token)
         for block in blocks:
             self.struct_cache.access(block, False, on_block)
+
+    def _on_struct_block(self, token: int, _lat: int) -> None:
+        entry = self._streams[token]
+        entry[0] -= 1
+        if entry[0] == 0:
+            del self._streams[token]
+            self._emit_shares(entry[1], entry[2])
 
     def _emit_shares(self, v: int, share: float) -> None:
         """Emit events; the PE stays busy until the queue accepts all
@@ -236,15 +259,18 @@ class GraphPulseXCacheModel:
         if share <= self.epsilon or not neighbors:
             self._pe_done()
             return
-        remaining = {"n": len(neighbors)}
-
-        def acked() -> None:
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                self._pe_done()
-
+        self._emit_seq += 1
+        token = self._emit_seq
+        self._emit_waits[token] = len(neighbors)
+        acked = partial(self._on_share_ack, token)
         for u in neighbors:
             self._emit(u, share, on_ack=acked)
+
+    def _on_share_ack(self, token: int) -> None:
+        self._emit_waits[token] -= 1
+        if self._emit_waits[token] == 0:
+            del self._emit_waits[token]
+            self._pe_done()
 
     def _pe_done(self) -> None:
         self._idle_pes += 1

@@ -152,13 +152,21 @@ class SpGEMMXCacheModel:
         self._failures = 0
 
     # ------------------------------------------------------------------
-    def run(self) -> RunResult:
+    def start(self) -> None:
+        """Attach handlers and seed preloader + compute pump."""
         self.system.on_response(self._on_response)
         self._walk_fields = {"row_ptr": self.layout.row_ptr_addr,
                              "pairs": self.layout.pairs_addr}
         self._advance_preloader()
         self._issue_computes()
+
+    def run(self) -> RunResult:
+        self.start()
         self.system.run()
+        return self.finish()
+
+    def finish(self) -> RunResult:
+        """Assemble the result after the simulation has drained."""
         ctrl = self.system.controller
         energy = EnergyModel().xcache_breakdown(ctrl, self._last_done)
         stats = ctrl.stats

@@ -104,32 +104,38 @@ class WidxXCacheModel:
         self._failures = 0
         self._last_done = 0
 
-    def run(self) -> RunResult:
+    def start(self) -> None:
+        """Attach handlers and seed the request pump (no simulation)."""
         probes = self.workload.probes
-        table = self.index.table_addr
-        pump = RequestPump(self.system.sim, len(probes), self._issue,
-                           window=self.window, name="widx-pump")
+        self._table = self.index.table_addr
+        self._pump = RequestPump(self.system.sim, len(probes), self._issue,
+                                 window=self.window, name="widx-pump")
+        self.system.on_response(self._on_resp)
+        self._pump.start()
 
-        def on_resp(resp: MetaResponse) -> None:
-            expected = self._expected.pop(resp.request.uid, "missing")
-            if expected == "missing":
+    def _on_resp(self, resp: MetaResponse) -> None:
+        expected = self._expected.pop(resp.request.uid, "missing")
+        if expected == "missing":
+            self._failures += 1
+        elif expected is None:
+            if resp.found:
                 self._failures += 1
-            elif expected is None:
-                if resp.found:
-                    self._failures += 1
-            else:
-                got = (int.from_bytes(resp.data[:8], "little")
-                       if resp.found and resp.data else None)
-                if got != expected:
-                    self._failures += 1
-            self._last_done = max(self._last_done, resp.completed_at)
-            pump.complete()
+        else:
+            got = (int.from_bytes(resp.data[:8], "little")
+                   if resp.found and resp.data else None)
+            if got != expected:
+                self._failures += 1
+        self._last_done = max(self._last_done, resp.completed_at)
+        self._pump.complete()
 
-        self.system.on_response(on_resp)
-        self._pump = pump
-        self._table = table
-        pump.start()
+    def run(self) -> RunResult:
+        self.start()
         self.system.run()
+        return self.finish()
+
+    def finish(self) -> RunResult:
+        """Assemble the result after the simulation has drained."""
+        probes = self.workload.probes
         ctrl = self.system.controller
         energy = EnergyModel().xcache_breakdown(ctrl, self._last_done)
         stats = ctrl.stats

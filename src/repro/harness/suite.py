@@ -21,6 +21,12 @@ version, and any process that can compute the canonical key agrees on
 the path. Each pickle carries its key + format; a wrapper mismatch (an
 entry from an older repo revision or layout) is *invalidated* — treated
 as a miss and overwritten — never an error.
+
+Suites driven from a warm snapshot carry **snapshot provenance**
+(snapshot digest + fork overrides) as part of the identity key, both
+in-process and on disk — a forked run can never alias a straight run's
+cached result. Straight runs keep their pre-provenance keys, so a
+cache directory survives this extension unchanged.
 """
 
 from __future__ import annotations
@@ -93,7 +99,7 @@ class VariantSet:
                 and self.addr.checks_passed)
 
 
-_CACHE: Dict[Tuple[str, Tuple[str, ...]], Dict[str, VariantSet]] = {}
+_CACHE: Dict[tuple, Dict[str, VariantSet]] = {}
 
 
 def clear_cache() -> None:
@@ -105,21 +111,40 @@ def clear_cache() -> None:
 SUITE_CACHE_FORMAT = 2
 
 
-def _canonical_key(key: Tuple[str, Tuple[str, ...]]) -> dict:
-    """The content address of one suite run: config + workloads + code."""
+def _memo_key(profile: str, workloads: Tuple[str, ...],
+              provenance: Optional[dict] = None) -> tuple:
+    """The memo key for one suite run.
+
+    Without provenance this is the historical ``(profile, workloads)``
+    pair — existing cache directories stay valid. A snapshot-driven
+    suite appends a normalized ``(("fork_overrides", ...), ("snapshot",
+    ...))`` tuple so a forked run gets its own slot everywhere.
+    """
+    if not provenance:
+        return (profile, tuple(workloads))
+    items = tuple(sorted((str(k), str(v))
+                         for k, v in provenance.items()))
+    return (profile, tuple(workloads), items)
+
+
+def _canonical_key(key: tuple) -> dict:
+    """The content address of one suite run: config + workloads + code
+    (+ snapshot provenance when the suite was forked from a warmup)."""
     from ..svc.store import code_version
 
-    return {
+    out = {
         "kind": "fig14-suite",
         "profile": key[0],
         "workloads": list(key[1]),
         "code": code_version(),
         "format": SUITE_CACHE_FORMAT,
     }
+    if len(key) > 2 and key[2]:
+        out["provenance"] = [list(item) for item in key[2]]
+    return out
 
 
-def _disk_cache_path(key: Tuple[str, Tuple[str, ...]]
-                     ) -> Optional[pathlib.Path]:
+def _disk_cache_path(key: tuple) -> Optional[pathlib.Path]:
     root = os.environ.get(SUITE_CACHE_ENV)
     if not root:
         return None
@@ -129,8 +154,8 @@ def _disk_cache_path(key: Tuple[str, Tuple[str, ...]]
     return pathlib.Path(root) / f"suite_{key[0]}_{digest}.pkl"
 
 
-def _disk_load(path: pathlib.Path, key: Tuple[str, Tuple[str, ...]]
-               ) -> Optional[Dict[str, VariantSet]]:
+def _disk_load(path: pathlib.Path,
+               key: tuple) -> Optional[Dict[str, VariantSet]]:
     try:
         with path.open("rb") as fh:
             wrapped = pickle.load(fh)
@@ -146,7 +171,7 @@ def _disk_load(path: pathlib.Path, key: Tuple[str, Tuple[str, ...]]
     return wrapped.get("suite")
 
 
-def _disk_store(path: pathlib.Path, key: Tuple[str, Tuple[str, ...]],
+def _disk_store(path: pathlib.Path, key: tuple,
                 suite: Dict[str, VariantSet]) -> None:
     wrapped = {"format": SUITE_CACHE_FORMAT, "key": _canonical_key(key),
                "suite": suite}
@@ -205,11 +230,18 @@ def _run_spgemm(label: str, profile: Profile) -> VariantSet:
 
 
 def run_fig14_suite(profile: str = "full",
-                    workloads: Optional[Tuple[str, ...]] = None
+                    workloads: Optional[Tuple[str, ...]] = None,
+                    provenance: Optional[dict] = None
                     ) -> Dict[str, VariantSet]:
-    """Run (or fetch memoized) the full comparison suite."""
+    """Run (or fetch memoized) the full comparison suite.
+
+    ``provenance`` (e.g. ``{"snapshot": <payload sha256>,
+    "fork_overrides": {...}}``) marks a suite whose runs were warmed
+    from a snapshot: it becomes part of the memo identity in both
+    layers, so forked results never alias straight ones.
+    """
     selected = workloads if workloads is not None else SUITE_WORKLOADS
-    key = (profile, tuple(selected))
+    key = _memo_key(profile, tuple(selected), provenance)
     if key in _CACHE:
         return _CACHE[key]
     disk_path = _disk_cache_path(key)

@@ -1,0 +1,235 @@
+"""Snapshot-fork warm-start sweeps (``harness --sweep-from-snapshot``).
+
+A parameter sweep over *fork-safe* knobs (back-end width, latencies,
+scheduling window, compile thresholds, DRAM timing — see
+:data:`repro.sim.checkpoint.FORK_SAFE_FIELDS`) re-simulates the same
+warmup N times under the straight harness. The snapshot-fork sweep pays
+the warmup **once**: run one model to a snapshot point, save it, then
+fork the snapshot into each grid point — restore, apply the overrides,
+run only the post-warmup tail. Results for the *measured region* are
+identical to straight runs that changed the knob at the same cycle, and
+the end-to-end cost drops from ``N × (warmup + tail)`` to
+``warmup + N × tail`` (benchmarked in
+``benchmarks/bench_checkpoint_sweep.py``, gated ≥3x at 8 points).
+
+Geometry-changing overrides are rejected up front with
+:class:`~repro.sim.checkpoint.ForkOverrideError` — a warmed cache
+cannot be reinterpreted under a different shape.
+
+CLI::
+
+    # warm once and write the snapshot
+    python -m repro.harness --write-snapshot warm.ckpt \\
+        --snapshot-dsa widx --profile quick --warm-frac 0.85
+
+    # fork it into a grid (one line per point, deterministic order)
+    python -m repro.harness --sweep-from-snapshot warm.ckpt \\
+        --sweep-grid num_exe=2,4,8 --sweep-grid dram.t_cl=8,11
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "SWEEP_DSAS",
+    "SweepPoint",
+    "build_model",
+    "straight_run",
+    "write_warm_snapshot",
+    "sweep_points",
+    "run_snapshot_sweep",
+    "render_sweep",
+    "parse_grid_entries",
+]
+
+#: DSAs a snapshot sweep can drive (the paper's five Table-3 designs)
+SWEEP_DSAS = ("widx", "dasx", "sparch", "gamma", "graphpulse")
+
+
+def build_model(dsa: str, profile: str = "ci",
+                config_overrides: Optional[Mapping[str, Any]] = None):
+    """A fresh, un-started X-Cache model of ``dsa`` at ``profile``.
+
+    ``config_overrides`` replaces :class:`~repro.core.config
+    .XCacheConfig` fields (``dram.*`` keys go to the DRAM config) —
+    the straight-run comparator for a forked sweep point. Message uids
+    are reset first so two builds issue identical traffic.
+    """
+    from ..core.messages import reset_ids
+    from ..mem.dram import DRAMConfig
+    from .profiles import get_profile
+
+    if dsa not in SWEEP_DSAS:
+        raise KeyError(f"unknown sweep dsa {dsa!r}; have {SWEEP_DSAS}")
+    prof = get_profile(profile)
+    xc: Dict[str, Any] = {}
+    dr: Dict[str, Any] = {}
+    for key, value in (config_overrides or {}).items():
+        if key.startswith("dram."):
+            dr[key[len("dram."):]] = value
+        else:
+            xc[key] = value
+    config = replace(prof.xcache_config(dsa), **xc)
+    dram_config = replace(DRAMConfig(), **dr)
+    reset_ids()
+    if dsa == "widx":
+        from ..dsa.widx import WidxXCacheModel
+
+        return WidxXCacheModel(prof.widx_workload("TPC-H-19"),
+                               config=config, dram_config=dram_config)
+    if dsa == "dasx":
+        from ..dsa.dasx import DasxXCacheModel
+
+        return DasxXCacheModel(prof.dasx_workload(), config=config,
+                               dram_config=dram_config)
+    if dsa in ("sparch", "gamma"):
+        from ..dsa import GammaXCacheModel, SpArchXCacheModel
+        from ..workloads.matrices import dense_spgemm_input
+
+        a, b = dense_spgemm_input(n=prof.spgemm_n,
+                                  nnz_per_row=prof.spgemm_nnz_per_row,
+                                  seed=prof.seed)
+        cls = SpArchXCacheModel if dsa == "sparch" else GammaXCacheModel
+        return cls(a, b, config=config, dram_config=dram_config)
+    from ..dsa.graphpulse import GraphPulseXCacheModel
+    from ..workloads.graphgen import p2p_gnutella08
+
+    graph = p2p_gnutella08(scale=prof.graph_scale, seed=prof.seed)
+    return GraphPulseXCacheModel(graph, num_pes=prof.graph_pes,
+                                 config=config, dram_config=dram_config)
+
+
+def straight_run(dsa: str, profile: str = "ci",
+                 config_overrides: Optional[Mapping[str, Any]] = None):
+    """One full straight run; returns its RunResult (the comparator)."""
+    return build_model(dsa, profile, config_overrides).run()
+
+
+def write_warm_snapshot(path: str, dsa: str, profile: str = "ci",
+                        warm_cycles: Optional[int] = None,
+                        warm_frac: float = 0.85) -> Dict[str, Any]:
+    """Warm one model and snapshot it to ``path``; returns the header.
+
+    With ``warm_cycles`` the model warms to that exact cycle. Without
+    it, a straight probe run measures the total first and the snapshot
+    lands at ``warm_frac`` of it (the probe costs one run — pass
+    ``warm_cycles`` when the total is already known).
+    """
+    from ..sim import checkpoint as ck
+
+    if warm_cycles is None:
+        if not 0.0 < warm_frac < 1.0:
+            raise ValueError("warm_frac must be in (0, 1)")
+        probe = straight_run(dsa, profile)
+        warm_cycles = max(1, int(probe.cycles * warm_frac))
+    model = build_model(dsa, profile)
+    ck.warm_model(model, warm_cycles)
+    return ck.save_model(path, model)
+
+
+def parse_grid_entries(entries: Sequence[str]) -> Dict[str, List[Any]]:
+    """``field=v1,v2`` strings → {field: [typed values]} (JSON-typed)."""
+    grid: Dict[str, List[Any]] = {}
+    for entry in entries:
+        field, _, values = entry.partition("=")
+        if not values:
+            raise ValueError(f"bad grid entry {entry!r} "
+                             f"(want field=v1,v2,...)")
+        typed: List[Any] = []
+        for raw in values.split(","):
+            try:
+                typed.append(json.loads(raw))
+            except json.JSONDecodeError:
+                typed.append(raw)
+        grid[field] = typed
+    return grid
+
+
+def sweep_points(grid: Mapping[str, Sequence[Any]]
+                 ) -> List[Dict[str, Any]]:
+    """Cartesian product of a fork-override grid, validated up front.
+
+    Every field must be fork-safe; a geometry-changing field raises
+    :class:`~repro.sim.checkpoint.ForkOverrideError` *before* any
+    simulation runs.
+    """
+    from ..sim.checkpoint import (
+        FORK_SAFE_DRAM_FIELDS,
+        FORK_SAFE_FIELDS,
+        ForkOverrideError,
+    )
+
+    for field in grid:
+        name = field[len("dram."):] if field.startswith("dram.") else None
+        if name is not None:
+            if name not in FORK_SAFE_DRAM_FIELDS:
+                raise ForkOverrideError(
+                    f"dram.{name} is not fork-safe; fork-safe DRAM "
+                    f"fields: {sorted(FORK_SAFE_DRAM_FIELDS)}")
+        elif field not in FORK_SAFE_FIELDS:
+            raise ForkOverrideError(
+                f"{field!r} is not fork-safe (geometry-changing sweeps "
+                f"need one warmup per point — use the straight harness); "
+                f"fork-safe fields: {sorted(FORK_SAFE_FIELDS)}")
+    points: List[Dict[str, Any]] = [{}]
+    for field in sorted(grid):
+        values = list(grid[field])
+        if not values:
+            raise ValueError(f"empty value list for grid field {field!r}")
+        points = [{**p, field: v} for p in points for v in values]
+    return points
+
+
+@dataclass
+class SweepPoint:
+    """One forked run: its overrides and what it measured."""
+
+    overrides: Dict[str, Any]
+    result: Any                 # RunResult
+    restore_s: float            # wall time of load + fork + rebind
+    tail_s: float               # wall time of the post-warmup simulation
+
+    @property
+    def label(self) -> str:
+        if not self.overrides:
+            return "(base)"
+        return ",".join(f"{k}={v}"
+                        for k, v in sorted(self.overrides.items()))
+
+
+def run_snapshot_sweep(snapshot_path: str,
+                       points: Sequence[Mapping[str, Any]]
+                       ) -> List[SweepPoint]:
+    """Fork ``snapshot_path`` into every override point, in order."""
+    from ..sim import checkpoint as ck
+
+    out: List[SweepPoint] = []
+    for overrides in points:
+        t0 = time.perf_counter()
+        model, _header = ck.load_model(snapshot_path,
+                                       overrides=dict(overrides) or None)
+        t1 = time.perf_counter()
+        result = ck.finish_model(model)
+        out.append(SweepPoint(dict(overrides), result,
+                              restore_s=t1 - t0,
+                              tail_s=time.perf_counter() - t1))
+    return out
+
+
+def render_sweep(snapshot_path: str, header: Mapping[str, Any],
+                 points: Sequence[SweepPoint]) -> str:
+    """Deterministic sweep report (wall times excluded on purpose)."""
+    lines = [f"== snapshot-fork sweep: {header['model_class']} "
+             f"@cycle {header['cycle']} "
+             f"(snapshot {header['payload_sha256'][:12]}) =="]
+    for point in points:
+        r = point.result
+        lines.append(
+            f"  {point.label}: cycles={r.cycles} hits={r.hits} "
+            f"misses={r.misses} dram={r.dram_accesses} "
+            f"checks={'ok' if r.checks_passed else 'FAIL'}")
+    return "\n".join(lines)

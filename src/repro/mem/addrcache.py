@@ -14,6 +14,7 @@ accesses), which is what the evaluation's figures report.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from ..obs.events import CacheAccess, CacheEvict, CacheFill, CacheModel
@@ -22,6 +23,10 @@ from .dram import DRAMModel, MemRequest, MemResponse
 from .mshr import MSHRFile
 
 __all__ = ["CacheConfig", "CacheLine", "AddressCache"]
+
+
+def _drop_writeback(resp: MemResponse) -> None:
+    """Completion sink for fire-and-forget write-backs."""
 
 
 @dataclass(frozen=True)
@@ -147,10 +152,26 @@ class AddressCache(Component):
         wait = self._acquire_port()
         if wait:
             self.sim.call_after(
-                wait, lambda: self._access_now(addr, is_write, callback, start)
+                wait, partial(self._access_now, addr, is_write, callback,
+                              start)
             )
         else:
             self._access_now(addr, is_write, callback, start)
+
+    def _complete_hit(self, callback: Callable[[int], None],
+                      start: int) -> None:
+        callback(self.sim.now - start)
+
+    def _fill_waiter(self, block: int, is_write: bool,
+                     callback: Callable[[int], None], start: int) -> None:
+        """MSHR waiter: touch the freshly installed line, complete."""
+        filled = self._find(block)
+        if filled is not None:
+            self._lru_tick += 1
+            filled.last_used = self._lru_tick
+            if is_write:
+                filled.dirty = True
+        callback(self.sim.now - start)
 
     def _access_now(self, addr: int, is_write: bool,
                     callback: Callable[[int], None], start: int) -> None:
@@ -166,20 +187,12 @@ class AddressCache(Component):
             if self.bus is not None:
                 self._publish_access(self.bus, block, "hit", is_write)
             self.sim.call_after(self.config.hit_latency,
-                                lambda: callback(self.sim.now - start))
+                                partial(self._complete_hit, callback, start))
             return
 
         self.stats.inc("misses")
 
-        def on_fill() -> None:
-            filled = self._find(block)
-            if filled is not None:
-                self._lru_tick += 1
-                filled.last_used = self._lru_tick
-                if is_write:
-                    filled.dirty = True
-            callback(self.sim.now - start)
-
+        on_fill = partial(self._fill_waiter, block, is_write, callback, start)
         if self._mshrs.lookup(block) is not None:
             self._mshrs.allocate(block, on_fill, is_write)
             self.stats.inc("mshr_merges")
@@ -191,7 +204,8 @@ class AddressCache(Component):
             self.stats.inc("mshr_stalls")
             if self.bus is not None:
                 self._publish_access(self.bus, block, "mshr_stall", is_write)
-            self._stalled.append(lambda: self.access(addr, is_write, callback))
+            self._stalled.append(partial(self.access, addr, is_write,
+                                         callback))
             return
 
         if self.bus is not None:
@@ -199,16 +213,16 @@ class AddressCache(Component):
         self._mshrs.allocate(block, on_fill, is_write)
         self._issue_fill(block)
 
+    def _on_fill_response(self, block: int, resp: MemResponse) -> None:
+        self._install(block)
+        for waiter in self._mshrs.complete(block):
+            waiter()
+        self._drain_stalled()
+
     def _issue_fill(self, block: int) -> None:
         self._evict_for(block)
-
-        def on_response(resp: MemResponse) -> None:
-            self._install(block)
-            for waiter in self._mshrs.complete(block):
-                waiter()
-            self._drain_stalled()
-
-        self.lower.request(MemRequest(addr=block), on_response)
+        self.lower.request(MemRequest(addr=block),
+                           partial(self._on_fill_response, block))
 
     def _evict_for(self, block: int) -> None:
         set_index = self._set_index(block)
@@ -222,7 +236,7 @@ class AddressCache(Component):
             # Fire-and-forget write-back: functional data is already in
             # the shared image, so only the traffic/timing matters.
             self.lower.request(
-                MemRequest(addr=victim.tag, is_write=True), lambda resp: None
+                MemRequest(addr=victim.tag, is_write=True), _drop_writeback
             )
         if self.bus is not None:
             self._announce(self.bus)

@@ -199,10 +199,63 @@ def _cmd_top(args) -> int:
     return 0
 
 
+def _ckpt_sweep_specs(args) -> List[JobSpec]:
+    """``sweep ckpt:<dsa>`` specs: one snapshot-fork job per grid point.
+
+    The ``--grid`` fields are *fork overrides* (validated against the
+    checkpoint fork-safe whitelist up front, so a geometry-changing
+    field dies here with a clear message, not as N FAILED jobs). With
+    ``--warmup-snapshot`` the warmup runs **once** — locally, before
+    any submit — and every job forks the same snapshot, identified in
+    its digest by snapshot content + overrides.
+    """
+    import os
+
+    from ..harness.sweep import (
+        SWEEP_DSAS,
+        sweep_points,
+        write_warm_snapshot,
+    )
+    from ..sim.checkpoint import SnapshotError, snapshot_digest
+
+    dsa = args.experiment.split(":", 1)[1]
+    if dsa not in SWEEP_DSAS:
+        raise SystemExit(f"unknown ckpt dsa {dsa!r}; have {SWEEP_DSAS}")
+    try:
+        grid = _parse_grid(args.grid)
+        points = sweep_points(grid) if grid else [{}]
+        snapshot, digest = args.warmup_snapshot, None
+        if snapshot:
+            if not os.path.exists(snapshot):
+                header = write_warm_snapshot(
+                    snapshot, dsa, args.profile,
+                    warm_cycles=args.warm_cycles,
+                    warm_frac=args.warm_frac)
+                print(f"warmup snapshot: {snapshot} "
+                      f"cycle={header['cycle']} "
+                      f"digest={header['payload_sha256'][:12]}")
+            digest = snapshot_digest(snapshot)
+    except (SnapshotError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    specs = [JobSpec(experiment=args.experiment, profile=args.profile,
+                     fork_overrides=tuple(sorted(point.items())),
+                     snapshot=snapshot, snapshot_digest=digest,
+                     checkpoint_every=args.checkpoint_every,
+                     checkpoint_dir=args.checkpoint_dir,
+                     capture=_capture_from_args(args),
+                     tag=getattr(args, "tag", ""))
+             for point in points]
+    return [s for _ in range(max(1, args.repeat)) for s in specs]
+
+
 def _cmd_sweep(args) -> int:
-    specs = sweep_specs(args.experiment, args.profile,
-                        grid=_parse_grid(args.grid), repeat=args.repeat,
-                        capture=_capture_from_args(args))
+    if args.experiment.startswith("ckpt:"):
+        specs = _ckpt_sweep_specs(args)
+    else:
+        specs = sweep_specs(args.experiment, args.profile,
+                            grid=_parse_grid(args.grid),
+                            repeat=args.repeat,
+                            capture=_capture_from_args(args))
     print(f"sweep: {len(specs)} submissions "
           f"({len(specs) // max(1, args.repeat)} distinct points)")
     if args.local:
@@ -239,6 +292,11 @@ def _print_sweep(jobs, svc) -> bool:
         origin = "store" if job.from_store else "ran"
         if job.followers:
             origin += f", +{job.followers} coalesced"
+        meta = payload.get("metadata") or {}
+        if meta.get("checkpoints"):
+            origin += f", checkpoints={meta['checkpoints']}"
+        if meta.get("resumed_from"):
+            origin += f", resumed_from={meta['resumed_from']}"
         print(f"[{job.digest[:12]}] {first_line} all_ok={payload['all_ok']} "
               f"({origin})")
         ok = ok and payload["all_ok"]
@@ -269,7 +327,8 @@ def _add_connect(sub) -> None:
 def _add_spec_args(sub) -> None:
     sub.add_argument("experiment",
                      help="harness id (fig04, tab01, ...), sleep:<s>, "
-                          "or suite")
+                          "suite, or ckpt:<dsa> (checkpointable DSA "
+                          "run — snapshot forks + preemption)")
     sub.add_argument("--profile", default="ci", choices=PROFILES)
     sub.add_argument("--priority", type=int, default=0)
     sub.add_argument("--stream-interval", type=int, default=0,
@@ -369,6 +428,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="worker count for --local")
     sweep.add_argument("--store", default=None, metavar="DIR",
                        help="result-store directory for --local")
+    sweep.add_argument("--warmup-snapshot", default=None,
+                       dest="warmup_snapshot", metavar="PATH.ckpt",
+                       help="(ckpt:<dsa> only) fork every grid point "
+                            "from this snapshot; written first — one "
+                            "warmup total — if the file is missing")
+    sweep.add_argument("--warm-cycles", type=int, default=None,
+                       dest="warm_cycles", metavar="CYCLES",
+                       help="snapshot point when writing the warmup "
+                            "(default: probe a straight run)")
+    sweep.add_argument("--warm-frac", type=float, default=0.85,
+                       dest="warm_frac",
+                       help="warmup fraction of the probed straight "
+                            "run (default: 0.85)")
+    sweep.add_argument("--checkpoint-every", type=int, default=0,
+                       dest="checkpoint_every", metavar="CYCLES",
+                       help="(ckpt:<dsa> only) preemption hint: persist "
+                            "a resume checkpoint every N simulated "
+                            "cycles (0 = never)")
+    sweep.add_argument("--checkpoint-dir", default=None,
+                       dest="checkpoint_dir", metavar="DIR",
+                       help="where resume checkpoints live (required "
+                            "when --checkpoint-every > 0)")
     sweep.set_defaults(func=_cmd_sweep)
 
     args = parser.parse_args(argv)

@@ -52,9 +52,11 @@ class JobState(str, Enum):
 
 #: synthetic experiments the worker executes besides the harness ids:
 #: ``sleep:<seconds>`` (deterministic no-op, for backpressure/cancel
-#: tests and pacing probes) and ``suite`` (run the memoized fig-14
-#: suite, optionally restricted to ``JobSpec.workloads``)
-SYNTHETIC_PREFIXES = ("sleep:", "suite")
+#: tests and pacing probes), ``suite`` (run the memoized fig-14 suite,
+#: optionally restricted to ``JobSpec.workloads``) and ``ckpt:<dsa>``
+#: (one checkpointable DSA run — optionally forked from
+#: ``JobSpec.snapshot`` and preempted every ``checkpoint_every`` cycles)
+SYNTHETIC_PREFIXES = ("sleep:", "suite", "ckpt:")
 
 
 @dataclass(frozen=True)
@@ -79,6 +81,18 @@ class JobSpec:
     stream_interval: int = 0              # forward every Nth bus event
                                           # (0 = milestones only)
     tag: str = ""                         # free-form label, not hashed
+    # warm-start provenance (``ckpt:<dsa>`` jobs): the snapshot *path*
+    # is a location hint and stays out of the digest; its content
+    # digest and the fork overrides determine the result and are
+    # folded in — a forked run must never alias a straight run.
+    snapshot: Optional[str] = None        # snapshot file path (hint)
+    snapshot_digest: Optional[str] = None  # payload sha256 (hashed)
+    fork_overrides: Tuple[Tuple[str, Any], ...] = ()  # hashed
+    # preemption hints (scheduling policy, not result-affecting): the
+    # worker persists a resume checkpoint every N simulated cycles so
+    # a crash loses at most one interval
+    checkpoint_every: int = 0             # 0 = never preempt
+    checkpoint_dir: Optional[str] = None  # where resume files live
 
     def __post_init__(self) -> None:
         # normalize the common "list of pairs" spelling so equal specs
@@ -86,6 +100,9 @@ class JobSpec:
         object.__setattr__(self, "profile_overrides",
                            tuple((str(k), v)
                                  for k, v in self.profile_overrides))
+        object.__setattr__(self, "fork_overrides",
+                           tuple((str(k), v)
+                                 for k, v in self.fork_overrides))
         if self.workloads is not None:
             object.__setattr__(self, "workloads", tuple(self.workloads))
 
@@ -99,6 +116,12 @@ class JobSpec:
             "workloads": (list(self.workloads)
                           if self.workloads is not None else None),
             "capture": asdict(self.capture) if self.capture else None,
+            # snapshot provenance: a forked run's identity includes the
+            # snapshot it warmed from (by content, not path) and the
+            # overrides applied at fork time — never alias straight runs
+            "snapshot": self.snapshot_digest,
+            "fork_overrides": sorted(
+                [k, v] for k, v in self.fork_overrides),
             "code": code_version(),
         }
 
@@ -108,7 +131,8 @@ class JobSpec:
     @property
     def is_synthetic(self) -> bool:
         return (self.experiment == "suite"
-                or self.experiment.startswith("sleep:"))
+                or self.experiment.startswith("sleep:")
+                or self.experiment.startswith("ckpt:"))
 
 
 class JobFailed(RuntimeError):

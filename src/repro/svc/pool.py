@@ -28,7 +28,10 @@ The pool owns process lifecycle only; scheduling policy lives in
 Fault injection for tests: when ``REPRO_SVC_CRASH_ONCE`` names a path
 and that file does not exist yet, the next worker to pick up a job
 creates the file and dies with ``os._exit`` *mid-job* — deterministic
-crash-retry coverage with no timing races.
+crash-retry coverage with no timing races. ``REPRO_SVC_CRASH_AFTER_CKPT``
+is the checkpoint-aware variant: the worker dies right after persisting
+its first resume checkpoint of a ``ckpt:<dsa>`` job, so the retry path
+must resume from that checkpoint rather than from cycle zero.
 """
 
 from __future__ import annotations
@@ -45,9 +48,11 @@ from typing import Dict, List, Optional, Tuple
 
 from .jobs import JobSpec
 
-__all__ = ["WorkerPool", "WorkerHandle", "CRASH_ONCE_ENV"]
+__all__ = ["WorkerPool", "WorkerHandle", "CRASH_ONCE_ENV",
+           "CRASH_AFTER_CKPT_ENV"]
 
 CRASH_ONCE_ENV = "REPRO_SVC_CRASH_ONCE"
+CRASH_AFTER_CKPT_ENV = "REPRO_SVC_CRASH_AFTER_CKPT"
 
 #: (kind, worker, job_id, payload) — what :meth:`WorkerPool.poll` yields
 PoolMessage = Tuple[str, "WorkerHandle", Optional[int], dict]
@@ -87,6 +92,82 @@ def _render_suite(suite) -> str:
     return "\n".join(lines)
 
 
+def _execute_ckpt(spec: JobSpec, send_progress) -> Tuple[str, bool, dict]:
+    """Run one ``ckpt:<dsa>`` job, the preemptible DSA-run experiment.
+
+    Three entry paths, in priority order: an existing *resume
+    checkpoint* (this job ran before and was preempted or its worker
+    crashed — continue from the persisted cycle, overrides already
+    baked into the state), the spec's *warm snapshot* (fork it, apply
+    the fork overrides), or a fresh build. With ``checkpoint_every > 0``
+    and a ``checkpoint_dir``, the simulation is chunked and a resume
+    checkpoint persisted between chunks, so a crash loses at most one
+    interval. The checkpoints themselves never perturb the simulation:
+    a preempted+resumed run renders byte-identically to an undisturbed
+    one.
+    """
+    from ..harness.sweep import SWEEP_DSAS, build_model
+    from ..sim import checkpoint as ck
+
+    dsa = spec.experiment.split(":", 1)[1]
+    if dsa not in SWEEP_DSAS:
+        raise ValueError(f"unknown ckpt dsa {dsa!r}; have {SWEEP_DSAS}")
+    overrides = dict(spec.fork_overrides)
+    resume_path = None
+    if spec.checkpoint_every > 0 and spec.checkpoint_dir:
+        resume_path = os.path.join(spec.checkpoint_dir,
+                                   f"resume_{spec.digest()}.ckpt")
+    resumed_from = 0
+    if resume_path and os.path.exists(resume_path):
+        model, header = ck.load_model(resume_path)
+        resumed_from = header["cycle"]
+        send_progress({"kind": "resume", "cycle": resumed_from})
+    elif spec.snapshot:
+        model, _header = ck.load_model(spec.snapshot,
+                                       overrides=overrides or None)
+    else:
+        model = build_model(dsa, spec.profile,
+                            config_overrides=overrides or None)
+        model.start()
+    sim = model.system.sim
+    max_c = getattr(model, "_max_cycles", None)
+    every = spec.checkpoint_every
+    checkpoints = 0
+    while (every > 0 and resume_path is not None and sim.pending
+           and (max_c is None or sim.now < max_c)):
+        target = sim.now + every
+        if max_c is not None:
+            target = min(target, max_c)
+        sim.run(until=target)
+        if not sim.pending or (max_c is not None and sim.now >= max_c):
+            break
+        ck.save_model(resume_path, model)
+        checkpoints += 1
+        send_progress({"kind": "checkpoint", "cycle": sim.now,
+                       "count": checkpoints})
+        marker = os.environ.get(CRASH_AFTER_CKPT_ENV)
+        if marker and not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write(f"pid {os.getpid()} cycle {sim.now}\n")
+            os._exit(13)
+    result = ck.finish_model(model)
+    if resume_path and os.path.exists(resume_path):
+        os.remove(resume_path)
+    label = ",".join(f"{k}={v}"
+                     for k, v in sorted(overrides.items())) or "(none)"
+    rendered = "\n".join([
+        f"== ckpt:{dsa} profile={spec.profile} ==",
+        f"  overrides: {label}",
+        f"  cycles={result.cycles} hits={result.hits} "
+        f"misses={result.misses} dram={result.dram_accesses} "
+        f"checks={'ok' if result.checks_passed else 'FAIL'}",
+    ])
+    return rendered, result.checks_passed, {
+        "checkpoints": checkpoints,
+        "resumed_from": resumed_from,
+    }
+
+
 def _execute_spec(spec: JobSpec, health: bool, send_progress,
                   jobs_before: int, job_id: Optional[int] = None) -> dict:
     """Run one job in this worker; returns the result payload."""
@@ -98,6 +179,7 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
     suite_warm = None
     capture_paths: Optional[Dict[str, str]] = None
     capture_telemetry: dict = {}
+    ckpt_extras: dict = {}
 
     if spec.experiment.startswith("sleep:"):
         seconds = float(spec.experiment.split(":", 1)[1])
@@ -111,11 +193,15 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
         profile = _resolve_profile(spec)
         selected = (spec.workloads if spec.workloads is not None
                     else suite_mod.SUITE_WORKLOADS)
-        suite_warm = (profile, tuple(selected)) in suite_mod._CACHE
+        suite_warm = (suite_mod._memo_key(profile, tuple(selected))
+                      in suite_mod._CACHE)
         reset_ids()
         result = suite_mod.run_fig14_suite(profile, tuple(selected))
         rendered = _render_suite(result)
         all_ok = all(vs.all_checked for vs in result.values())
+    elif spec.experiment.startswith("ckpt:"):
+        reset_ids()
+        rendered, all_ok, ckpt_extras = _execute_ckpt(spec, send_progress)
     else:
         from ..harness.parallel import execute_one
 
@@ -165,6 +251,8 @@ def _execute_spec(spec: JobSpec, health: bool, send_progress,
         "watchdog": watchdog,
         "cachelens": capture_telemetry.get("cachelens"),
         "capture_paths": capture_paths,
+        "checkpoints": ckpt_extras.get("checkpoints", 0),
+        "resumed_from": ckpt_extras.get("resumed_from", 0),
     }
 
 

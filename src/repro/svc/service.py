@@ -412,13 +412,44 @@ class Service:
                     float(spec.experiment.split(":", 1)[1])
                 except ValueError:
                     raise ValueError(f"bad sleep spec {spec.experiment!r}")
+            elif spec.experiment.startswith("ckpt:"):
+                from ..harness.sweep import SWEEP_DSAS
+                from ..sim.checkpoint import (
+                    FORK_SAFE_DRAM_FIELDS,
+                    FORK_SAFE_FIELDS,
+                    ForkOverrideError,
+                )
+
+                dsa = spec.experiment.split(":", 1)[1]
+                if dsa not in SWEEP_DSAS:
+                    raise ValueError(f"unknown ckpt dsa {dsa!r}; "
+                                     f"have {SWEEP_DSAS}")
+                # reject geometry-changing fork overrides at submit time
+                # (the worker would too, but a clear error beats a
+                # FAILED job with a traceback payload)
+                for key, _value in spec.fork_overrides:
+                    name = (key[len("dram."):]
+                            if key.startswith("dram.") else None)
+                    safe = (name in FORK_SAFE_DRAM_FIELDS
+                            if name is not None
+                            else key in FORK_SAFE_FIELDS)
+                    if not safe:
+                        raise ForkOverrideError(
+                            f"fork override {key!r} is not fork-safe; "
+                            f"fork-safe fields: {sorted(FORK_SAFE_FIELDS)} "
+                            f"plus dram.{{{','.join(sorted(FORK_SAFE_DRAM_FIELDS))}}}")
+                if spec.checkpoint_every > 0 and not spec.checkpoint_dir:
+                    raise ValueError(
+                        "checkpoint_every > 0 needs a checkpoint_dir "
+                        "(where resume files persist across workers)")
             return
         from ..harness import EXPERIMENTS
 
         if spec.experiment not in EXPERIMENTS:
             raise ValueError(
                 f"unknown experiment {spec.experiment!r}; have "
-                f"{sorted(EXPERIMENTS)} or sleep:<seconds> / suite")
+                f"{sorted(EXPERIMENTS)} or sleep:<seconds> / suite / "
+                f"ckpt:<dsa>")
 
     def _loop(self) -> None:
         while not self._stop.is_set():
@@ -504,6 +535,8 @@ class Service:
                 "watchdog": payload.get("watchdog"),
                 "capture_paths": payload.get("capture_paths"),
                 "attempts": job.attempts,
+                "checkpoints": payload.get("checkpoints", 0),
+                "resumed_from": payload.get("resumed_from", 0),
             },
         }
 
@@ -524,12 +557,19 @@ class Service:
             # partial result behind
             job.state = JobState.PENDING
             job.worker = None
+            progress = job.last_progress or {}
             job.retry_log.append({
                 "worker": handle.id,
                 "exitcode": handle.process.exitcode,
                 "lost_s": round(time.monotonic()
                                 - job.ts.get("dispatched",
                                              time.monotonic()), 6),
+                # for ckpt: jobs — the cycle the dead attempt had last
+                # persisted, i.e. where the retry will resume from
+                # (None = no checkpoint survived, resume from zero)
+                "checkpoint_cycle": (progress.get("cycle")
+                                     if progress.get("kind") == "checkpoint"
+                                     else None),
             })
             self.queue.requeue_front(job)
             self._count("retries")
@@ -577,6 +617,13 @@ class Service:
         span.finished = job.ts.get("finished")
         span.sim_exec = float(job.ts.get("sim_exec", 0.0))
         span.store_write = job.store_write_s
+        metadata = ((job.result_payload or {}).get("metadata") or {})
+        span.checkpoints = int(metadata.get("checkpoints") or 0)
+        span.resumed_from = int(metadata.get("resumed_from") or 0)
+        cycles = [entry.get("checkpoint_cycle")
+                  for entry in job.retry_log
+                  if entry.get("checkpoint_cycle") is not None]
+        span.preempted_at = cycles[-1] if cycles else None
         return span
 
     def _ledger_entry(self, job: Job, span: JobSpan) -> dict:
@@ -602,5 +649,8 @@ class Service:
             "wall_submitted": round(job.created, 6),
             "timings": timings,
             "capture": metadata.get("capture_paths"),
+            "checkpoints": span.checkpoints,
+            "resumed_from": span.resumed_from,
+            "preempted_at": span.preempted_at,
             "error": job.error,
         }

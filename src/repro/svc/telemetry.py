@@ -391,11 +391,20 @@ class JobSpan:
       residual, so the four buckets always sum to ``end_to_end``. A
       crash-retried job's lost attempt lands here too (the simulation
       time that produced no result is service overhead, not exec).
+
+    Preemption annotations (``ckpt:`` jobs) ride alongside the split
+    without changing it: ``checkpoints`` (resume checkpoints persisted),
+    ``resumed_from`` (the simulated cycle the final attempt resumed at;
+    0 = started from scratch) and ``preempted_at`` (the last checkpoint
+    cycle a dead attempt had persisted, ``None`` if never preempted).
+    The tiling invariant is untouched — a preempted job's lost attempt
+    still lands in the ``dispatch`` residual.
     """
 
     __slots__ = ("job_id", "digest", "experiment", "state", "submitted",
                  "admitted", "dispatched", "finished", "sim_exec",
-                 "store_write", "from_store")
+                 "store_write", "from_store", "checkpoints",
+                 "resumed_from", "preempted_at")
 
     def __init__(self, job_id: int, digest: str, experiment: str) -> None:
         self.job_id = job_id
@@ -409,6 +418,9 @@ class JobSpan:
         self.sim_exec: float = 0.0
         self.store_write: float = 0.0
         self.from_store = False
+        self.checkpoints = 0
+        self.resumed_from = 0
+        self.preempted_at: Optional[int] = None
 
     @property
     def end_to_end(self) -> float:

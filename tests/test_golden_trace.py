@@ -48,3 +48,32 @@ def test_experiment_reports_identical_across_kernels(exp_id):
     with use_kernel("bucket"):
         bucket_report = run_experiment(exp_id, "ci").render()
     assert bucket_report == heap_report
+
+
+def test_widx_trace_digest_survives_snapshot_restore(tmp_path):
+    """run-to-mid → snapshot → restore → run-to-end must emit the
+    *identical* event trace a straight run emits — the same golden
+    digest that pins the kernel rewrite pins checkpoint/restore."""
+    from repro.sim import checkpoint as ck
+
+    straight_trace, straight_result = _traced_widx_run("bucket")
+
+    from repro.dsa.widx import WidxXCacheModel
+
+    workload = make_widx_workload(
+        num_keys=512, num_probes=1024, num_buckets=512,
+        skew=1.3, hash_cycles=10, seed=3,
+    )
+    with use_kernel("bucket"):
+        model = WidxXCacheModel(workload, window=16)
+        tracer = Tracer(capacity=100_000)
+        model.system.controller.tracer = tracer
+        ck.warm_model(model, straight_result.cycles // 2)
+        ck.save_model(str(tmp_path / "traced.ckpt"), model)
+        del model, tracer
+        restored, header = ck.load_model(str(tmp_path / "traced.ckpt"))
+        resumed_result = ck.finish_model(restored)
+        resumed_tracer = restored.system.controller.tracer
+    assert header["cycle"] == straight_result.cycles // 2
+    assert resumed_tracer.digest() == straight_trace.digest()
+    assert resumed_result == straight_result

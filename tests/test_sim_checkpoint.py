@@ -1,0 +1,370 @@
+"""Checkpoint/restore determinism, adversarial restores, fork sweeps.
+
+The tentpole guarantee under test: ``run-to-cycle-C → snapshot →
+restore → run-to-end`` equals a straight run *byte-identically* — every
+``RunResult`` field (cycles, traffic, energy, extras, check verdicts) —
+for all five DSAs under every compile mode, episode traces included.
+A snapshot that cannot honor that must fail loudly with a typed error,
+never restore into a silently wrong simulation.
+"""
+
+import dataclasses
+import json
+import os
+import struct
+
+import pytest
+
+from repro.harness.sweep import (
+    SWEEP_DSAS,
+    build_model,
+    parse_grid_entries,
+    run_snapshot_sweep,
+    straight_run,
+    sweep_points,
+    write_warm_snapshot,
+)
+from repro.sim import checkpoint as ck
+from repro.sim.checkpoint import (
+    ForkOverrideError,
+    GeometryMismatchError,
+    SnapshotError,
+    SnapshotVersionError,
+    TornSnapshotError,
+)
+
+MODES = ("off", "on", "verify")
+
+
+def _snapshot_run(dsa, mode, path, warm_frac=0.5, overrides=None,
+                  extra_config=None):
+    """warm → save → load (fresh object graph) → run-to-end."""
+    config = {"compile_mode": mode, **(extra_config or {})}
+    probe = build_model(dsa, "ci", config).run()
+    warm = max(1, int(probe.cycles * warm_frac))
+    model = build_model(dsa, "ci", config)
+    ck.warm_model(model, warm)
+    header = ck.save_model(str(path), model)
+    del model
+    restored, loaded = ck.load_model(str(path), overrides=overrides)
+    assert loaded == header
+    return probe, ck.finish_model(restored), header
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("dsa", SWEEP_DSAS)
+def test_snapshot_restore_byte_identity(dsa, mode, tmp_path):
+    straight, resumed, header = _snapshot_run(
+        dsa, mode, tmp_path / f"{dsa}.ckpt")
+    assert resumed == straight          # every RunResult field
+    assert header["format"] == ck.SNAPSHOT_FORMAT
+    assert header["cycle"] < straight.cycles
+    assert header["model_class"].lower().startswith(
+        {"sparch": "sparch", "gamma": "gamma"}.get(dsa, dsa)[:5])
+
+
+@pytest.mark.parametrize("mode", ("on", "verify"))
+def test_snapshot_preserves_eager_episode_traces(mode, tmp_path):
+    """trace_threshold=1 compiles episode traces during warmup; the
+    restored run (deopt cursors included) must still match a straight
+    run — the sharpest derivable-cache rebuild case."""
+    straight, resumed, _ = _snapshot_run(
+        "widx", mode, tmp_path / "eager.ckpt",
+        extra_config={"trace_threshold": 1})
+    assert resumed == straight
+
+
+def test_snapshot_roundtrip_is_repeatable(tmp_path):
+    """Restoring the same file twice gives the same answer twice."""
+    path = tmp_path / "twice.ckpt"
+    write_warm_snapshot(str(path), "widx", "ci", warm_frac=0.5)
+    first = ck.finish_model(ck.load_model(str(path))[0])
+    second = ck.finish_model(ck.load_model(str(path))[0])
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# adversarial restores: every bad input dies with a typed error
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def widx_snapshot(tmp_path_factory):
+    path = tmp_path_factory.mktemp("snap") / "widx.ckpt"
+    header = write_warm_snapshot(str(path), "widx", "ci", warm_frac=0.5)
+    return path, header
+
+
+def test_truncated_snapshot_fails_loudly(widx_snapshot, tmp_path):
+    path, _ = widx_snapshot
+    blob = path.read_bytes()
+    for cut in (3, len(ck._MAGIC) + 2, len(blob) // 2, len(blob) - 1):
+        torn = tmp_path / f"torn_{cut}.ckpt"
+        torn.write_bytes(blob[:cut])
+        with pytest.raises(TornSnapshotError):
+            ck.load_model(str(torn))
+
+
+def test_corrupt_payload_fails_digest_check(widx_snapshot, tmp_path):
+    path, _ = widx_snapshot
+    blob = bytearray(path.read_bytes())
+    blob[-10] ^= 0xFF
+    bad = tmp_path / "flipped.ckpt"
+    bad.write_bytes(bytes(blob))
+    with pytest.raises(TornSnapshotError, match="digest mismatch"):
+        ck.read_header(str(bad))
+
+
+def test_not_a_snapshot_rejected(tmp_path):
+    junk = tmp_path / "junk.ckpt"
+    junk.write_bytes(b"definitely not a snapshot file")
+    with pytest.raises(TornSnapshotError, match="not an X-Cache"):
+        ck.load_model(str(junk))
+    with pytest.raises(TornSnapshotError, match="cannot read"):
+        ck.load_model(str(tmp_path / "absent.ckpt"))
+
+
+def test_version_mismatch_rejected(widx_snapshot, tmp_path):
+    path, _ = widx_snapshot
+    blob = path.read_bytes()
+    # same magic family, different version byte
+    futuristic = tmp_path / "v9.ckpt"
+    futuristic.write_bytes(b"XCKPT9\n" + blob[len(ck._MAGIC):])
+    with pytest.raises(SnapshotVersionError):
+        ck.load_model(str(futuristic))
+    # right magic, header claims an unsupported format number
+    off = len(ck._MAGIC)
+    (hlen,) = struct.unpack_from("<I", blob, off)
+    header = json.loads(blob[off + 4:off + 4 + hlen])
+    header["format"] = 99
+    hblob = json.dumps(header, sort_keys=True).encode()
+    rewritten = tmp_path / "fmt99.ckpt"
+    rewritten.write_bytes(ck._MAGIC + struct.pack("<I", len(hblob))
+                          + hblob + blob[off + 4 + hlen:])
+    with pytest.raises(SnapshotVersionError, match="format 99"):
+        ck.load_model(str(rewritten))
+
+
+def test_geometry_mismatch_rejected(widx_snapshot):
+    path, header = widx_snapshot
+    other = build_model("dasx", "ci")
+    with pytest.raises(GeometryMismatchError):
+        ck.load_model(str(path),
+                      expect_geometry=ck.geometry_digest(other))
+    # the recorded geometry digest itself passes the guard
+    model, _ = ck.load_model(str(path),
+                             expect_geometry=header["geometry"])
+    assert ck.geometry_digest(model) == header["geometry"]
+
+
+def test_geometry_digest_ignores_fork_safe_fields(widx_snapshot):
+    """Forked configs still match their parent snapshot's geometry —
+    the property that lets a resumed fork pass the restore guard."""
+    path, header = widx_snapshot
+    model, _ = ck.load_model(str(path),
+                             overrides={"num_exe": 2, "dram.t_cl": 8})
+    assert ck.geometry_digest(model) == header["geometry"]
+
+
+def test_fork_override_whitelist_enforced(widx_snapshot):
+    path, _ = widx_snapshot
+    for bad in ({"ways": 8}, {"compile_mode": "off"},
+                {"dram.num_banks": 4}, {"sets": 128}):
+        with pytest.raises(ForkOverrideError):
+            ck.load_model(str(path), overrides=bad)
+    with pytest.raises(ForkOverrideError):
+        sweep_points({"ways": [4, 8]})
+    with pytest.raises(ForkOverrideError):
+        sweep_points({"dram.num_banks": [2]})
+
+
+def test_save_refuses_mid_run(widx_snapshot, tmp_path):
+    path, _ = widx_snapshot
+    model, _ = ck.load_model(str(path))
+    model.system.sim._running = True
+    with pytest.raises(SnapshotError, match="sim.run"):
+        ck.save_model(str(tmp_path / "live.ckpt"), model)
+
+
+# ----------------------------------------------------------------------
+# fork semantics
+# ----------------------------------------------------------------------
+
+def test_fork_overrides_take_effect(widx_snapshot):
+    """A forked knob must actually change post-warmup behavior, and
+    match a straight run that was built with the same knob."""
+    path, _ = widx_snapshot
+    base = ck.finish_model(ck.load_model(str(path))[0])
+    slow_dram = ck.finish_model(
+        ck.load_model(str(path), overrides={"dram.t_cl": 25})[0])
+    assert slow_dram.cycles > base.cycles
+    assert slow_dram.hits == base.hits          # same work, new timing
+    assert slow_dram.misses == base.misses
+
+
+def test_rebind_field_fork_deopts_saved_trace_cursors(tmp_path):
+    """Forking num_exe re-segments the rebuilt episode traces, so a
+    saved mid-trace cursor (a segment index into the *old*
+    segmentation) must deopt to the interpreter, not be re-pointed —
+    a stale cursor livelocks the tail run."""
+    import signal
+
+    total = build_model("widx", "quick").run().cycles
+    model = build_model("widx", "quick")
+    ck.warm_model(model, int(total * 0.85))
+    execq = model.system.controller._execq
+    assert any(ex.trace is not None and ex.trace_pos for ex in execq), (
+        "precondition lost: no in-flight trace cursor at this warm "
+        "cycle — move the warm point so the regression still bites")
+    path = tmp_path / "warm.ckpt"
+    ck.save_model(str(path), model)
+    del model
+
+    restored, _ = ck.load_model(str(path), overrides={"num_exe": 4})
+    assert all(not ex.trace_pos
+               for ex in restored.system.controller._execq)
+
+    def _bail(signum, frame):
+        raise AssertionError("fork with num_exe override livelocked")
+
+    signal.signal(signal.SIGALRM, _bail)
+    signal.alarm(120)
+    try:
+        result = ck.finish_model(restored)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, signal.SIG_DFL)
+    assert result.checks_passed
+    assert result.cycles < 2 * total
+
+
+def test_sweep_points_deterministic_product():
+    points = sweep_points({"num_exe": [4, 2], "dram.t_cl": [8, 11]})
+    # fields iterate sorted; value order within a field is preserved
+    assert points == [
+        {"dram.t_cl": 8, "num_exe": 4}, {"dram.t_cl": 8, "num_exe": 2},
+        {"dram.t_cl": 11, "num_exe": 4}, {"dram.t_cl": 11, "num_exe": 2},
+    ]
+    again = sweep_points({"num_exe": [4, 2], "dram.t_cl": [8, 11]})
+    assert points == again
+    with pytest.raises(ValueError):
+        sweep_points({"num_exe": []})
+
+
+def test_parse_grid_entries_types_values():
+    grid = parse_grid_entries(["num_exe=2,4", "dram.t_cl=8"])
+    assert grid == {"num_exe": [2, 4], "dram.t_cl": [8]}
+    with pytest.raises(ValueError):
+        parse_grid_entries(["num_exe"])
+
+
+def test_run_snapshot_sweep_base_point_matches_straight_run(widx_snapshot):
+    """The sweep runner's no-override point IS a straight run (an
+    overridden point is not: it changes the knob at the snapshot cycle,
+    a straight run changes it at cycle zero — by design)."""
+    path, _ = widx_snapshot
+    swept = run_snapshot_sweep(str(path), [{}, {"num_exe": 2}])
+    assert swept[0].result == straight_run("widx", "ci")
+    # the overridden point still completes the same work
+    assert swept[1].result.requests == swept[0].result.requests
+    assert swept[1].result.checks_passed
+
+
+# ----------------------------------------------------------------------
+# provenance: forked results never alias straight ones
+# ----------------------------------------------------------------------
+
+def test_jobspec_digest_folds_snapshot_provenance():
+    from repro.svc.jobs import JobSpec
+
+    straight = JobSpec(experiment="ckpt:widx", profile="ci")
+    forked = JobSpec(experiment="ckpt:widx", profile="ci",
+                     snapshot="/tmp/warm.ckpt", snapshot_digest="ab" * 32)
+    other_fork = JobSpec(experiment="ckpt:widx", profile="ci",
+                         snapshot="/tmp/warm.ckpt",
+                         snapshot_digest="ab" * 32,
+                         fork_overrides=(("num_exe", 2),))
+    digests = {straight.digest(), forked.digest(), other_fork.digest()}
+    assert len(digests) == 3
+    # the path is a hint; only the content digest is identity
+    moved = dataclasses.replace(forked, snapshot="/elsewhere/warm.ckpt")
+    assert moved.digest() == forked.digest()
+    # scheduling hints never change identity
+    hinted = dataclasses.replace(forked, checkpoint_every=500,
+                                 checkpoint_dir="/tmp/ck")
+    assert hinted.digest() == forked.digest()
+
+
+def test_suite_memo_key_folds_snapshot_provenance(tmp_path, monkeypatch):
+    from repro.harness import suite
+
+    monkeypatch.setenv(suite.SUITE_CACHE_ENV, str(tmp_path))
+    plain = suite._memo_key("ci", ("dasx",))
+    assert plain == ("ci", ("dasx",))   # historical keys unchanged
+    forked = suite._memo_key("ci", ("dasx",),
+                             {"snapshot": "ab" * 32,
+                              "fork_overrides": {"num_exe": 2}})
+    assert forked != plain
+    assert "provenance" in suite._canonical_key(forked)
+    assert "provenance" not in suite._canonical_key(plain)
+    assert (suite._disk_cache_path(forked).name
+            != suite._disk_cache_path(plain).name)
+
+
+# ----------------------------------------------------------------------
+# service preemption: checkpoint → crash → resume, byte-identically
+# ----------------------------------------------------------------------
+
+def test_svc_preemption_resumes_from_checkpoint(tmp_path, monkeypatch):
+    """A ckpt: job whose worker dies right after persisting its first
+    checkpoint is retried on a fresh worker, resumes from that
+    checkpoint (not cycle zero), and produces the identical result an
+    undisturbed execution produces."""
+    from repro.svc.jobs import JobSpec
+    from repro.svc.pool import CRASH_AFTER_CKPT_ENV
+    from repro.svc.service import Service
+
+    snap = tmp_path / "warm.ckpt"
+    write_warm_snapshot(str(snap), "widx", "ci", warm_frac=0.6)
+    ckdir = tmp_path / "resume"
+    ckdir.mkdir()
+    spec = JobSpec(experiment="ckpt:widx", profile="ci",
+                   fork_overrides=(("num_exe", 2),),
+                   snapshot=str(snap),
+                   snapshot_digest=ck.snapshot_digest(str(snap)),
+                   checkpoint_every=400, checkpoint_dir=str(ckdir))
+    marker = tmp_path / "crash.marker"
+    monkeypatch.setenv(CRASH_AFTER_CKPT_ENV, str(marker))
+    monkeypatch.delenv("REPRO_SVC_CRASH_ONCE", raising=False)
+    with Service(workers=1, store=None) as svc:
+        job = svc.submit(spec)
+        crashed = job.result(timeout=300)
+        span = svc.job_span(job)
+        # marker exists now, so the rerun executes undisturbed
+        clean = svc.submit(spec).result(timeout=300)
+    assert marker.exists()
+    assert job.attempts == 2
+    assert crashed["metadata"]["resumed_from"] > 0
+    assert span.preempted_at == crashed["metadata"]["resumed_from"]
+    assert job.retry_log[0]["checkpoint_cycle"] == span.preempted_at
+    assert clean["metadata"]["resumed_from"] == 0
+    assert crashed["result_digest"] == clean["result_digest"]
+    assert crashed["rendered"] == clean["rendered"]
+    # completion removed the resume file: nothing stale left behind
+    assert not list(ckdir.iterdir())
+
+
+def test_service_validates_ckpt_specs():
+    from repro.svc.jobs import JobSpec
+    from repro.svc.service import Service
+
+    svc = Service(workers=1, store=None)  # never started: _validate only
+    with pytest.raises(ValueError, match="unknown ckpt dsa"):
+        svc._validate(JobSpec(experiment="ckpt:nope"))
+    with pytest.raises(ForkOverrideError):
+        svc._validate(JobSpec(experiment="ckpt:widx",
+                              fork_overrides=(("ways", 8),)))
+    with pytest.raises(ValueError, match="checkpoint_dir"):
+        svc._validate(JobSpec(experiment="ckpt:widx",
+                              checkpoint_every=100))
+    svc._validate(JobSpec(experiment="ckpt:widx",
+                          fork_overrides=(("num_exe", 2),)))
